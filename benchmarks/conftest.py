@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables/figures, prints it,
+and saves it under `benchmarks/results/`.  `REPRO_BENCH_SCALE` (default 0.6)
+scales client counts/durations: 1.0 reproduces the EXPERIMENTS.md numbers,
+smaller values give quicker smoke runs with the same qualitative shapes.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+
+
+@pytest.fixture
+def save_figure():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return save

@@ -1,0 +1,133 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each toggles one mechanism and shows the figure-level effect, at small
+scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.bench.harness import ExperimentSpec, run_experiment
+from repro.bench.report import FigureTable
+from repro.workload.ycsb import WorkloadConfig
+
+
+def _run(protocol, *, clients=10, read_fraction=0.9, conflict=0.05,
+         mode=None, duration=4.0, config_mutator=None, seed=2):
+    spec = ExperimentSpec(
+        protocol=protocol, clients_per_region=clients, duration_s=duration,
+        warmup_s=1.0, cooldown_s=0.5,
+        workload=WorkloadConfig(read_fraction=read_fraction,
+                                conflict_rate=conflict),
+        execution_mode=mode, seed=seed,
+    )
+    from repro.bench.harness import Cluster
+    cluster = Cluster(spec)
+    if config_mutator is not None:
+        config_mutator(cluster)
+    return cluster.run()
+
+
+def test_ablation_lease_write_wait(benchmark, save_figure):
+    """PQL's write-latency cost comes from waiting on lease holders: with
+    leases (and hence the wait), writes are slower than plain Raft*'s."""
+
+    def run_pair():
+        pql = _run("raftstar-pql")
+        plain = _run("raftstar")
+        return pql, plain
+
+    pql, plain = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    table = FigureTable(
+        figure="Ablation", title="lease-holder wait on the write path",
+        columns=["system", "write p50 (leader)", "read p50 (followers)"],
+    )
+    table.add_row("Raft*-PQL (leases on)", pql.write_latency["leader"]["p50"],
+                  pql.read_latency["followers"]["p50"])
+    table.add_row("Raft* (no leases)", plain.write_latency["leader"]["p50"],
+                  plain.read_latency["followers"]["p50"])
+    save_figure("ablation_lease_wait", table.render())
+    # the trade: slower writes buy local reads
+    assert (pql.write_latency["leader"]["p50"]
+            > plain.write_latency["leader"]["p50"])
+    assert (pql.read_latency["followers"]["p50"]
+            < plain.read_latency["followers"]["p50"])
+
+
+def test_ablation_follower_forwarding_cost(benchmark, save_figure):
+    """The 2-WAN-trip follower write path (etcd forwarding): follower
+    latency ~= 2x leader latency under Raft."""
+
+    def run_one():
+        return _run("raft", read_fraction=0.0)
+
+    result = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    leader = result.write_latency["leader"]["p50"]
+    followers = result.write_latency["followers"]["p50"]
+    table = FigureTable(
+        figure="Ablation", title="follower forwarding = extra WAN trip",
+        columns=["path", "write p50 (ms)"],
+    )
+    table.add_row("client -> leader", leader)
+    table.add_row("client -> follower -> leader", followers)
+    save_figure("ablation_forwarding", table.render())
+    assert followers > 1.5 * leader
+
+
+def test_ablation_mencius_skip_cadence(benchmark, save_figure):
+    """M-0% latency is bounded by the farthest replica's skips: slowing the
+    skip cadence slows commutative-mode replies."""
+    from repro.sim.units import ms
+
+    def slow_mutator(cluster):
+        for replica in cluster.replicas.values():
+            replica.config.skip_interval = ms(150)
+
+    def run_pair():
+        fast = _run("mencius", read_fraction=0.0, conflict=0.0,
+                    mode="commutative")
+        slow = _run("mencius", read_fraction=0.0, conflict=0.0,
+                    mode="commutative", config_mutator=slow_mutator)
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    table = FigureTable(
+        figure="Ablation", title="Mencius skip cadence vs M-0% latency",
+        columns=["skip interval", "write p90 (leader region, ms)"],
+    )
+    table.add_row("20 ms (default)", fast.write_latency["leader"]["p90"])
+    table.add_row("150 ms", slow.write_latency["leader"]["p90"])
+    save_figure("ablation_skip_cadence", table.render())
+    assert (slow.write_latency["leader"]["p90"]
+            >= fast.write_latency["leader"]["p90"])
+
+
+@pytest.mark.slow
+def test_ablation_cpu_model_drives_mencius_gain(benchmark, save_figure):
+    """Mencius' peak-throughput win exists because the leader CPU is the
+    bottleneck: with only a handful of clients (no saturation) the win
+    disappears."""
+
+    def run_four():
+        low_m = _run("mencius", clients=4, read_fraction=0.0, conflict=0.0,
+                     mode="commutative", duration=4.0)
+        low_r = _run("raft", clients=4, read_fraction=0.0, duration=4.0)
+        high_m = _run("mencius", clients=60, read_fraction=0.0, conflict=0.0,
+                      mode="commutative", duration=5.0)
+        high_r = _run("raft", clients=60, read_fraction=0.0, duration=5.0)
+        return low_m, low_r, high_m, high_r
+
+    low_m, low_r, high_m, high_r = benchmark.pedantic(run_four, rounds=1,
+                                                      iterations=1)
+    table = FigureTable(
+        figure="Ablation", title="Mencius advantage appears at saturation",
+        columns=["load", "Mencius ops/s", "Raft ops/s", "ratio"],
+    )
+    low_ratio = low_m.throughput_ops / max(low_r.throughput_ops, 1)
+    high_ratio = high_m.throughput_ops / max(high_r.throughput_ops, 1)
+    table.add_row("4 clients/region", low_m.throughput_ops,
+                  low_r.throughput_ops, round(low_ratio, 2))
+    table.add_row("60 clients/region", high_m.throughput_ops,
+                  high_r.throughput_ops, round(high_ratio, 2))
+    save_figure("ablation_cpu_saturation", table.render())
+    assert high_ratio > low_ratio

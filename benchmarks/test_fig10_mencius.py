@@ -1,0 +1,57 @@
+"""Figure 10: Raft*-Mencius vs Raft (§5.2)."""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.bench import experiments as ex
+
+
+@pytest.mark.slow
+def test_fig10a_throughput_8b(benchmark, save_figure):
+    table = benchmark.pedantic(
+        ex.fig10a_throughput_8b, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1)
+    save_figure("fig10a_throughput_8b", table.render())
+    last = table.columns[-1]
+    # load balancing beats the single leader once the leader saturates
+    assert table.cell("Raft*-M-0%", last) > 1.2 * table.cell("Raft-Oregon", last)
+    # Raft and Raft* saturate together
+    raft = table.cell("Raft-Oregon", last)
+    assert abs(table.cell("Raft*-Oregon", last) - raft) / raft < 0.25
+
+
+@pytest.mark.slow
+def test_fig10b_throughput_4kb(benchmark, save_figure):
+    table = benchmark.pedantic(
+        ex.fig10b_throughput_4kb, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1)
+    save_figure("fig10b_throughput_4kb", table.render())
+    last = table.columns[-1]
+    # network-bound: Mencius uses every replica's NIC
+    assert table.cell("Raft*-M-0%", last) > 1.5 * table.cell("Raft-Oregon", last)
+
+
+def test_fig10c_latency_8b(benchmark, save_figure):
+    table = benchmark.pedantic(
+        ex.fig10c_latency_8b, kwargs={"scale": 1.0}, rounds=1, iterations=1)
+    save_figure("fig10c_latency_8b", table.render())
+    # Raft-Oregon's leader is the lowest-latency config of all
+    oregon = table.cell("Raft-Oregon", "leader p50")
+    for system in ("Raft*-M-100%", "Raft*-M-0%", "Raft-Seoul"):
+        assert table.cell(system, "leader p50") >= oregon
+    # M-100% waits for everyone's commit decisions; M-0% only for their
+    # append/skip messages
+    assert (table.cell("Raft*-M-100%", "leader p90")
+            > table.cell("Raft*-M-0%", "leader p90"))
+    # Seoul leaders are the worst single-leader placement
+    assert table.cell("Raft-Seoul", "followers p90") == max(
+        table.cell(s, "followers p90")
+        for s in ("Raft-Oregon", "Raft*-Oregon", "Raft-Seoul"))
+
+
+def test_fig10d_latency_4kb(benchmark, save_figure):
+    table = benchmark.pedantic(
+        ex.fig10d_latency_4kb, kwargs={"scale": 1.0}, rounds=1, iterations=1)
+    save_figure("fig10d_latency_4kb", table.render())
+    assert (table.cell("Raft*-M-100%", "leader p50")
+            > table.cell("Raft*-M-0%", "leader p50"))

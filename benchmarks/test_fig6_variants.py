@@ -1,0 +1,27 @@
+"""Figure 6: the Paxos-variant landscape, regenerated; the two case-study
+optimizations are re-classified mechanically as the 'measurement'."""
+
+from repro.core.optimization import diff_optimization
+from repro.specs import coorpaxos as cp, multipaxos as mp, pql, variants
+
+
+def test_fig6_variants(benchmark, save_figure):
+    def classify():
+        pql_cfg = pql.default_config()
+        mencius_cfg = cp.default_config()
+        return (
+            diff_optimization(mp.build(pql_cfg), pql.build(pql_cfg)),
+            diff_optimization(mp.build(mencius_cfg), cp.build(mencius_cfg)),
+        )
+
+    pql_diff, mencius_diff = benchmark.pedantic(classify, rounds=1, iterations=1)
+    assert pql_diff.non_mutating and mencius_diff.non_mutating
+    text = "\n".join([
+        variants.render(),
+        "",
+        "mechanical classification of the two case studies:",
+        f"  {pql_diff.summary()}",
+        f"  {mencius_diff.summary()}",
+    ])
+    save_figure("fig6_variants", text)
+    assert len(variants.port_candidates()) == 7

@@ -1,0 +1,58 @@
+"""Figure 9: Raft*-PQL vs LL vs Raft vs Raft* (§5.1)."""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.bench import experiments as ex
+
+
+def test_fig9a_read_latency(benchmark, save_figure):
+    scale = bench_scale()
+    reads, writes = benchmark.pedantic(
+        ex.fig9_latency, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_figure("fig9a_read_latency", reads.render())
+    save_figure("fig9b_write_latency", writes.render())
+
+    # Shape claims (paper §5.1): PQL reads local everywhere; LL local only
+    # at the leader; Raft/Raft* pay a WAN round trip everywhere.
+    assert reads.cell("Raft*-PQL", "followers p50") < 5.0
+    assert reads.cell("Raft*-PQL", "leader p50") < 5.0
+    assert reads.cell("Raft*-LL", "leader p50") < 5.0
+    assert reads.cell("Raft*-LL", "followers p50") > 20.0
+    assert reads.cell("Raft", "leader p50") > 50.0
+    assert abs(reads.cell("Raft", "followers p50")
+               - reads.cell("Raft*", "followers p50")) < 40.0
+
+    # Figure 9b: PQL writes wait for lease holders.
+    assert (writes.cell("Raft*-PQL", "leader p50")
+            > writes.cell("Raft", "leader p50"))
+
+
+@pytest.mark.slow
+def test_fig9c_peak_throughput(benchmark, save_figure):
+    scale = bench_scale()
+    table = benchmark.pedantic(
+        ex.fig9c_peak_throughput, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_figure("fig9c_peak_throughput", table.render())
+
+    # Raft / Raft* / LL roughly alike (leader CPU bound); PQL wins at high
+    # read percentages and the advantage grows from 90% to 99%.
+    raft_90 = table.cell("Raft", "90% reads")
+    assert abs(table.cell("Raft*", "90% reads") - raft_90) / raft_90 < 0.3
+    assert table.cell("Raft*-PQL", "90% reads") > 1.4 * raft_90
+    speedup_90 = table.cell("Raft*-PQL", "90% reads") / raft_90
+    speedup_99 = (table.cell("Raft*-PQL", "99% reads")
+                  / table.cell("Raft", "99% reads"))
+    assert speedup_99 > speedup_90
+
+
+@pytest.mark.slow
+def test_fig9d_speedup_vs_conflict(benchmark, save_figure):
+    scale = bench_scale()
+    table = benchmark.pedantic(
+        ex.fig9d_speedup,
+        kwargs={"scale": scale, "conflict_rates": (0.0, 0.1, 0.3, 0.5)},
+        rounds=1, iterations=1)
+    save_figure("fig9d_speedup", table.render())
+    # speedup decreases as the conflict rate rises
+    assert table.cell("0%", "speedup") > table.cell("50%", "speedup")

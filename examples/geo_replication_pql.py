@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Paxos Quorum Leases across five regions (the Figure 9 scenario).
+
+Runs the same geo-replicated workload against Raft (reads pay a WAN round
+trip), Leader-Lease Raft* (only the leader reads locally) and Raft*-PQL
+(everyone reads locally under quorum leases), then prints the paper-style
+latency comparison.
+
+Run:  python examples/geo_replication_pql.py
+"""
+
+from repro.bench.harness import ExperimentSpec, run_experiment
+from repro.bench.report import FigureTable
+from repro.workload.ycsb import WorkloadConfig
+
+SYSTEMS = (
+    ("Raft", "raft"),
+    ("Raft*-LL", "leaderlease"),
+    ("Raft*-PQL", "raftstar-pql"),
+)
+
+
+def main():
+    table = FigureTable(
+        figure="PQL demo",
+        title="read/write p50 latency (ms) per system, 90% reads, 5% conflict",
+        columns=["system", "read@leader", "read@followers",
+                 "write@leader", "local reads"],
+    )
+    for label, protocol in SYSTEMS:
+        result = run_experiment(ExperimentSpec(
+            protocol=protocol,
+            clients_per_region=6,
+            duration_s=6.0,
+            warmup_s=1.5,
+            cooldown_s=0.5,
+            workload=WorkloadConfig(read_fraction=0.9, conflict_rate=0.05),
+            check_history=True,
+            seed=11,
+        ))
+        assert result.violations == [], result.violations
+        table.add_row(
+            label,
+            result.read_latency["leader"]["p50"],
+            result.read_latency["followers"]["p50"],
+            result.write_latency["leader"]["p50"],
+            f"{result.local_read_fraction:.0%}",
+        )
+    print(table.render())
+    print()
+    print("What to see (paper §5.1):")
+    print(" * Raft reads pay a WAN round trip everywhere (~64 / ~128 ms);")
+    print(" * LL reads are ~1 ms at the leader only;")
+    print(" * PQL reads are ~1 ms at every region — the quorum lease at work —")
+    print("   while its writes get a little slower (they wait for all lease")
+    print("   holders before committing).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro: reproduction of "On the Parallels between Paxos and Raft, and how
+to Port Optimizations" (PODC 2019).
+
+Two halves:
+
+* `repro.core` + `repro.specs` — the paper's formal contribution: executable
+  TLA+-style specifications, a bounded model checker, refinement-mapping
+  checking, and the automatic porting algorithm for non-mutating
+  optimizations.
+* `repro.sim` + `repro.protocols` + `repro.bench` — the evaluation half:
+  a discrete-event WAN simulator, runnable MultiPaxos / Raft / Raft* /
+  PQL / Leader-Lease / Mencius implementations, and a harness regenerating
+  every figure of §5.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Benchmark harness: one entry point per paper figure."""
+
+from repro.bench.harness import Cluster, ExperimentResult, ExperimentSpec, run_experiment
+
+__all__ = ["Cluster", "ExperimentResult", "ExperimentSpec", "run_experiment"]

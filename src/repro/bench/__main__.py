@@ -1,0 +1,51 @@
+"""Regenerate the paper's figures from the command line.
+
+    python -m repro.bench                 # every figure, default scale
+    python -m repro.bench --scale 1.0     # EXPERIMENTS.md numbers
+    python -m repro.bench fig9c fig10a    # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments as ex
+from repro.bench.report import render_all
+from repro.specs import mapping, variants
+
+FIGURES = {
+    "fig3": lambda scale, seed: mapping.render(),
+    "fig6": lambda scale, seed: variants.render(),
+    "fig9ab": lambda scale, seed: render_all(ex.fig9_latency(scale, seed)),
+    "fig9c": lambda scale, seed: ex.fig9c_peak_throughput(scale, seed).render(),
+    "fig9d": lambda scale, seed: ex.fig9d_speedup(scale, seed).render(),
+    "fig10a": lambda scale, seed: ex.fig10a_throughput_8b(scale, seed).render(),
+    "fig10b": lambda scale, seed: ex.fig10b_throughput_4kb(scale, seed).render(),
+    "fig10c": lambda scale, seed: ex.fig10c_latency_8b(scale, seed).render(),
+    "fig10d": lambda scale, seed: ex.fig10d_latency_4kb(scale, seed).render(),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.")
+    parser.add_argument("figures", nargs="*", choices=[[], *FIGURES][1:] or None,
+                        default=list(FIGURES),
+                        help="which figures to run (default: all)")
+    parser.add_argument("--scale", type=float, default=0.6,
+                        help="client/duration scale (1.0 = EXPERIMENTS.md)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    for name in args.figures:
+        start = time.time()
+        print(FIGURES[name](args.scale, args.seed))
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

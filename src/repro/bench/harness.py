@@ -1,0 +1,152 @@
+"""Experiment harness.
+
+`run_experiment(spec)` builds a simulated deployment (replica per region,
+closed-loop clients per region), runs it for the configured duration, and
+returns throughput/latency aggregates over the steady-state window — the
+methodology of §5 ("each trial is run for 50 seconds with 10 seconds for
+both warm-up and cool-down"), scaled down by default so a full figure sweeps
+in seconds of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.kvstore.checker import HistoryChecker
+from repro.metrics.recorder import MetricsRecorder
+from repro.protocols.config import ClusterConfig, geo_cluster
+from repro.protocols.leaderlease import LeaderLeaseReplica
+from repro.protocols.mencius import (
+    CoordinatedPaxosReplica,
+    MenciusReplica,
+    RaftStarMenciusReplica,
+)
+from repro.protocols.multipaxos import MultiPaxosReplica
+from repro.protocols.paxos_pql import PaxosPQLReplica
+from repro.protocols.pql import RaftStarPQLReplica
+from repro.protocols.raft import RaftReplica
+from repro.protocols.raftstar import RaftStarReplica
+from repro.protocols.types import OpType
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SplitRng
+from repro.sim.topology import Topology, ec2_five_regions
+from repro.sim.units import sec, to_sec
+from repro.workload.clients import spawn_clients
+from repro.workload.ycsb import WorkloadConfig
+
+PROTOCOLS: Dict[str, type] = {
+    "raft": RaftReplica,
+    "raftstar": RaftStarReplica,
+    "raftstar-pql": RaftStarPQLReplica,
+    "leaderlease": LeaderLeaseReplica,
+    "multipaxos": MultiPaxosReplica,
+    "paxos-pql": PaxosPQLReplica,
+    "mencius": RaftStarMenciusReplica,
+    "coorpaxos": CoordinatedPaxosReplica,
+}
+
+MENCIUS_PROTOCOLS = {"mencius", "coorpaxos"}
+LEADERLESS = MENCIUS_PROTOCOLS
+
+
+@dataclass
+class ExperimentSpec:
+    """One trial's parameters."""
+
+    protocol: str = "raft"
+    leader_site: str = "oregon"
+    clients_per_region: int = 10
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    duration_s: float = 8.0
+    warmup_s: float = 2.0
+    cooldown_s: float = 1.0
+    seed: int = 1
+    topology: Optional[Topology] = None
+    execution_mode: Optional[str] = None  # Mencius: "ordered"/"commutative"
+    check_history: bool = False
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        return replace(self, **changes)
+
+
+@dataclass
+class ExperimentResult:
+    spec: ExperimentSpec
+    throughput_ops: float
+    read_latency: Dict[str, Dict[str, float]]
+    write_latency: Dict[str, Dict[str, float]]
+    local_read_fraction: float
+    completed: int
+    violations: List[str]
+    events_processed: int
+
+    def latency_ms(self, group: str, op: str, pct: str = "p90") -> float:
+        table = self.read_latency if op == "read" else self.write_latency
+        return table[group][pct]
+
+
+class Cluster:
+    """A built deployment: simulator, network, replicas, clients."""
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+        self.topology = spec.topology or ec2_five_regions()
+        self.rng = SplitRng(spec.seed)
+        self.sim = Simulator()
+        net_config = NetworkConfig()  # FIFO links (TCP) for every protocol
+        self.network = Network(self.sim, self.topology, rng=self.rng, config=net_config)
+        self.metrics = MetricsRecorder()
+        self.checker = HistoryChecker() if spec.check_history else None
+
+        replica_cls = PROTOCOLS[spec.protocol]
+        leader = None if spec.protocol in LEADERLESS else f"r_{spec.leader_site}"
+        self.config = geo_cluster(self.topology.sites, initial_leader=leader)
+        kwargs = {}
+        if spec.protocol in MENCIUS_PROTOCOLS and spec.execution_mode is not None:
+            kwargs["execution_mode"] = spec.execution_mode
+        self.replicas = {
+            name: replica_cls(name, self.sim, self.network, self.config, **kwargs)
+            for name in self.config.names
+        }
+        if self.checker is not None:
+            for replica in self.replicas.values():
+                replica.on_apply_hooks.append(self.checker.record_apply)
+
+        server_of_site = {site: f"r_{site}" for site in self.topology.sites}
+        stop_at = sec(spec.duration_s)
+        self.clients = spawn_clients(
+            self.sim, self.network, self.topology.sites, server_of_site,
+            spec.clients_per_region, spec.workload, self.rng, self.metrics,
+            stop_at=stop_at,
+        )
+
+    @property
+    def leader_replica(self):
+        return self.replicas[f"r_{self.spec.leader_site}"]
+
+    def run(self) -> ExperimentResult:
+        spec = self.spec
+        self.sim.run(until=sec(spec.duration_s))
+        window_start = sec(spec.warmup_s)
+        window_end = sec(spec.duration_s - spec.cooldown_s)
+        violations: List[str] = []
+        if self.checker is not None:
+            violations = self.checker.check_prefix_agreement()
+        return ExperimentResult(
+            spec=spec,
+            throughput_ops=self.metrics.throughput_ops(window_start, window_end),
+            read_latency=self.metrics.split_by_site(
+                window_start, window_end, spec.leader_site, op=OpType.GET),
+            write_latency=self.metrics.split_by_site(
+                window_start, window_end, spec.leader_site, op=OpType.PUT),
+            local_read_fraction=self.metrics.local_read_fraction(window_start, window_end),
+            completed=len(self.metrics.window(window_start, window_end)),
+            violations=violations,
+            events_processed=self.sim.events_processed,
+        )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    return Cluster(spec).run()

@@ -1,0 +1,57 @@
+"""Paper-style table rendering for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class FigureTable:
+    """One regenerated figure: a title, column headers, and rows."""
+
+    figure: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.figure}: row has {len(values)} cells, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def cell(self, row_key: Any, column: str) -> Any:
+        col = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[col]
+        raise KeyError(row_key)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(col)), *(len(_fmt(row[i])) for row in self.rows))
+            if self.rows else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"{self.figure}: {self.title}", "=" * (sum(widths) + 2 * len(widths))]
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("-" * (sum(widths) + 2 * len(widths)))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_all(tables: Sequence[FigureTable]) -> str:
+    return "\n\n".join(table.render() for table in tables)

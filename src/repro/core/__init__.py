@@ -1,0 +1,48 @@
+"""The paper's core contribution, executable.
+
+This package is a small TLA+-workalike embedded in Python:
+
+* `state` — immutable, hashable protocol states (`State`, `FMap`);
+* `action` — subactions as explicit conjunctions of guard clauses and update
+  clauses (§4.1's "formula in conjunctive form"), kept structured so the
+  porting algorithm can rewrite them;
+* `machine` — `SpecMachine`: Init ∧ □[Next], Next = ∃ params: a1 ∨ a2 ∨ …;
+* `explorer` — bounded explicit-state model checking (a mini TLC);
+* `refinement` — refinement mappings and mechanical checking that every
+  low-level transition implies a high-level action or a stutter (§2.2),
+  with bounded multi-step matching for the paper's "one Raft* function may
+  imply multiple functions in Paxos";
+* `optimization` — diffing A against A∆ into added/unchanged/modified
+  subactions and deciding *non-mutating* (§4.2);
+* `porting` — the automatic porting algorithm of §4.3 (Case-1/2/3),
+  producing an executable B∆.
+"""
+
+from repro.core.state import FMap, State
+from repro.core.action import Action, Clause, guard, update
+from repro.core.machine import SpecMachine
+from repro.core.explorer import ExplorationResult, Explorer, InvariantViolation
+from repro.core.refinement import RefinementMapping, RefinementResult, check_refinement
+from repro.core.optimization import OptimizationDiff, diff_optimization
+from repro.core.porting import PortingError, PortSpec, port_optimization
+
+__all__ = [
+    "Action",
+    "Clause",
+    "ExplorationResult",
+    "Explorer",
+    "FMap",
+    "InvariantViolation",
+    "OptimizationDiff",
+    "PortSpec",
+    "PortingError",
+    "RefinementMapping",
+    "RefinementResult",
+    "SpecMachine",
+    "State",
+    "check_refinement",
+    "diff_optimization",
+    "guard",
+    "port_optimization",
+    "update",
+]

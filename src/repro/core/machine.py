@@ -1,0 +1,96 @@
+"""State machines: Init ∧ □[Next]_vars.
+
+A `SpecMachine` is the executable analogue of a TLA+ module: variables,
+constants, a set of initial states and a disjunction of parameterized
+actions.  The explorer and the refinement checker both consume this
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.action import Action
+from repro.core.state import State
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One step: state --action(params)--> next_state."""
+
+    state: State
+    action: str
+    params: Tuple[Tuple[str, Any], ...]
+    next_state: State
+
+    def describe(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.action}({params})"
+
+
+@dataclass
+class SpecMachine:
+    """An executable specification."""
+
+    name: str
+    variables: Tuple[str, ...]
+    constants: Dict[str, Any]
+    init: Callable[[Mapping], Iterable[State]]
+    actions: List[Action] = field(default_factory=list)
+
+    def initial_states(self) -> List[State]:
+        states = list(self.init(self.constants))
+        for state in states:
+            self._check_vars(state)
+        return states
+
+    def _check_vars(self, state: State) -> None:
+        if tuple(sorted(state)) != tuple(sorted(self.variables)):
+            missing = set(self.variables) - set(state)
+            extra = set(state) - set(self.variables)
+            raise ValueError(
+                f"{self.name}: state variables mismatch "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+
+    def action(self, name: str) -> Action:
+        for action in self.actions:
+            if action.name == name:
+                return action
+        raise KeyError(f"{self.name} has no action named {name!r}")
+
+    def transitions_from(self, state: State) -> Iterator[Transition]:
+        """All enabled (action, binding) successors of `state`.
+
+        Self-loops (next == state) are suppressed: they are stuttering steps
+        and carry no information for reachability or refinement.
+        """
+        for action in self.actions:
+            for binding in action.bindings(self.constants, state):
+                if not action.enabled(state, binding):
+                    continue
+                next_state = action.apply(state, binding)
+                if next_state == state:
+                    continue
+                yield Transition(
+                    state=state,
+                    action=action.name,
+                    params=tuple(sorted(binding.items())),
+                    next_state=next_state,
+                )
+
+    def successors(self, state: State) -> List[State]:
+        return [t.next_state for t in self.transitions_from(state)]
+
+    def replaced(self, **changes) -> "SpecMachine":
+        """A shallow-modified copy (used when deriving optimized specs)."""
+        fields = {
+            "name": self.name,
+            "variables": self.variables,
+            "constants": dict(self.constants),
+            "init": self.init,
+            "actions": list(self.actions),
+        }
+        fields.update(changes)
+        return SpecMachine(**fields)

@@ -1,0 +1,176 @@
+"""Refinement mappings and their mechanical checking.
+
+`B ⇒ A` (B refines A) under a state mapping f when every reachable
+transition of B maps to a valid A step — or to no step at all (a stuttering
+step, f(s') = f(s)).  §2.2 of the paper; the classic definition from Abadi &
+Lamport.
+
+One practical extension, needed for the paper's own mapping (§3, "a Raft*'s
+function may imply multiple functions in Paxos"): a single B step may map to
+a bounded *sequence* of A steps.  `check_refinement(..., max_high_steps=k)`
+accepts a B transition when f(s') is reachable from f(s) in at most k A
+steps.  k=1 is strict refinement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.explorer import Explorer
+from repro.core.machine import SpecMachine, Transition
+from repro.core.state import State
+
+
+@dataclass
+class RefinementMapping:
+    """f : states(low) -> states(high), plus documentation metadata.
+
+    `action_map` is optional documentation (low action name -> high action
+    names it is expected to imply); the checker verifies the semantic
+    condition regardless, and reports when an observed correspondence
+    deviates from the documented one.
+    """
+
+    name: str
+    state_map: Callable[[State], State]
+    action_map: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def __call__(self, state: State) -> State:
+        return self.state_map(state)
+
+
+@dataclass
+class RefinementFailure:
+    transition: Transition
+    mapped_from: State
+    mapped_to: State
+    reason: str
+    trace: List[Transition] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"low step {self.transition.describe()} has no high counterpart: "
+            f"{self.reason}\n  f(s)  = {self.mapped_from}\n  f(s') = {self.mapped_to}"
+        )
+
+
+@dataclass
+class RefinementResult:
+    low: str
+    high: str
+    mapping: str
+    states_checked: int
+    transitions_checked: int
+    stutters: int
+    complete: bool
+    failures: List[RefinementFailure] = field(default_factory=list)
+    init_failures: List[State] = field(default_factory=list)
+    observed_correspondence: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.init_failures
+
+    def summary(self) -> str:
+        status = "HOLDS" if self.ok else "FAILS"
+        scope = "complete" if self.complete else "bounded"
+        return (
+            f"refinement {self.low} => {self.high} [{self.mapping}]: {status} "
+            f"({scope}; {self.states_checked} states, "
+            f"{self.transitions_checked} transitions, {self.stutters} stutters)"
+        )
+
+
+def check_refinement(
+    low: SpecMachine,
+    high: SpecMachine,
+    mapping: RefinementMapping,
+    max_states: int = 50_000,
+    max_high_steps: int = 1,
+    max_failures: int = 3,
+) -> RefinementResult:
+    """Explore `low` and check every transition against `high` under f."""
+    result = RefinementResult(
+        low=low.name, high=high.name, mapping=mapping.name,
+        states_checked=0, transitions_checked=0, stutters=0, complete=False,
+    )
+
+    # Init condition: every mapped low-initial state must be a high-initial
+    # state (§4.3's InitB => InitA obligation).
+    high_inits = set(high.initial_states())
+    for state in low.initial_states():
+        if mapping(state) not in high_inits:
+            result.init_failures.append(state)
+            if len(result.init_failures) >= max_failures:
+                return result
+
+    explorer = Explorer(low, max_states=max_states)
+    exploration = explorer.run()
+    result.complete = exploration.complete
+
+    # Memoized bounded reachability query in the high machine.
+    step_cache: Dict[Tuple[State, State], bool] = {}
+
+    def high_reaches(src: State, dst: State) -> bool:
+        key = (src, dst)
+        if key in step_cache:
+            return step_cache[key]
+        seen = {src}
+        frontier = deque([(src, 0)])
+        found = False
+        while frontier:
+            cursor, hops = frontier.popleft()
+            if hops >= max_high_steps:
+                continue
+            for nxt in high.successors(cursor):
+                if nxt == dst:
+                    found = True
+                    frontier.clear()
+                    break
+                if nxt not in seen and hops + 1 < max_high_steps:
+                    seen.add(nxt)
+                    frontier.append((nxt, hops + 1))
+        step_cache[key] = found
+        return found
+
+    for state in explorer.reachable_states():
+        result.states_checked += 1
+        mapped = mapping(state)
+        for transition in low.transitions_from(state):
+            result.transitions_checked += 1
+            mapped_next = mapping(transition.next_state)
+            if mapped_next == mapped:
+                result.stutters += 1
+                result.observed_correspondence.setdefault(
+                    transition.action, set()).add("(stutter)")
+                continue
+            if high_reaches(mapped, mapped_next):
+                names = mapping.action_map.get(transition.action)
+                result.observed_correspondence.setdefault(
+                    transition.action, set()).update(names or ("(step)",))
+                continue
+            result.failures.append(RefinementFailure(
+                transition=transition,
+                mapped_from=mapped,
+                mapped_to=mapped_next,
+                reason=f"f(s') not reachable from f(s) in <= {max_high_steps} "
+                       f"high step(s)",
+                trace=explorer.trace_to(state),
+            ))
+            if len(result.failures) >= max_failures:
+                return result
+    return result
+
+
+def projection_mapping(name: str, variables) -> RefinementMapping:
+    """The identity-on-shared-variables mapping that simply drops auxiliary
+    state — the mapping under which every non-mutating optimization refines
+    its base protocol (§4.2)."""
+    variables = tuple(variables)
+
+    def state_map(state: State) -> State:
+        return state.restrict(variables)
+
+    return RefinementMapping(name=name, state_map=state_map)

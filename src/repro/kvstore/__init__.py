@@ -1,0 +1,6 @@
+"""Replicated key-value state machine and safety checkers."""
+
+from repro.kvstore.store import KVStore
+from repro.kvstore.checker import HistoryChecker, HistoryEvent
+
+__all__ = ["HistoryChecker", "HistoryEvent", "KVStore"]

@@ -1,0 +1,149 @@
+"""History recording and safety checks.
+
+The checker consumes per-replica apply streams and per-client operation
+histories and verifies the invariants the protocols promise:
+
+* **committed-prefix agreement** — any two replicas' applied sequences agree
+  on the common prefix (State Machine Safety);
+* **monotonic reads per client** — a client never observes a key going back
+  in version;
+* **lease-read freshness** — a local (lease) read returns a value at least as
+  new as every write committed before the read started (the PQL guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.protocols.types import Command, OpType
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One completed client operation."""
+
+    client: str
+    seq: int
+    op: OpType
+    key: str
+    value: Optional[str]
+    start: int
+    end: int
+    server: str
+    local_read: bool = False
+
+
+class HistoryChecker:
+    """Accumulates applies + client events, then checks invariants."""
+
+    def __init__(self) -> None:
+        self.applied: Dict[str, List[Tuple[int, Command]]] = {}
+        self.events: List[HistoryEvent] = []
+        self._write_commit_times: Dict[Tuple[str, str], int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_apply(self, replica: str, index: int, command: Command) -> None:
+        self.applied.setdefault(replica, []).append((index, command))
+
+    def record_event(self, event: HistoryEvent) -> None:
+        self.events.append(event)
+        if event.op is OpType.PUT:
+            self._write_commit_times[(event.key, event.value or "")] = event.end
+
+    # -- checks ---------------------------------------------------------------
+
+    def check_prefix_agreement(self) -> List[str]:
+        """Return violation descriptions (empty list == safe)."""
+        violations = []
+        replicas = list(self.applied)
+        for i, a in enumerate(replicas):
+            for b in replicas[i + 1:]:
+                seq_a = dict(self.applied[a])
+                seq_b = dict(self.applied[b])
+                for index in set(seq_a) & set(seq_b):
+                    ca, cb = seq_a[index], seq_b[index]
+                    if (ca.client_id, ca.seq, ca.op, ca.key, ca.value) != (
+                        cb.client_id,
+                        cb.seq,
+                        cb.op,
+                        cb.key,
+                        cb.value,
+                    ):
+                        violations.append(
+                            f"replicas {a} and {b} disagree at index {index}: "
+                            f"{ca} vs {cb}"
+                        )
+        return violations
+
+    def check_monotonic_reads(self) -> List[str]:
+        """Per client per key, observed written values never regress to an
+        older version, assuming distinct values per write (the workload
+        generator guarantees unique values)."""
+        violations = []
+        write_order: Dict[str, Dict[str, int]] = {}
+        for replica_applies in self.applied.values():
+            for index, command in sorted(replica_applies):
+                if command.op is OpType.PUT:
+                    order = write_order.setdefault(command.key, {})
+                    value = command.value or ""
+                    if value not in order:
+                        order[value] = len(order)
+            break  # one replica's order suffices given prefix agreement
+
+        seen: Dict[Tuple[str, str], int] = {}
+        for event in sorted(self.events, key=lambda e: (e.client, e.end)):
+            if event.op is not OpType.GET or event.value is None:
+                continue
+            order = write_order.get(event.key, {})
+            if event.value not in order:
+                continue
+            rank = order[event.value]
+            key = (event.client, event.key)
+            if key in seen and rank < seen[key]:
+                violations.append(
+                    f"client {event.client} read {event.key} going backwards: "
+                    f"rank {rank} after {seen[key]}"
+                )
+            seen[key] = max(seen.get(key, -1), rank)
+        return violations
+
+    def check_lease_read_freshness(self) -> List[str]:
+        """A local read starting after a write completed must not return a
+        value older than that write (per key, unique values assumed)."""
+        violations = []
+        completed_writes: List[HistoryEvent] = [
+            event for event in self.events if event.op is OpType.PUT
+        ]
+        # Build, per key, the value order from one replica's applies.
+        write_rank: Dict[str, Dict[str, int]] = {}
+        for replica_applies in self.applied.values():
+            for index, command in sorted(replica_applies):
+                if command.op is OpType.PUT:
+                    rank = write_rank.setdefault(command.key, {})
+                    rank.setdefault(command.value or "", len(rank))
+            break
+        for read in self.events:
+            if read.op is not OpType.GET or not read.local_read:
+                continue
+            ranks = write_rank.get(read.key, {})
+            read_rank = ranks.get(read.value or "", -1)
+            for write in completed_writes:
+                if write.key != read.key or write.end > read.start:
+                    continue
+                write_rank_value = ranks.get(write.value or "")
+                if write_rank_value is not None and read_rank < write_rank_value:
+                    violations.append(
+                        f"stale lease read by {read.client}: key={read.key} "
+                        f"returned rank {read_rank} but write rank "
+                        f"{write_rank_value} completed before the read began"
+                    )
+        return violations
+
+    def check_all(self) -> List[str]:
+        return (
+            self.check_prefix_agreement()
+            + self.check_monotonic_reads()
+            + self.check_lease_read_freshness()
+        )

@@ -1,0 +1,68 @@
+"""The replicated application: a key-value store.
+
+Exactly the paper's workload target: `Put(k, v)` / `Get(k)` over ~100 K
+records.  Commands are applied exactly once per (client, seq) pair so that
+retries and replays during leader changes stay idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.protocols.types import Command, OpType
+
+
+@dataclass
+class ApplyResult:
+    ok: bool
+    value: Optional[str] = None
+
+
+class KVStore:
+    """Deterministic state machine with at-most-once apply semantics."""
+
+    def __init__(self) -> None:
+        self._table: Dict[str, str] = {}
+        self._versions: Dict[str, int] = {}
+        self._last_seq: Dict[str, int] = {}
+        self._last_result: Dict[str, ApplyResult] = {}
+        self.applied_count = 0
+
+    def apply(self, command: Command) -> ApplyResult:
+        """Apply a committed command; duplicate (client, seq) pairs return
+        the original result without re-executing."""
+        if command.op is OpType.NOP:
+            return ApplyResult(ok=True)
+        client = command.client_id
+        if client and command.seq <= self._last_seq.get(client, -1):
+            return self._last_result.get(client, ApplyResult(ok=True))
+
+        if command.op is OpType.PUT:
+            self._table[command.key] = command.value if command.value is not None else ""
+            self._versions[command.key] = self._versions.get(command.key, 0) + 1
+            result = ApplyResult(ok=True)
+        elif command.op is OpType.GET:
+            result = ApplyResult(ok=True, value=self._table.get(command.key))
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown op {command.op}")
+
+        self.applied_count += 1
+        if client:
+            self._last_seq[client] = command.seq
+            self._last_result[client] = result
+        return result
+
+    def read_local(self, key: str) -> Optional[str]:
+        """Local (lease-protected) read path; does not go through the log."""
+        return self._table.get(key)
+
+    def version(self, key: str) -> int:
+        """Number of writes applied to `key` (used by safety checkers)."""
+        return self._versions.get(key, 0)
+
+    def snapshot(self) -> Dict[str, str]:
+        return dict(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)

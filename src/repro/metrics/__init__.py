@@ -1,0 +1,6 @@
+"""Latency/throughput measurement."""
+
+from repro.metrics.stats import percentile, summarize
+from repro.metrics.recorder import MetricsRecorder, RequestRecord
+
+__all__ = ["MetricsRecorder", "RequestRecord", "percentile", "summarize"]

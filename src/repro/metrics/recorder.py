@@ -1,0 +1,91 @@
+"""Per-request records and windowed aggregation.
+
+The paper's methodology: each trial runs for a fixed duration with warm-up
+and cool-down trimmed; latencies are reported as 50th/90th/99th percentiles
+split by whether the client talked to the leader's region or a follower's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.metrics.stats import summarize
+from repro.protocols.types import OpType
+from repro.sim.units import to_ms, to_sec
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    client: str
+    site: str
+    server: str
+    op: OpType
+    start: int
+    end: int
+    ok: bool
+    local_read: bool = False
+
+    @property
+    def latency_us(self) -> int:
+        return self.end - self.start
+
+    @property
+    def latency_ms(self) -> float:
+        return to_ms(self.latency_us)
+
+
+class MetricsRecorder:
+    """Collects completed requests and answers windowed queries."""
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+        self.failures = 0
+
+    def add(self, record: RequestRecord) -> None:
+        if record.ok:
+            self.records.append(record)
+        else:
+            self.failures += 1
+
+    def window(self, start_us: int, end_us: int) -> List[RequestRecord]:
+        return [r for r in self.records if r.start >= start_us and r.end <= end_us]
+
+    def throughput_ops(self, start_us: int, end_us: int,
+                       predicate: Optional[Callable[[RequestRecord], bool]] = None) -> float:
+        """Completed ops per second within the steady window."""
+        span = to_sec(end_us - start_us)
+        if span <= 0:
+            return 0.0
+        selected = self.window(start_us, end_us)
+        if predicate is not None:
+            selected = [r for r in selected if predicate(r)]
+        return len(selected) / span
+
+    def latency_summary_ms(self, start_us: int, end_us: int,
+                           predicate: Optional[Callable[[RequestRecord], bool]] = None,
+                           ) -> Dict[str, float]:
+        selected = self.window(start_us, end_us)
+        if predicate is not None:
+            selected = [r for r in selected if predicate(r)]
+        return summarize([r.latency_ms for r in selected])
+
+    def split_by_site(self, start_us: int, end_us: int, leader_site: str,
+                      op: Optional[OpType] = None) -> Dict[str, Dict[str, float]]:
+        """The paper's Leader/Followers split for latency figures."""
+
+        def match(record: RequestRecord, want_leader: bool) -> bool:
+            if op is not None and record.op is not op:
+                return False
+            return (record.site == leader_site) == want_leader
+
+        return {
+            "leader": self.latency_summary_ms(start_us, end_us, lambda r: match(r, True)),
+            "followers": self.latency_summary_ms(start_us, end_us, lambda r: match(r, False)),
+        }
+
+    def local_read_fraction(self, start_us: int, end_us: int) -> float:
+        reads = [r for r in self.window(start_us, end_us) if r.op is OpType.GET]
+        if not reads:
+            return 0.0
+        return sum(1 for r in reads if r.local_read) / len(reads)

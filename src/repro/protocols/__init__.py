@@ -1,0 +1,25 @@
+"""Runnable consensus protocols on the simulator.
+
+The protocol zoo mirrors the paper's evaluation:
+
+- `multipaxos`   — MultiPaxos (Figure 1).
+- `raft`         — Raft (Figure 2 black text; erases follower extras).
+- `raftstar`     — Raft* (Figure 2 incl. blue text; never erases, rewrites
+                   per-entry ballots, merges safe values on election).
+- `pql`          — Raft*-PQL (ported Paxos Quorum Lease).
+- `paxos_pql`    — PQL on MultiPaxos (the optimization's original home).
+- `leaderlease`  — Raft* + Leader Lease (the LL baseline of §5.1).
+- `mencius`      — Raft*-Mencius / Coordinated Raft* and Coordinated Paxos
+                   (round-robin instance ownership + skips).
+"""
+
+from repro.protocols.config import ClusterConfig
+from repro.protocols.types import Ballot, Command, Entry, OpType
+
+__all__ = [
+    "Ballot",
+    "ClusterConfig",
+    "Command",
+    "Entry",
+    "OpType",
+]

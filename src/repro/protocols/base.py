@@ -1,0 +1,175 @@
+"""Common replica machinery.
+
+`ReplicaBase` implements everything the protocols share so each protocol
+module only contains consensus logic:
+
+* handler dispatch (message type -> bound method);
+* client sessions: requests received directly from clients, and requests
+  forwarded from a follower to the leader (etcd-style batched forwarding)
+  with replies routed back along the same path;
+* the apply pipeline into the replicated `KVStore` with exactly-once apply
+  and reply completion;
+* hooks for tests/metrics (`on_apply_hooks`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.kvstore.store import KVStore
+from repro.protocols.config import ClusterConfig
+from repro.protocols.messages import (
+    ClientReply,
+    ClientRequest,
+    ForwardBatch,
+    ReplyRelay,
+)
+from repro.protocols.types import Command, Entry
+from repro.sim.node import Node
+
+RequestId = Tuple[str, int]
+
+
+class ReplicaBase(Node):
+    """Base class for consensus replicas."""
+
+    def __init__(self, name, sim, network, config: ClusterConfig, trace=None) -> None:
+        super().__init__(
+            name,
+            sim,
+            network,
+            site=config.site_of(name),
+            costs=config.costs,
+            trace=trace,
+        )
+        self.config = config
+        self.peers = config.peers_of(name)
+        self.store = KVStore()
+
+        # client sessions
+        self._clients: Dict[RequestId, str] = {}
+        self._relays: Dict[RequestId, str] = {}
+        self._forward_buffer: List[Command] = []
+        self._forward_timer = self.timer("forward-flush")
+
+        # apply pipeline
+        self.last_applied = -1
+        self.on_apply_hooks: List[Callable[[str, int, Command], None]] = []
+
+        self._handlers: Dict[type, Callable[[str, Any], None]] = {}
+        self.register_handler(ClientRequest, self._on_client_request)
+        self.register_handler(ForwardBatch, self._on_forward_batch)
+        self.register_handler(ReplyRelay, self._on_reply_relay)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def register_handler(self, message_type: type, handler: Callable[[str, Any], None]) -> None:
+        self._handlers[message_type] = handler
+
+    def on_message(self, src: str, message: Any) -> None:
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            self.trace.record(self.sim.now, self.name, "unhandled", msg=type(message).__name__)
+            return
+        handler(src, message)
+
+    # -- client sessions -------------------------------------------------------
+
+    def _on_client_request(self, src: str, message: ClientRequest) -> None:
+        command = message.command
+        self._clients[command.request_id] = src
+        self.submit_command(command)
+
+    def submit_command(self, command: Command) -> None:
+        """Protocol-specific: propose/forward/serve the command."""
+        raise NotImplementedError
+
+    def leader_hint(self) -> Optional[str]:
+        """Best current guess of the leader's name (None if unknown)."""
+        raise NotImplementedError
+
+    def complete(self, command: Command, ok: bool, value: Optional[str], local_read: bool = False) -> None:
+        """Route the result back to whoever is waiting for this command."""
+        request_id = command.request_id
+        reply = ClientReply(
+            request_id=request_id,
+            ok=ok,
+            value=value,
+            server=self.name,
+            value_size=command.value_size if command.is_read else 8,
+            local_read=local_read,
+        )
+        client = self._clients.pop(request_id, None)
+        if client is not None:
+            self.send(client, reply)
+            return
+        relay = self._relays.pop(request_id, None)
+        if relay is not None:
+            self.send(relay, ReplyRelay(replies=[reply]))
+
+    # -- forwarding (etcd-style batching) ----------------------------------------
+
+    def forward_to_leader(self, command: Command) -> None:
+        """Queue a command for batched forwarding to the current leader."""
+        leader = self.leader_hint()
+        if leader is None or leader == self.name:
+            # No leader known: drop; closed-loop clients retry via timeout.
+            self.complete(command, ok=False, value=None)
+            return
+        self._forward_buffer.append(command)
+        if len(self._forward_buffer) >= self.config.forward_batch_max:
+            self._flush_forwards()
+        elif not self._forward_timer.armed:
+            self._forward_timer.arm(self.config.forward_flush_interval, self._flush_forwards)
+
+    def _flush_forwards(self) -> None:
+        self._forward_timer.cancel()
+        if not self._forward_buffer:
+            return
+        leader = self.leader_hint()
+        batch = self._forward_buffer
+        self._forward_buffer = []
+        if leader is None or leader == self.name:
+            for command in batch:
+                self.complete(command, ok=False, value=None)
+            return
+        self.send(leader, ForwardBatch(origin=self.name, commands=batch))
+
+    def _on_forward_batch(self, src: str, message: ForwardBatch) -> None:
+        for command in message.commands:
+            self._relays[command.request_id] = message.origin
+            self.submit_command(command)
+
+    def _on_reply_relay(self, src: str, message: ReplyRelay) -> None:
+        for reply in message.replies:
+            client = self._clients.pop(reply.request_id, None)
+            if client is not None:
+                self.send(client, reply)
+
+    # -- apply pipeline --------------------------------------------------------
+
+    def apply_entry(self, index: int, entry: Entry) -> None:
+        """Apply a committed entry to the state machine and complete the
+        originating request if it is ours to answer."""
+        command = entry.command
+        result = self.store.apply(command)
+        self.last_applied = max(self.last_applied, index)
+        for hook in self.on_apply_hooks:
+            hook(self.name, index, command)
+        if command.is_nop:
+            return
+        if command.request_id in self._clients or command.request_id in self._relays:
+            self.complete(command, ok=result.ok, value=result.value)
+
+    def serve_local_read(self, command: Command) -> None:
+        """Answer a read from local state (lease-protected paths only)."""
+        value = self.store.read_local(command.key)
+        self.complete(command, ok=True, value=value, local_read=True)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        self._forward_timer.cancel()
+        self._clients.clear()
+        self._relays.clear()
+        self._forward_buffer.clear()

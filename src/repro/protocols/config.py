@@ -1,0 +1,89 @@
+"""Cluster configuration shared by all protocol implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.sim.node import NodeCosts
+from repro.sim.units import ms, sec
+
+
+@dataclass
+class ClusterConfig:
+    """Static configuration of a replica group.
+
+    `replicas` maps replica name -> site name.  Quorums are majorities
+    (f = (n-1)//2, quorum = f+1), matching the paper's setup.
+    """
+
+    replicas: Dict[str, str]
+    initial_leader: Optional[str] = None
+
+    # Timers (microseconds).  WAN-appropriate defaults: election timeouts
+    # must exceed the worst RTT (292 ms) by a safe margin.
+    election_timeout_min: int = ms(1000)
+    election_timeout_max: int = ms(2000)
+    heartbeat_interval: int = ms(100)
+
+    # Leader-side micro-batching of appends and follower-side batching of
+    # forwarded client requests (the etcd optimization kept on in §5).
+    append_flush_interval: int = ms(0.5)
+    forward_flush_interval: int = ms(2)
+    forward_batch_max: int = 32
+
+    # Quorum-lease parameters (§5.1: 2 s duration, renewed every 0.5 s).
+    lease_duration: int = sec(2)
+    lease_renew_interval: int = sec(0.5)
+
+    # Mencius.
+    skip_interval: int = ms(20)
+    revoke_timeout: int = sec(1)
+
+    costs: NodeCosts = field(default_factory=NodeCosts)
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError("a cluster needs at least one replica")
+        if self.initial_leader is not None and self.initial_leader not in self.replicas:
+            raise ValueError(f"initial leader {self.initial_leader!r} not in replica set")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self.replicas)
+
+    @property
+    def n(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def f(self) -> int:
+        return (self.n - 1) // 2
+
+    @property
+    def majority(self) -> int:
+        return self.f + 1
+
+    def peers_of(self, name: str) -> Tuple[str, ...]:
+        return tuple(replica for replica in self.replicas if replica != name)
+
+    def site_of(self, name: str) -> str:
+        return self.replicas[name]
+
+    def owner_of(self, index: int) -> str:
+        """Mencius round-robin instance ownership."""
+        names = self.names
+        return names[index % len(names)]
+
+    def owned_by(self, name: str, index: int) -> bool:
+        return self.owner_of(index) == name
+
+
+def single_site_cluster(n: int, prefix: str = "s", **kwargs) -> ClusterConfig:
+    """n replicas on a LAN topology named s0..s{n-1} (tests)."""
+    return ClusterConfig(replicas={f"{prefix}{i}": f"{prefix}{i}" for i in range(n)}, **kwargs)
+
+
+def geo_cluster(sites, **kwargs) -> ClusterConfig:
+    """One replica per site, named r_<site> (the paper's deployment)."""
+    return ClusterConfig(replicas={f"r_{site}": site for site in sites}, **kwargs)

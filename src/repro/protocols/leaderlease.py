@@ -1,0 +1,52 @@
+"""Leader Lease (LL): the §5.1 baseline.
+
+"The leader has sole ownership of the lease, so only the leader can process
+a read request with its local copy."  Followers forward reads (and writes)
+to the leader; the leader answers reads from its applied state while its
+lease is valid.
+
+The lease here is the standard heartbeat-majority lease: the leader considers
+itself lease-holder while it has heard append acknowledgements from a
+majority within the last `lease_duration`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.protocols.messages import AppendEntriesReply
+from repro.protocols.raft import Role
+from repro.protocols.raftstar import RaftStarReplica
+from repro.protocols.types import Command
+
+
+class LeaderLeaseReplica(RaftStarReplica):
+    """Raft* + leader-only read lease."""
+
+    def __init__(self, name, sim, network, config, trace=None) -> None:
+        self._last_heard: Dict[str, int] = {}
+        super().__init__(name, sim, network, config, trace=trace)
+        self.local_reads_served = 0
+
+    def _on_append_reply(self, src: str, msg: AppendEntriesReply) -> None:
+        if msg.term == self.current_term:
+            self._last_heard[msg.follower] = self.sim.now
+        super()._on_append_reply(src, msg)
+
+    def has_leader_lease(self) -> bool:
+        if self.role is not Role.LEADER:
+            return False
+        horizon = self.sim.now - self.config.lease_duration
+        fresh = sum(1 for at in self._last_heard.values() if at >= horizon)
+        return fresh >= self.config.f
+
+    def submit_command(self, command: Command) -> None:
+        if command.is_read and self.has_leader_lease():
+            self.local_reads_served += 1
+            self.serve_local_read(command)
+            return
+        super().submit_command(command)
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self._last_heard.clear()

@@ -1,0 +1,95 @@
+"""Quorum leases (Paxos Quorum Leases, Moraru et al. 2014).
+
+A `LeaseManager` runs on every replica.  Each replica *grants* a read lease
+to every replica (including itself) and renews it every `lease_renew_interval`
+for `lease_duration` (the paper's §5.1 parameters: 0.5 s / 2 s).  A replica
+*holds a quorum lease* when it holds valid grants from a majority of
+replicas.
+
+The safety contract is the one §4.4/Appendix A.1 describes: any lease quorum
+intersects any Paxos quorum, and every replica in a Paxos quorum notifies its
+granted holders before a value commits — the protocol layer enforces the
+second half by making the leader wait for acks from all *active holders*
+before advancing the commit index.
+
+Grantors track holder liveness through `LeaseAck`s, so a crashed holder stops
+blocking writes within one lease duration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.protocols.messages import LeaseAck, LeaseGrant
+
+
+class LeaseManager:
+    """Grant/hold bookkeeping for one replica."""
+
+    def __init__(self, replica, duration: int, renew_interval: int) -> None:
+        self.replica = replica
+        self.duration = duration
+        self.renew_interval = renew_interval
+        # grants I issued: holder -> expiry of the grant itself
+        self.granted: Dict[str, int] = {}
+        # acks I received for my grants: holder -> expiry of the acked grant
+        self.acked: Dict[str, int] = {}
+        # grants I hold: grantor -> expiry
+        self.held: Dict[str, int] = {}
+        self._renew_timer = replica.timer("lease-renew")
+
+    # -- grantor side -------------------------------------------------------
+
+    def start(self) -> None:
+        # Defer the first grant round until all replicas have registered.
+        self.replica.sim.schedule(0, self._renew)
+
+    def stop(self) -> None:
+        self._renew_timer.cancel()
+
+    def _renew(self) -> None:
+        now = self.replica.sim.now
+        expiry = now + self.duration
+        self.granted[self.replica.name] = expiry
+        self.acked[self.replica.name] = expiry
+        self.held[self.replica.name] = expiry
+        for peer in self.replica.peers:
+            self.granted[peer] = expiry
+            self.replica.send(peer, LeaseGrant(
+                grantor=self.replica.name, holder=peer, expiry=expiry,
+            ))
+        self._renew_timer.arm(self.renew_interval, self._renew)
+
+    def on_ack(self, message: LeaseAck) -> None:
+        self.acked[message.holder] = max(self.acked.get(message.holder, 0), message.expiry)
+
+    def active_holders(self) -> FrozenSet[str]:
+        """Holders of my grants that are still alive (acked recently)."""
+        now = self.replica.sim.now
+        return frozenset(
+            holder for holder, expiry in self.acked.items() if expiry >= now
+        )
+
+    # -- holder side -----------------------------------------------------------
+
+    def on_grant(self, src: str, message: LeaseGrant) -> None:
+        self.held[message.grantor] = max(self.held.get(message.grantor, 0), message.expiry)
+        self.replica.send(src, LeaseAck(
+            holder=self.replica.name, grantor=message.grantor, expiry=message.expiry,
+        ))
+
+    def valid_grant_count(self) -> int:
+        now = self.replica.sim.now
+        return sum(1 for expiry in self.held.values() if expiry >= now)
+
+    def has_quorum_lease(self) -> bool:
+        """PQL Figure 8 line 3: validLeasesNum >= f + 1 (self included)."""
+        return self.valid_grant_count() >= self.replica.config.majority
+
+    # -- fault handling ---------------------------------------------------------
+
+    def on_crash(self) -> None:
+        self.stop()
+        self.granted.clear()
+        self.acked.clear()
+        self.held.clear()

@@ -1,0 +1,513 @@
+"""Raft*-Mencius (Coordinated Raft*, Appendix A.4/B.6) and Coordinated Paxos
+(Appendix A.3/B.5).
+
+Mencius partitions the global log round-robin: with replicas r0..r4, r0 owns
+indexes 0,5,10,…, r1 owns 1,6,11,…  Each replica is the *default leader*
+(ballot 0) of its owned indexes: it proposes client commands there and they
+commit after f acceptances (plus its own).
+
+Skips keep the log moving: whenever a replica observes a higher index in use,
+it advances its own next owned index, and per coordinated Paxos everyone may
+treat a default leader's unused indexes below its advertised frontier as
+chosen no-ops without any phase-2 wait.  The frontier (`next_own`) rides on
+every append/ack and on periodic `SkipNotice`s; FIFO links make the
+"no entry below the frontier ⇒ skipped" inference sound (the original
+Mencius assumption).
+
+Execution:
+* **ordered mode** (contended workloads) — a command answers once every
+  index up to its own is committed or skipped, which requires learning other
+  owners' commit decisions (piggybacked `committed` lists);
+* **commutative mode** (conflict-free workloads, the paper's "Raft*-M-0%")
+  — a write answers as soon as it commits and all earlier indexes are
+  *known* (proposal or skip seen), the optimization §5.2 measures.
+
+Crash recovery: a replica that observes an unresolved index owned by a
+silent replica runs coordinated-Paxos phase 1 over the stalled range with a
+higher ballot and proposes no-ops (or any accepted value it finds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.protocols.base import ReplicaBase
+from repro.protocols.config import ClusterConfig
+from repro.protocols.messages import (
+    CommitNotice,
+    MenciusAck,
+    MenciusAppend,
+    MenciusCatchup,
+    MenciusPrepare,
+    MenciusPromise,
+    MenciusState,
+    SkipNotice,
+)
+from repro.protocols.types import Command, Entry, OpType
+
+STATUS_ACCEPTED = "accepted"
+STATUS_COMMITTED = "committed"
+STATUS_SKIPPED = "skipped"
+
+
+class MenciusReplica(ReplicaBase):
+    """A Mencius replica (default-leader + acceptor + learner in one)."""
+
+    #: execution mode: "ordered" or "commutative"
+    execution_mode = "ordered"
+
+    def __init__(self, name, sim, network, config: ClusterConfig, trace=None,
+                 execution_mode: Optional[str] = None) -> None:
+        super().__init__(name, sim, network, config, trace=trace)
+        if execution_mode is not None:
+            self.execution_mode = execution_mode
+        self.rank = list(config.names).index(name)
+        self.entries: Dict[int, Entry] = {}
+        self.status: Dict[int, str] = {}
+        self.skip_tags: Dict[int, bool] = {}   # the ported skipTags array
+        self.executable: Set[int] = set()      # the ported executable set
+        self.next_own = self.rank              # my next unused owned index
+        self.frontier: Dict[str, int] = {n: list(config.names).index(n) for n in config.names}
+        self.promised: Dict[int, int] = {}     # per-index promised ballot
+        self._acks: Dict[int, Set[str]] = {}
+        self._batch: Dict[int, Entry] = {}
+        self._fresh_commits: List[int] = []
+        self._exec_frontier = -1               # all indexes <= this are applied
+        self._reply_frontier = -1              # commutative-mode bookkeeping
+        self._last_heard: Dict[str, int] = {n: 0 for n in config.names}
+        self._recovering: Dict[str, dict] = {}
+
+        self._flush_timer = self.timer("mencius-flush")
+        self._skip_timer = self.timer("skip")
+        self._suspect_timer = self.timer("suspect")
+        self._skip_timer.arm(config.skip_interval, self._on_skip_tick)
+        self._suspect_timer.arm(config.revoke_timeout, self._on_suspect_tick)
+
+        self.register_handler(MenciusAppend, self._on_append)
+        self.register_handler(MenciusAck, self._on_ack)
+        self.register_handler(SkipNotice, self._on_skip_notice)
+        self.register_handler(CommitNotice, self._on_commit_notice)
+        self.register_handler(MenciusPrepare, self._on_prepare)
+        self.register_handler(MenciusPromise, self._on_promise)
+        self.register_handler(MenciusCatchup, self._on_catchup)
+        self.register_handler(MenciusState, self._on_state)
+        self._last_exec_seen = (-1, 0)  # (frontier, time) for lag detection
+
+    # -- ownership helpers ----------------------------------------------------
+
+    def owner_of(self, index: int) -> str:
+        return self.config.owner_of(index)
+
+    def _my_next_owned_at_or_above(self, index: int) -> int:
+        n = self.config.n
+        base = (index // n) * n + self.rank
+        return base if base >= index else base + n
+
+    def leader_hint(self) -> Optional[str]:
+        return self.name  # every replica serves its own clients
+
+    def _advertised_frontier(self) -> int:
+        """The frontier safe to advertise: everything below it has been
+        *sent* (or skipped).  Batched-but-unflushed proposals must not be
+        covered, or receivers would misread them as skips."""
+        if self._batch:
+            return min(self._batch)
+        return self.next_own
+
+    # -- client path ---------------------------------------------------------------
+
+    def submit_command(self, command: Command) -> None:
+        index = self.next_own
+        self.next_own += self.config.n
+        entry = Entry(term=0, command=command, ballot=0)
+        self.entries[index] = entry
+        self.status[index] = STATUS_ACCEPTED
+        self._acks.setdefault(index, set()).add(self.name)
+        self._batch[index] = entry
+        if not self._flush_timer.armed:
+            self._flush_timer.arm(self.config.append_flush_interval, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_timer.cancel()
+        if not self._batch and not self._fresh_commits:
+            return
+        batch, self._batch = self._batch, {}
+        commits, self._fresh_commits = self._fresh_commits, []
+        message = MenciusAppend(
+            sender=self.name, owner=self.name, ballot=0,
+            items=batch, next_own=self.next_own, committed=commits,
+        )
+        for peer in self.peers:
+            self.send(peer, message)
+
+    # -- accepting appends ----------------------------------------------------------------
+
+    def _on_append(self, src: str, msg: MenciusAppend) -> None:
+        self._last_heard[msg.sender] = self.sim.now
+        accepted_ids: List[int] = []
+        for index, entry in msg.items.items():
+            if msg.ballot < self.promised.get(index, 0):
+                continue
+            if self.status.get(index) in (STATUS_COMMITTED, STATUS_SKIPPED):
+                accepted_ids.append(index)  # idempotent re-accept
+                continue
+            self.promised[index] = max(self.promised.get(index, 0), msg.ballot)
+            ousted = self.entries.get(index)
+            self.entries[index] = entry.copy()
+            self.status[index] = STATUS_ACCEPTED
+            if msg.is_default and entry.command.is_nop:
+                # Coordinated Paxos: a default leader's no-op is learnable
+                # immediately (Figure 14 Phase2b lines 26-29).
+                self.skip_tags[index] = True
+                self.executable.add(index)
+                self.status[index] = STATUS_SKIPPED
+            accepted_ids.append(index)
+            if (
+                ousted is not None
+                and not ousted.command.is_nop
+                and ousted.command.request_id != entry.command.request_id
+                and (ousted.command.request_id in self._clients
+                     or ousted.command.request_id in self._relays)
+            ):
+                # A recovery overwrote our pending command with a no-op:
+                # re-propose it at a fresh owned index.
+                self.submit_command(ousted.command)
+        self._note_frontier(msg.owner, msg.next_own)
+        self._note_commits(msg.committed)
+        self._maybe_skip_past(max(msg.items) if msg.items else msg.next_own - 1)
+        if accepted_ids or msg.items:
+            # Commit notices are never piggybacked here: they must reach
+            # every replica, so they only travel on the broadcast path
+            # (_flush), never on a point-to-point ack.
+            self.send(src, MenciusAck(
+                acker=self.name, owner=msg.owner, ballot=msg.ballot,
+                indexes=accepted_ids, accepted=bool(accepted_ids),
+                next_own=self._advertised_frontier(),
+            ))
+        self._advance()
+
+    def _maybe_skip_past(self, seen_index: int) -> None:
+        """On observing `seen_index` in use, skip our unused owned indexes
+        below it (Mencius rule: never let our turn stall the log)."""
+        if seen_index < self.next_own:
+            return
+        new_next = self._my_next_owned_at_or_above(seen_index + 1)
+        for index in range(self.next_own, new_next):
+            if self.owner_of(index) == self.name and index not in self.entries:
+                self._mark_skipped(index)
+        self.next_own = new_next
+
+    def _mark_skipped(self, index: int) -> None:
+        self.entries[index] = Entry(term=0, command=Command(
+            op=OpType.NOP, client_id="__skip__", seq=index, value_size=0,
+        ), ballot=0)
+        self.status[index] = STATUS_SKIPPED
+        self.skip_tags[index] = True
+        self.executable.add(index)
+
+    def _on_ack(self, src: str, msg: MenciusAck) -> None:
+        self._last_heard[msg.acker] = self.sim.now
+        self._note_frontier(msg.acker, msg.next_own)
+        self._note_commits(msg.committed)
+        if msg.accepted:
+            for index in msg.indexes:
+                self._record_ack(index, msg.acker, msg.ballot)
+        self._advance()
+
+    def _record_ack(self, index: int, acker: str, ballot: int) -> None:
+        if self.status.get(index) in (STATUS_COMMITTED, STATUS_SKIPPED):
+            return
+        acks = self._acks.setdefault(index, set())
+        acks.add(acker)
+        if len(acks) >= self.config.majority:
+            self.status[index] = STATUS_COMMITTED
+            self._fresh_commits.append(index)
+            if not self._flush_timer.armed:
+                self._flush_timer.arm(self.config.append_flush_interval, self._flush)
+
+    # -- skip / commit dissemination ----------------------------------------------------
+
+    def _note_frontier(self, owner: str, next_own: int) -> None:
+        """Learn `owner`'s skip frontier: any of its owned indexes below
+        `next_own` for which we hold no entry was never proposed and is a
+        chosen no-op (sound on FIFO links)."""
+        old = self.frontier.get(owner, 0)
+        if next_own <= old:
+            return
+        self.frontier[owner] = next_own
+        for index in range(old, next_own):
+            if self.owner_of(index) == owner and index not in self.entries:
+                self._mark_skipped_remote(index)
+
+    def _mark_skipped_remote(self, index: int) -> None:
+        self.entries[index] = Entry(term=0, command=Command(
+            op=OpType.NOP, client_id="__skip__", seq=index, value_size=0,
+        ), ballot=0)
+        self.status[index] = STATUS_SKIPPED
+        self.skip_tags[index] = True
+        self.executable.add(index)
+
+    def _note_commits(self, indexes: List[int]) -> None:
+        for index in indexes:
+            if self.status.get(index) != STATUS_SKIPPED:
+                self.status[index] = STATUS_COMMITTED
+
+    def _on_skip_notice(self, src: str, msg: SkipNotice) -> None:
+        self._last_heard[msg.owner] = self.sim.now
+        self._note_frontier(msg.owner, msg.below)
+        self._advance()
+
+    def _on_commit_notice(self, src: str, msg: CommitNotice) -> None:
+        self._note_commits(msg.indexes)
+        self._advance()
+
+    def _on_skip_tick(self) -> None:
+        """Periodic frontier broadcast: keeps idle replicas from stalling
+        everyone else's execution."""
+        max_seen = max([self.next_own - 1] + [f - 1 for f in self.frontier.values()])
+        self._maybe_skip_past(max_seen)
+        notice = SkipNotice(owner=self.name, below=self._advertised_frontier())
+        for peer in self.peers:
+            self.send(peer, notice)
+        if self._fresh_commits and not self._flush_timer.armed:
+            self._flush_timer.arm(self.config.append_flush_interval, self._flush)
+        self._skip_timer.arm(self.config.skip_interval, self._on_skip_tick)
+
+    # -- execution -----------------------------------------------------------------------
+
+    def _resolved(self, index: int) -> bool:
+        return self.status.get(index) in (STATUS_COMMITTED, STATUS_SKIPPED)
+
+    def _known(self, index: int) -> bool:
+        return index in self.entries
+
+    def _advance(self) -> None:
+        # Ordered execution: apply the longest resolved prefix.  Commands
+        # answered early in commutative mode have already been popped from
+        # the pending tables, so apply_entry only updates the store for them.
+        while self._resolved(self._exec_frontier + 1):
+            self._exec_frontier += 1
+            self.apply_entry(self._exec_frontier, self.entries[self._exec_frontier])
+        if self.execution_mode == "commutative":
+            self._advance_commutative()
+
+    def _advance_commutative(self) -> None:
+        """Commutative mode (Raft*-M-0%): answer a committed write as soon as
+        every earlier index is *known* (proposal or skip seen) — conflict-free
+        writes need not wait for earlier commits to execute."""
+        while True:
+            index = self._reply_frontier + 1
+            if not self._known(index):
+                return
+            status = self.status.get(index)
+            if status == STATUS_ACCEPTED and self.owner_of(index) == self.name:
+                return  # our own entry must commit before we answer it
+            self._reply_frontier = index
+            command = self.entries[index].command
+            if (
+                index > self._exec_frontier
+                and command.is_write
+                and status in (STATUS_COMMITTED, STATUS_SKIPPED)
+                and (command.request_id in self._clients
+                     or command.request_id in self._relays)
+            ):
+                self.complete(command, ok=True, value=None)
+
+    # -- crash recovery (revocation) --------------------------------------------------------
+
+    def _on_suspect_tick(self) -> None:
+        self._check_stalls()
+        self._maybe_catch_up()
+        self._suspect_timer.arm(self.config.revoke_timeout, self._on_suspect_tick)
+
+    # -- anti-entropy: catch up on resolved indexes we missed -------------------
+
+    def _maybe_catch_up(self) -> None:
+        """If our execution frontier has been stuck while peers advertise
+        higher frontiers, we probably missed commit/skip traffic (partition,
+        restart): ask a peer for the resolved range."""
+        frontier, seen_at = self._last_exec_seen
+        if self._exec_frontier > frontier:
+            self._last_exec_seen = (self._exec_frontier, self.sim.now)
+            return
+        behind = max(self.frontier.values()) - 1 > self._exec_frontier + 1
+        stuck_for = self.sim.now - seen_at
+        if behind and stuck_for >= self.config.revoke_timeout:
+            for peer in self.peers:
+                self.send(peer, MenciusCatchup(
+                    requester=self.name, start=self._exec_frontier + 1))
+            self._last_exec_seen = (self._exec_frontier, self.sim.now)
+
+    def _on_catchup(self, src: str, msg: MenciusCatchup) -> None:
+        items = {}
+        for index in range(msg.start, self._exec_frontier + 1):
+            status = self.status.get(index)
+            if status in (STATUS_COMMITTED, STATUS_SKIPPED) and index in self.entries:
+                items[index] = (self.entries[index].copy(), status)
+            if len(items) >= 128:
+                break
+        if items:
+            self.send(src, MenciusState(items=items))
+
+    def _on_state(self, src: str, msg: MenciusState) -> None:
+        for index, (entry, status) in msg.items.items():
+            if self.status.get(index) in (STATUS_COMMITTED, STATUS_SKIPPED):
+                continue
+            ousted = self.entries.get(index)
+            self.entries[index] = entry.copy()
+            self.status[index] = status
+            if status == STATUS_SKIPPED:
+                self.skip_tags[index] = True
+                self.executable.add(index)
+            if (
+                ousted is not None
+                and not ousted.command.is_nop
+                and ousted.command.request_id != entry.command.request_id
+                and (ousted.command.request_id in self._clients
+                     or ousted.command.request_id in self._relays)
+            ):
+                self.submit_command(ousted.command)
+        self._advance()
+
+    def _check_stalls(self) -> None:
+        stalled = self._exec_frontier + 1
+        horizon = max(self.frontier.values()) if self.frontier else 0
+        if stalled >= horizon and not self._batch:
+            return
+        owner = self.owner_of(stalled)
+        if owner == self.name:
+            return
+        silent_for = self.sim.now - self._last_heard.get(owner, 0)
+        if silent_for < self.config.revoke_timeout:
+            return
+        # Only the lowest-ranked replica that is not the suspect initiates
+        # recovery, to avoid duelling recoveries in the common case.
+        for candidate in self.config.names:
+            if candidate != owner:
+                if candidate != self.name:
+                    return
+                break
+        self._start_recovery(owner, stalled, horizon)
+
+    def _start_recovery(self, owner: str, start: int, horizon: int) -> None:
+        if owner in self._recovering:
+            return
+        end = max(horizon, start + self.config.n)
+        ballot = self.sim.now // 1000 + self.rank + 1  # unique, increasing
+        self._recovering[owner] = {
+            "ballot": ballot, "start": start, "end": end, "promises": {},
+        }
+        message = MenciusPrepare(
+            ballot=ballot, proposer=self.name, owner=owner, start=start, end=end,
+        )
+        for peer in self.peers:
+            self.send(peer, message)
+        # our own promise
+        self._recovering[owner]["promises"][self.name] = self._make_promise(
+            ballot, owner, start, end,
+        )
+
+    def _make_promise(self, ballot: int, owner: str, start: int, end: int) -> MenciusPromise:
+        accepted = {}
+        skipped = []
+        for index in range(start, end):
+            if self.owner_of(index) != owner:
+                continue
+            self.promised[index] = max(self.promised.get(index, 0), ballot)
+            if self.status.get(index) == STATUS_SKIPPED:
+                skipped.append(index)
+            elif index in self.entries:
+                accepted[index] = self.entries[index].copy()
+        return MenciusPromise(
+            ballot=ballot, acceptor=self.name, owner=owner,
+            start=start, end=end, accepted=accepted, skipped=skipped,
+        )
+
+    def _on_prepare(self, src: str, msg: MenciusPrepare) -> None:
+        for index in range(msg.start, msg.end):
+            if self.owner_of(index) == msg.owner and msg.ballot < self.promised.get(index, 0):
+                return  # already promised higher; ignore
+        self.send(src, self._make_promise(msg.ballot, msg.owner, msg.start, msg.end))
+
+    def _on_promise(self, src: str, msg: MenciusPromise) -> None:
+        state = self._recovering.get(msg.owner)
+        if state is None or msg.ballot != state["ballot"]:
+            return
+        state["promises"][msg.acceptor] = msg
+        if len(state["promises"]) < self.config.majority:
+            return
+        # Phase 2: propose the safest value per index (accepted value if any
+        # promise reports one, else no-op).
+        items: Dict[int, Entry] = {}
+        for index in range(state["start"], state["end"]):
+            if self.owner_of(index) != msg.owner or self._resolved(index):
+                continue
+            best: Optional[Entry] = None
+            for promise in state["promises"].values():
+                entry = promise.accepted.get(index)
+                if entry is not None and (best is None or entry.ballot > best.ballot):
+                    best = entry
+            command = best.command if best is not None else Command(
+                op=OpType.NOP, client_id="__revoke__", seq=index, value_size=0,
+            )
+            entry = Entry(term=state["ballot"], command=command, ballot=state["ballot"])
+            items[index] = entry
+            self.entries[index] = entry
+            self.status[index] = STATUS_ACCEPTED
+            self.promised[index] = state["ballot"]
+            self._acks[index] = {self.name}
+        del self._recovering[msg.owner]
+        if items:
+            message = MenciusAppend(
+                sender=self.name, owner=msg.owner, ballot=state["ballot"],
+                items=items, next_own=self._advertised_frontier(), is_default=False,
+            )
+            for peer in self.peers:
+                self.send(peer, message)
+        self._advance()
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        for timer in (self._flush_timer, self._skip_timer, self._suspect_timer):
+            timer.cancel()
+        self.stable["entries"] = {i: e.copy() for i, e in self.entries.items()}
+        self.stable["status"] = dict(self.status)
+        self.stable["next_own"] = self.next_own
+        self.stable["promised"] = dict(self.promised)
+
+    def on_recover(self) -> None:
+        from repro.kvstore.store import KVStore
+
+        self.entries = {i: e.copy() for i, e in self.stable.get("entries", {}).items()}
+        self.status = {
+            i: (s if s != STATUS_COMMITTED else STATUS_ACCEPTED)
+            for i, s in self.stable.get("status", {}).items()
+        }
+        for i, s in self.stable.get("status", {}).items():
+            if s == STATUS_SKIPPED:
+                self.status[i] = STATUS_SKIPPED
+        self.next_own = self.stable.get("next_own", self.rank)
+        self.promised = dict(self.stable.get("promised", {}))
+        self.store = KVStore()
+        self._exec_frontier = -1
+        self._reply_frontier = -1
+        self.last_applied = -1
+        self._acks = {}
+        self._batch = {}
+        self._fresh_commits = []
+        self._recovering = {}
+        self._skip_timer.arm(self.config.skip_interval, self._on_skip_tick)
+        self._suspect_timer.arm(self.config.revoke_timeout, self._on_suspect_tick)
+
+
+class RaftStarMenciusReplica(MenciusReplica):
+    """Raft*-Mencius: the ported optimization.  Recovery restamps adopted
+    entries with the recovery term (Raft*'s ballot-rewriting discipline,
+    Figure 15 BecomeLeader lines 11-13)."""
+
+
+class CoordinatedPaxosReplica(MenciusReplica):
+    """Coordinated Paxos (Mencius' substrate, Appendix B.5): identical
+    dynamics; accepted entries keep their original ballots on recovery."""

@@ -1,0 +1,382 @@
+"""Wire messages for every protocol.
+
+All messages implement `size_bytes()` so the network's bandwidth model and
+the nodes' CPU model see realistic payload sizes (4 KB entries really cost
+4 KB of serialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.protocols.types import Ballot, Command, Entry
+
+HEADER_BYTES = 48
+
+
+def _entries_size(entries: List[Entry]) -> int:
+    return sum(entry.wire_size() for entry in entries)
+
+
+# --------------------------------------------------------------------------
+# Client <-> replica
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ClientRequest:
+    command: Command
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + self.command.wire_size()
+
+    def command_count(self) -> float:
+        # Client-facing handling is the expensive path (connection, parse,
+        # session bookkeeping) -- ~3 units, mirroring etcd's cost profile.
+        return 3.0
+
+
+@dataclass
+class ClientReply:
+    request_id: Tuple[str, int]
+    ok: bool
+    value: Optional[str] = None
+    server: str = ""
+    value_size: int = 8
+    local_read: bool = False
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + self.value_size
+
+
+@dataclass
+class ForwardBatch:
+    """A follower forwarding a batch of client commands to the leader
+    (the etcd behaviour the paper keeps enabled: 'when a follower receives
+    multiple requests from clients, it forwards them to the leader in a
+    batch')."""
+
+    origin: str
+    commands: List[Command]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + sum(command.wire_size() for command in self.commands)
+
+    def command_count(self) -> int:
+        return len(self.commands)
+
+
+@dataclass
+class ReplyRelay:
+    """Leader -> origin follower: results for forwarded commands."""
+
+    replies: List[ClientReply]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + sum(reply.size_bytes() for reply in self.replies)
+
+
+# --------------------------------------------------------------------------
+# Raft / Raft*
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class RequestVote:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class RequestVoteReply:
+    term: int
+    voter: str
+    granted: bool
+    # Raft* only: entries the voter has beyond the candidate's log
+    # (Figure 2a lines 14-16).  Plain Raft leaves this empty.
+    extra_entries: Dict[int, Entry] = field(default_factory=dict)
+    # Mencius/Coordinated Raft* only: the voter's skip tags for those entries.
+    extra_skip_tags: Dict[int, bool] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + _entries_size(list(self.extra_entries.values()))
+
+
+@dataclass
+class AppendEntries:
+    term: int
+    leader: str
+    prev_index: int
+    prev_term: int
+    entries: List[Entry]
+    leader_commit: int
+    # Raft*-Mencius: whether the sender is the default leader for these
+    # indexes, and piggybacked skip announcements (owner -> skipped-below).
+    is_default: bool = False
+    skips: Dict[str, int] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + _entries_size(self.entries)
+
+    def command_count(self) -> float:
+        # Replicated entry processing is cheap relative to client handling.
+        return 0.25 * len(self.entries)
+
+    @property
+    def last_index(self) -> int:
+        return self.prev_index + len(self.entries)
+
+
+@dataclass
+class AppendEntriesReply:
+    term: int
+    follower: str
+    success: bool
+    match_index: int
+    # PQL: lease holders currently granted by this follower
+    # (the 'leases granted by s' of Figure 7 line 16 / Figure 8 line 9).
+    lease_holders: FrozenSet[str] = frozenset()
+    # Mencius: piggybacked skip announcement by the replier (owner -> below).
+    skips: Dict[str, int] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+# --------------------------------------------------------------------------
+# MultiPaxos
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Prepare:
+    """Phase1a: <'prepare', ballot, unchosen>."""
+
+    ballot: Ballot
+    proposer: str
+    unchosen: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class Promise:
+    """Phase1b reply: <'prepareOK', ballot, instances with id >= unchosen>."""
+
+    ballot: Ballot
+    acceptor: str
+    instances: Dict[int, Entry]
+    log_tail: int
+    # Mencius (Coordinated Paxos): skip tags for the reported instances.
+    skip_tags: Dict[int, bool] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + _entries_size(list(self.instances.values()))
+
+
+@dataclass
+class Accept:
+    """Phase2a: <'accept', instance, value, ballot>; batched over instances."""
+
+    ballot: Ballot
+    proposer: str
+    instances: Dict[int, Command]
+    commit_index: int
+    # Mencius: proposer is default leader for these instances.
+    is_default: bool = False
+    skips: Dict[str, int] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + sum(command.wire_size() for command in self.instances.values())
+
+    def command_count(self) -> float:
+        return 0.25 * len(self.instances)
+
+
+@dataclass
+class Accepted:
+    """Phase2b reply: <'acceptOK', instance, value, ballot>."""
+
+    ballot: Ballot
+    acceptor: str
+    instance_ids: List[int]
+    # PQL on Paxos: lease holders granted by this acceptor.
+    lease_holders: FrozenSet[str] = frozenset()
+    skips: Dict[str, int] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class Learn:
+    """Commit notification broadcast by the proposer."""
+
+    instance_ids: List[int]
+    proposer: str
+    commit_index: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+# --------------------------------------------------------------------------
+# Leases (PQL and Leader Lease)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LeaseGrant:
+    """`grantor` grants `holder` a read lease until `expiry` (sim time)."""
+
+    grantor: str
+    holder: str
+    expiry: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class LeaseAck:
+    """`holder` acknowledges a grant; a grantor treats holders that stop
+    acking as inactive once their grant expires (so writes stop waiting on
+    crashed lease holders after at most the lease duration)."""
+
+    holder: str
+    grantor: str
+    expiry: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+# --------------------------------------------------------------------------
+# Mencius
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SkipNotice:
+    """`owner` announces all its unused owned indexes below `below` are
+    no-op.  Per coordinated Paxos, a default leader proposing no-op lets
+    everyone learn the no-op without waiting for phase 2."""
+
+    owner: str
+    below: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class CommitNotice:
+    """`owner` announces indexes in `indexes` are committed (Mencius commit
+    dissemination; other replicas need it to order execution)."""
+
+    owner: str
+    indexes: List[int]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 4 * len(self.indexes)
+
+
+@dataclass
+class MenciusAppend:
+    """A (default or recovery) leader proposes values for specific global
+    indexes.  `ballot` 0 marks the default leader's coordinated instances;
+    recovery proposals carry a higher ballot.  `next_own` advertises the
+    sender's next unused owned index (its cumulative skip frontier), and
+    `committed` piggybacks its freshly committed indexes."""
+
+    sender: str
+    owner: str
+    ballot: int
+    items: Dict[int, Entry]
+    next_own: int
+    committed: List[int] = field(default_factory=list)
+    is_default: bool = True
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + _entries_size(list(self.items.values())) + 4 * len(self.committed)
+
+    def command_count(self) -> float:
+        return 0.25 * len(self.items)
+
+
+@dataclass
+class MenciusAck:
+    """Acceptance of `MenciusAppend` items; piggybacks the acker's own skip
+    frontier and fresh commits."""
+
+    acker: str
+    owner: str
+    ballot: int
+    indexes: List[int]
+    accepted: bool
+    next_own: int
+    committed: List[int] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 4 * (len(self.indexes) + len(self.committed))
+
+
+@dataclass
+class MenciusCatchup:
+    """A lagging replica asks a peer for the resolved range above `start`."""
+
+    requester: str
+    start: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class MenciusState:
+    """Catch-up reply: resolved entries (status committed/skipped only)."""
+
+    items: Dict[int, Tuple[Entry, str]]
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + _entries_size([e for e, _ in self.items.values()])
+
+    def command_count(self) -> float:
+        return 0.25 * len(self.items)
+
+
+@dataclass
+class MenciusPrepare:
+    """Recovery phase-1 for a suspected-crashed owner's index range."""
+
+    ballot: int
+    proposer: str
+    owner: str
+    start: int
+    end: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class MenciusPromise:
+    """Recovery phase-1 reply: accepted entries for the probed range."""
+
+    ballot: int
+    acceptor: str
+    owner: str
+    start: int
+    end: int
+    accepted: Dict[int, Entry] = field(default_factory=dict)
+    skipped: List[int] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + _entries_size(list(self.accepted.values()))

@@ -1,0 +1,354 @@
+"""MultiPaxos (Figure 1).
+
+A leader-based MultiPaxos: phase 1 is batched over all unchosen instances
+(`Prepare` carries the smallest unchosen instance id; `Promise` returns every
+accepted instance at or above it), phase 2 runs one (micro-batched) `Accept`
+per client command, and instances commit out of order on f+1 acceptances
+while execution stays in instance order.
+
+Structural differences from Raft that §3 calls out are visible here:
+
+* acceptors **overwrite** accepted values/ballots, never erase;
+* the proposer re-proposes safe values with **its own ballot** (the accepted
+  ballot is rewritten, unlike Raft's immutable terms);
+* commit is tracked per instance, so a later instance can be chosen while an
+  earlier one is still open.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.protocols.base import ReplicaBase
+from repro.protocols.config import ClusterConfig
+from repro.protocols.messages import Accept, Accepted, Learn, Prepare, Promise
+from repro.protocols.types import Ballot, Command, Entry, OpType
+
+MAX_ACCEPT_BATCH = 256
+
+
+class MultiPaxosReplica(ReplicaBase):
+    """A MultiPaxos server (proposer + acceptor + learner)."""
+
+    def __init__(self, name, sim, network, config: ClusterConfig, trace=None) -> None:
+        super().__init__(name, sim, network, config, trace=trace)
+        self.ballot = Ballot(0, "")
+        self.phase1_succeeded = False
+        self.leader_id: Optional[str] = None
+        self.instances: Dict[int, Entry] = {}  # accepted values
+        self.chosen: Dict[int, Command] = {}
+        self.commit_index = -1  # chosen-and-contiguous frontier
+        self.log_tail = -1
+
+        # proposer state
+        self.next_instance = 0
+        self._promises: Dict[str, Promise] = {}
+        self._accept_counts: Dict[int, Set[str]] = {}
+        self._accept_buffer: Dict[int, Command] = {}
+        self._prepare_timer = self.timer("prepare")
+        self._heartbeat_timer = self.timer("heartbeat")
+        self._flush_timer = self.timer("accept-flush")
+        from repro.protocols.raft import sim_rng_for
+
+        self._rng = sim_rng_for(self)
+
+        self.register_handler(Prepare, self._on_prepare)
+        self.register_handler(Promise, self._on_promise)
+        self.register_handler(Accept, self._on_accept)
+        self.register_handler(Accepted, self._on_accepted)
+        self.register_handler(Learn, self._on_learn)
+
+        if config.initial_leader is not None:
+            self._seed_initial_leader(config.initial_leader)
+        else:
+            self._reset_prepare_timer()
+
+    # -- bootstrap --------------------------------------------------------------
+
+    def _seed_initial_leader(self, leader: str) -> None:
+        self.ballot = Ballot(1, leader)
+        self.leader_id = leader
+        if self.name == leader:
+            self.phase1_succeeded = True
+            self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
+        else:
+            self._reset_prepare_timer()
+
+    # -- helpers --------------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.phase1_succeeded
+
+    def leader_hint(self) -> Optional[str]:
+        return self.leader_id
+
+    def first_unchosen(self) -> int:
+        index = self.commit_index + 1
+        while index in self.chosen:
+            index += 1
+        return index
+
+    def _reset_prepare_timer(self) -> None:
+        timeout = self._rng.randint(
+            self.config.election_timeout_min, self.config.election_timeout_max
+        )
+        self._prepare_timer.arm(timeout, self._start_phase1)
+
+    # -- phase 1 ----------------------------------------------------------------------
+
+    def _start_phase1(self) -> None:
+        """Phase1a: adopt a higher ballot and ask everyone to promise."""
+        self.ballot = self.ballot.next_for(self.name)
+        self.phase1_succeeded = False
+        self.leader_id = None
+        self._promises = {}
+        unchosen = self.first_unchosen()
+        self.trace.record(self.sim.now, self.name, "phase1a", round=self.ballot.round)
+        for peer in self.peers:
+            self.send(peer, Prepare(ballot=self.ballot, proposer=self.name, unchosen=unchosen))
+        # Promise to ourselves.
+        self._promises[self.name] = Promise(
+            ballot=self.ballot,
+            acceptor=self.name,
+            instances={i: e.copy() for i, e in self.instances.items() if i >= unchosen},
+            log_tail=self.log_tail,
+        )
+        self._reset_prepare_timer()
+
+    def _on_prepare(self, src: str, msg: Prepare) -> None:
+        if msg.ballot <= self.ballot:
+            return  # Paxos acceptors simply ignore stale prepares
+        self.ballot = msg.ballot
+        self.phase1_succeeded = False
+        self.leader_id = msg.proposer
+        self._reset_prepare_timer()
+        reply = Promise(
+            ballot=msg.ballot,
+            acceptor=self.name,
+            instances={
+                i: e.copy() for i, e in self.instances.items() if i >= msg.unchosen
+            },
+            log_tail=self.log_tail,
+            skip_tags=self._promise_skip_tags(msg.unchosen),
+        )
+        self.send(src, reply)
+
+    def _promise_skip_tags(self, unchosen: int) -> Dict[int, bool]:
+        """Hook for Coordinated Paxos (Mencius)."""
+        return {}
+
+    def _on_promise(self, src: str, msg: Promise) -> None:
+        if msg.ballot != self.ballot or self.phase1_succeeded:
+            return
+        self._promises[msg.acceptor] = msg
+        if len(self._promises) >= self.config.majority:
+            self._phase1_succeed()
+
+    def _phase1_succeed(self) -> None:
+        """Phase1Succeed: adopt the highest-ballot value per reported
+        instance; fill holes with no-ops; re-propose everything."""
+        promises = list(self._promises.values())
+        start = self.first_unchosen()
+        end = max([p.log_tail for p in promises] + [self.log_tail])
+        recovered: Dict[int, Command] = {}
+        for index in range(start, end + 1):
+            best: Optional[Entry] = None
+            for promise in promises:
+                entry = promise.instances.get(index)
+                if entry is not None and (best is None or entry.ballot > best.ballot):
+                    best = entry
+            own = self.instances.get(index)
+            if own is not None and (best is None or own.ballot > best.ballot):
+                best = own
+            command = best.command if best is not None else Command(
+                op=OpType.NOP, client_id=f"__fill__{self.name}",
+                seq=self.ballot.round * 1_000_000 + index, value_size=0,
+            )
+            recovered[index] = command
+        self.phase1_succeeded = True
+        self.leader_id = self.name
+        self.next_instance = end + 1
+        self.trace.record(self.sim.now, self.name, "phase1ok", round=self.ballot.round)
+        self._prepare_timer.cancel()
+        if recovered:
+            self._accept_buffer.update(recovered)
+            self._flush_accepts()
+        self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
+
+    # -- client path / phase 2 -------------------------------------------------------
+
+    def submit_command(self, command: Command) -> None:
+        if not self.phase1_succeeded:
+            self.forward_to_leader(command)
+            return
+        instance = self.next_instance
+        self.next_instance += 1
+        self._accept_buffer[instance] = command
+        if len(self._accept_buffer) >= MAX_ACCEPT_BATCH:
+            self._flush_accepts()
+        elif not self._flush_timer.armed:
+            self._flush_timer.arm(self.config.append_flush_interval, self._flush_accepts)
+
+    def _flush_accepts(self) -> None:
+        self._flush_timer.cancel()
+        if not self.phase1_succeeded or not self._accept_buffer:
+            return
+        batch = self._accept_buffer
+        self._accept_buffer = {}
+        message = Accept(
+            ballot=self.ballot,
+            proposer=self.name,
+            instances=batch,
+            commit_index=self.commit_index,
+            is_default=self._accept_is_default(),
+        )
+        # Accept our own proposals first (the implicit self-accept).
+        self._accept_locally(message)
+        for peer in self.peers:
+            self.send(peer, message)
+
+    def _accept_is_default(self) -> bool:
+        return False  # Coordinated Paxos hook
+
+    def _on_heartbeat(self) -> None:
+        if not self.phase1_succeeded:
+            return
+        if self._accept_buffer:
+            self._flush_accepts()
+        else:
+            empty = Accept(
+                ballot=self.ballot, proposer=self.name, instances={},
+                commit_index=self.commit_index,
+            )
+            for peer in self.peers:
+                self.send(peer, empty)
+        self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
+
+    def _accept_locally(self, msg: Accept) -> None:
+        for index, command in msg.instances.items():
+            self.instances[index] = Entry(
+                term=msg.ballot.round, command=command, ballot=msg.ballot.round,
+            )
+            self.log_tail = max(self.log_tail, index)
+            self._record_acceptance(index, self.name, msg.ballot)
+
+    def _on_accept(self, src: str, msg: Accept) -> None:
+        if msg.ballot < self.ballot:
+            return
+        if msg.ballot > self.ballot:
+            self.ballot = msg.ballot
+            self.phase1_succeeded = False
+        self.leader_id = msg.proposer
+        self._reset_prepare_timer()
+        for index, command in msg.instances.items():
+            self.instances[index] = Entry(
+                term=msg.ballot.round, command=command, ballot=msg.ballot.round,
+            )
+            self.log_tail = max(self.log_tail, index)
+            self._after_accept(index, command, msg)
+        self._learn_commit_frontier(msg.commit_index)
+        if msg.instances:
+            self.send(src, Accepted(
+                ballot=msg.ballot,
+                acceptor=self.name,
+                instance_ids=sorted(msg.instances),
+                lease_holders=self._accepted_lease_holders(),
+            ))
+
+    def _after_accept(self, index: int, command: Command, msg: Accept) -> None:
+        """Hook for Coordinated Paxos (skip tags / executable set)."""
+
+    def _accepted_lease_holders(self) -> frozenset:
+        """Hook for PQL-on-Paxos."""
+        return frozenset()
+
+    def _on_accepted(self, src: str, msg: Accepted) -> None:
+        if not self.phase1_succeeded or msg.ballot != self.ballot:
+            return
+        self._note_accepted_reply(src, msg)
+        for index in msg.instance_ids:
+            self._record_acceptance(index, msg.acceptor, msg.ballot)
+
+    def _note_accepted_reply(self, src: str, msg: Accepted) -> None:
+        """Hook for PQL-on-Paxos (collect lease holders)."""
+
+    def _record_acceptance(self, index: int, acceptor: str, ballot: Ballot) -> None:
+        voters = self._accept_counts.setdefault(index, set())
+        voters.add(acceptor)
+        if len(voters) >= self.config.majority and index not in self.chosen:
+            if self._may_choose(index):
+                self._choose(index)
+
+    def _may_choose(self, index: int) -> bool:
+        """Hook for PQL-on-Paxos (lease-holder wait)."""
+        return True
+
+    def _choose(self, index: int) -> None:
+        entry = self.instances.get(index)
+        if entry is None:
+            return
+        self.chosen[index] = entry.command
+        self._advance_commit_frontier()
+
+    def _advance_commit_frontier(self) -> None:
+        advanced = False
+        while (self.commit_index + 1) in self.chosen:
+            self.commit_index += 1
+            advanced = True
+            self.apply_entry(self.commit_index, Entry(
+                term=0, command=self.chosen[self.commit_index],
+            ))
+        if advanced and self.phase1_succeeded and not self._flush_timer.armed:
+            # Let acceptors learn the new frontier promptly.
+            self._flush_timer.arm(self.config.append_flush_interval, self._flush_accepts_or_learn)
+
+    def _flush_accepts_or_learn(self) -> None:
+        if self._accept_buffer:
+            self._flush_accepts()
+        else:
+            for peer in self.peers:
+                self.send(peer, Learn(
+                    instance_ids=[], proposer=self.name, commit_index=self.commit_index,
+                ))
+
+    def _learn_commit_frontier(self, commit_index: int) -> None:
+        """A follower learns chosen-ness through the leader's frontier."""
+        while self.commit_index < commit_index:
+            index = self.commit_index + 1
+            entry = self.instances.get(index)
+            if entry is None:
+                return  # hole: wait for a retransmit
+            self.chosen[index] = entry.command
+            self.commit_index = index
+            self.apply_entry(index, entry)
+
+    def _on_learn(self, src: str, msg: Learn) -> None:
+        self._learn_commit_frontier(msg.commit_index)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        for timer in (self._prepare_timer, self._heartbeat_timer, self._flush_timer):
+            timer.cancel()
+        self.stable["ballot"] = self.ballot
+        self.stable["instances"] = {i: e.copy() for i, e in self.instances.items()}
+        self.stable["log_tail"] = self.log_tail
+
+    def on_recover(self) -> None:
+        from repro.kvstore.store import KVStore
+
+        self.ballot = self.stable.get("ballot", Ballot(0, ""))
+        self.instances = {i: e.copy() for i, e in self.stable.get("instances", {}).items()}
+        self.log_tail = self.stable.get("log_tail", -1)
+        self.phase1_succeeded = False
+        self.leader_id = None
+        self.chosen = {}
+        self.commit_index = -1
+        self.last_applied = -1
+        self.store = KVStore()
+        self._promises = {}
+        self._accept_counts = {}
+        self._accept_buffer = {}
+        self._reset_prepare_timer()

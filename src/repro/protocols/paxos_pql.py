@@ -1,0 +1,150 @@
+"""Paxos Quorum Leases on MultiPaxos (Figure 7 / Appendix A.1, B.3).
+
+The optimization in its original home.  Structurally identical to the ported
+Raft*-PQL, which is the point: the added/modified subactions are
+
+* **Read/LocalRead** (added) — serve reads locally under a quorum lease once
+  every instance that modified the key is in the chosen set;
+* **Phase2b** (modified) — acceptors attach the leases they granted to their
+  acceptOK;
+* **Learn** (modified) — the proposer waits for acceptOKs from every holder
+  in the collected holder set before the value becomes executable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.protocols.leases import LeaseManager
+from repro.protocols.messages import Accept, Accepted, LeaseAck, LeaseGrant
+from repro.protocols.multipaxos import MultiPaxosReplica
+from repro.protocols.types import Command
+from repro.sim.units import ms
+
+
+class PaxosPQLReplica(MultiPaxosReplica):
+    """MultiPaxos with Paxos Quorum Leases."""
+
+    def __init__(self, name, sim, network, config, trace=None) -> None:
+        self._last_modified: Dict[str, int] = {}
+        self._pending_reads: List[Command] = []
+        self._acceptances_by: Dict[int, set] = {}
+        self._reported_holders: Dict[str, tuple] = {}
+        super().__init__(name, sim, network, config, trace=trace)
+        self.leases = LeaseManager(
+            self, duration=config.lease_duration, renew_interval=config.lease_renew_interval,
+        )
+        self.register_handler(LeaseGrant, lambda src, msg: self.leases.on_grant(src, msg))
+        self.register_handler(LeaseAck, lambda src, msg: self.leases.on_ack(msg))
+        self.leases.start()
+        self._read_sweep_timer = self.timer("read-sweep")
+        self._read_sweep_timer.arm(ms(50), self._sweep_pending_reads)
+        self._choose_sweep_timer = self.timer("choose-sweep")
+        self._choose_sweep_timer.arm(ms(100), self._sweep_pending_chooses)
+        self.local_reads_served = 0
+
+    # -- LocalRead ---------------------------------------------------------
+
+    def submit_command(self, command: Command) -> None:
+        if command.is_read and self.leases.has_quorum_lease():
+            if self._read_ready(command):
+                self.local_reads_served += 1
+                self.serve_local_read(command)
+            else:
+                self._pending_reads.append(command)
+            return
+        super().submit_command(command)
+
+    def _read_ready(self, command: Command) -> bool:
+        last_mod = self._last_modified.get(command.key, -1)
+        return self.commit_index >= last_mod
+
+    def _drain_pending_reads(self) -> None:
+        still = []
+        for command in self._pending_reads:
+            if self._read_ready(command):
+                self.local_reads_served += 1
+                self.serve_local_read(command)
+            elif not self.leases.has_quorum_lease():
+                super().submit_command(command)
+            else:
+                still.append(command)
+        self._pending_reads = still
+
+    def _sweep_pending_reads(self) -> None:
+        self._drain_pending_reads()
+        self._read_sweep_timer.arm(ms(50), self._sweep_pending_reads)
+
+    def _sweep_pending_chooses(self) -> None:
+        """Instances blocked on a lease holder become choosable once the
+        holder's leases expire; re-check them as time passes."""
+        if self.phase1_succeeded:
+            for index, voters in list(self._accept_counts.items()):
+                if index in self.chosen:
+                    continue
+                if len(voters) >= self.config.majority and self._may_choose(index):
+                    self._choose(index)
+        self._choose_sweep_timer.arm(ms(100), self._sweep_pending_chooses)
+
+    # -- modified Phase2b: attach granted leases ----------------------------------
+
+    def _accepted_lease_holders(self) -> frozenset:
+        return self.leases.active_holders()
+
+    def _after_accept(self, index: int, command: Command, msg: Accept) -> None:
+        if command.is_write:
+            self._last_modified[command.key] = index
+
+    def _accept_locally(self, msg: Accept) -> None:
+        super()._accept_locally(msg)
+        for index, command in msg.instances.items():
+            if command.is_write:
+                self._last_modified[command.key] = index
+
+    # -- modified Learn: wait for every lease holder ---------------------------------
+
+    def _note_accepted_reply(self, src: str, msg: Accepted) -> None:
+        self._reported_holders[msg.acceptor] = (self.sim.now, msg.lease_holders)
+        for index in msg.instance_ids:
+            self._acceptances_by.setdefault(index, set()).add(msg.acceptor)
+
+    def _holder_set(self) -> frozenset:
+        holders = set(self.leases.active_holders())
+        horizon = self.sim.now - self.config.lease_duration
+        for reported_at, reported in self._reported_holders.values():
+            if reported_at >= horizon:
+                holders |= reported
+        return frozenset(holders)
+
+    def _may_choose(self, index: int) -> bool:
+        acked = self._accept_counts.get(index, set())
+        for holder in self._holder_set():
+            if holder != self.name and holder not in acked:
+                return False
+        return True
+
+    def _record_acceptance(self, index, acceptor, ballot) -> None:
+        super()._record_acceptance(index, acceptor, ballot)
+        # Re-check instances that reached a majority earlier but were
+        # waiting on this holder's acceptance.
+        if index not in self.chosen:
+            voters = self._accept_counts.get(index, set())
+            if len(voters) >= self.config.majority and self._may_choose(index):
+                self._choose(index)
+
+    def _advance_commit_frontier(self) -> None:
+        super()._advance_commit_frontier()
+        self._drain_pending_reads()
+
+    def _learn_commit_frontier(self, commit_index: int) -> None:
+        super()._learn_commit_frontier(commit_index)
+        self._drain_pending_reads()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.leases.on_crash()
+        self._read_sweep_timer.cancel()
+        self._choose_sweep_timer.cancel()
+        self._pending_reads.clear()

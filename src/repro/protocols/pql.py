@@ -1,0 +1,179 @@
+"""Raft*-PQL: Paxos Quorum Leases ported to Raft* (Figure 8 / Appendix A.2).
+
+The port follows the generated specification:
+
+* **LocalRead** — a replica answers a read locally when it holds leases from
+  at least f+1 replicas (itself included) *and* every log entry that modified
+  the key is at or below `commit_index` (the `chosenSet` condition of PQL
+  translated through the Figure 3 mapping `chosenSet -> log[0..commitIndex]`).
+
+* **LeaderLearn** — followers attach the lease holders they have granted to
+  their appendOK; the leader collects holders from the f replies *and unions
+  in the holders it granted itself* (the implicit appendOK of the refinement
+  mapping — the subtle case the paper's hand-ported version got wrong), and
+  only commits once every holder in that set has acknowledged the entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.protocols.leases import LeaseManager
+from repro.protocols.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    LeaseAck,
+    LeaseGrant,
+)
+from repro.protocols.raft import Role
+from repro.protocols.raftstar import RaftStarReplica
+from repro.protocols.types import Command
+from repro.sim.units import ms
+
+
+class RaftStarPQLReplica(RaftStarReplica):
+    """Raft* with Paxos Quorum Leases."""
+
+    def __init__(self, name, sim, network, config, trace=None) -> None:
+        self._last_modified: Dict[str, int] = {}
+        self._pending_reads: List[Command] = []
+        # Holders reported by each follower in its latest appendOK
+        # (Figure 8 line 13: "received holders").
+        self._reported_holders: Dict[str, frozenset] = {}
+        super().__init__(name, sim, network, config, trace=trace)
+        self.leases = LeaseManager(
+            self, duration=config.lease_duration, renew_interval=config.lease_renew_interval,
+        )
+        self.register_handler(LeaseGrant, lambda src, msg: self.leases.on_grant(src, msg))
+        self.register_handler(LeaseAck, lambda src, msg: self.leases.on_ack(msg))
+        self.leases.start()
+        self._read_sweep_timer = self.timer("read-sweep")
+        self._read_sweep_timer.arm(ms(50), self._sweep_pending_reads)
+        self.local_reads_served = 0
+        self.forwarded_reads = 0
+
+    # -- client path ----------------------------------------------------------
+
+    def submit_command(self, command: Command) -> None:
+        if command.is_read and self.leases.has_quorum_lease():
+            self._try_local_read(command)
+            return
+        if command.is_read:
+            self.forwarded_reads += 1
+        super().submit_command(command)
+
+    def _try_local_read(self, command: Command) -> None:
+        """LocalRead (Figure 8): wait until every write to the key is
+        committed and applied locally, then answer from local state."""
+        if self._read_ready(command):
+            self.local_reads_served += 1
+            self.serve_local_read(command)
+        else:
+            self._pending_reads.append(command)
+
+    def _read_ready(self, command: Command) -> bool:
+        last_mod = self._last_modified.get(command.key, -1)
+        return self.last_applied >= last_mod and self.commit_index >= last_mod
+
+    def _drain_pending_reads(self) -> None:
+        if not self._pending_reads:
+            return
+        still_waiting = []
+        for command in self._pending_reads:
+            if self._read_ready(command):
+                self.local_reads_served += 1
+                self.serve_local_read(command)
+            elif not self.leases.has_quorum_lease():
+                # Lost the lease while waiting: fall back to the log path.
+                self.forwarded_reads += 1
+                super().submit_command(command)
+            else:
+                still_waiting.append(command)
+        self._pending_reads = still_waiting
+
+    def _sweep_pending_reads(self) -> None:
+        self._drain_pending_reads()
+        self._read_sweep_timer.arm(ms(50), self._sweep_pending_reads)
+
+    # -- write-tracking for the LocalRead condition ------------------------------
+
+    def _track_writes(self, start_index: int) -> None:
+        for index in range(start_index, self.last_index + 1):
+            command = self.log[index].command
+            if command.is_write:
+                self._last_modified[command.key] = index
+
+    def _append_to_log(self, command: Command) -> None:
+        super()._append_to_log(command)
+        if command.is_write:
+            self._last_modified[command.key] = self.last_index
+
+    def _try_append(self, msg: AppendEntries) -> tuple:
+        success, match = super()._try_append(msg)
+        if success:
+            self._track_writes(msg.prev_index + 1)
+        return success, match
+
+    # -- the ported LeaderLearn -----------------------------------------------------
+
+    def _make_append_reply(self, success: bool, match: int) -> AppendEntriesReply:
+        reply = super()._make_append_reply(success, match)
+        reply.lease_holders = self.leases.active_holders()
+        return reply
+
+    def _on_append_reply(self, src: str, msg: AppendEntriesReply) -> None:
+        if msg.success:
+            self._reported_holders[msg.follower] = (self.sim.now, msg.lease_holders)
+        super()._on_append_reply(src, msg)
+
+    def _holder_set(self) -> frozenset:
+        """Figure 8 line 13: received holders ∪ holders granted by the
+        leader itself (the implicit message).  Reports older than a lease
+        duration are stale (their grants have expired) and are ignored."""
+        holders = set(self.leases.active_holders())
+        horizon = self.sim.now - self.config.lease_duration
+        for reported_at, reported in self._reported_holders.values():
+            if reported_at >= horizon:
+                holders |= reported
+        return frozenset(holders)
+
+    def _leader_advance_commit(self, msg: AppendEntriesReply) -> None:
+        matches = sorted(self.match_index.get(peer, -1) for peer in self.peers)
+        candidate = matches[len(matches) - self.config.f]
+        candidate = min(candidate, self.last_index)
+        # Every active lease holder must have acknowledged the entry before
+        # it commits, or its local reads could miss the write.
+        for holder in self._holder_set():
+            if holder == self.name:
+                continue
+            candidate = min(candidate, self.match_index.get(holder, -1))
+        if candidate > self.commit_index:
+            self.commit_index = candidate
+            self._apply_committed()
+            self._schedule_flush()
+
+    # -- apply: wake pending local reads ----------------------------------------------
+
+    def _apply_committed(self) -> None:
+        super()._apply_committed()
+        self._drain_pending_reads()
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self.leases.on_crash()
+        self._read_sweep_timer.cancel()
+        self._pending_reads.clear()
+        self._reported_holders.clear()
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        self._last_modified = {}
+        self.leases = LeaseManager(
+            self,
+            duration=self.config.lease_duration,
+            renew_interval=self.config.lease_renew_interval,
+        )
+        self.leases.start()
+        self._read_sweep_timer.arm(ms(50), self._sweep_pending_reads)

@@ -1,0 +1,427 @@
+"""Raft (Figure 2, black text).
+
+Faithful points that matter to the paper's analysis (§3):
+
+* followers **erase** extraneous entries to match the leader's log;
+* the leader **never rewrites** terms of existing entries — a newly elected
+  leader replicates old-term entries unchanged;
+* consequently the leader only advances `commit_index` by counting replicas
+  for entries of its **current term** (the §5.4.2 restriction).
+
+Engineering behaviour from the evaluation's etcd baseline is kept: followers
+forward client requests to the leader in batches, and the leader micro-batches
+AppendEntries.  Reads are persisted through the log like writes (§4.4:
+"a strongly consistent read operation is performed by persisting the
+operation into the log as if it were a write").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.protocols.base import ReplicaBase
+from repro.protocols.config import ClusterConfig
+from repro.protocols.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.protocols.types import NOP, Command, Entry, OpType
+
+MAX_BATCH_ENTRIES = 64
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+class RaftReplica(ReplicaBase):
+    """A Raft replica."""
+
+    def __init__(self, name, sim, network, config: ClusterConfig, trace=None) -> None:
+        super().__init__(name, sim, network, config, trace=trace)
+        self.current_term = 0
+        self.voted_for: Optional[str] = None
+        self.log: List[Entry] = []
+        self.commit_index = -1
+        self.role = Role.FOLLOWER
+        self.leader_id: Optional[str] = None
+
+        self._votes: set = set()
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        # Pipelining: highest index already shipped to each peer (avoids
+        # resending the whole unacked suffix on every flush) and the commit
+        # index last advertised to it.
+        self._sent_hwm: Dict[str, int] = {}
+        self._sent_commit: Dict[str, int] = {}
+        self._hb_match: Dict[str, int] = {}
+        self._last_progress: Dict[str, int] = {}
+
+        self._election_timer = self.timer("election")
+        self._heartbeat_timer = self.timer("heartbeat")
+        self._flush_timer = self.timer("append-flush")
+        self._rng = sim_rng_for(self)
+
+        self.register_handler(RequestVote, self._on_request_vote)
+        self.register_handler(RequestVoteReply, self._on_vote_reply)
+        self.register_handler(AppendEntries, self._on_append_entries)
+        self.register_handler(AppendEntriesReply, self._on_append_reply)
+
+        if config.initial_leader is not None:
+            self._seed_initial_leader(config.initial_leader)
+        else:
+            self._reset_election_timer()
+
+    # -- bootstrap ---------------------------------------------------------------
+
+    def _seed_initial_leader(self, leader: str) -> None:
+        """Start the cluster with an agreed-upon term-1 leader so benchmarks
+        measure steady state rather than the first election."""
+        self.current_term = 1
+        self.voted_for = leader
+        self.leader_id = leader
+        if self.name == leader:
+            # Defer until every replica has registered with the network.
+            self.sim.schedule(0, self._assume_leadership, True)
+        else:
+            self._reset_election_timer()
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def last_index(self) -> int:
+        return len(self.log) - 1
+
+    def term_at(self, index: int) -> int:
+        if index < 0:
+            return -1
+        if index >= len(self.log):
+            return -2  # sentinel: no entry
+        return self.log[index].term
+
+    def leader_hint(self) -> Optional[str]:
+        return self.leader_id
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER
+
+    def _reset_election_timer(self) -> None:
+        timeout = self._rng.randint(
+            self.config.election_timeout_min, self.config.election_timeout_max
+        )
+        self._election_timer.arm(timeout, self._on_election_timeout)
+
+    def _step_down(self, term: int, leader: Optional[str] = None) -> None:
+        changed_term = term > self.current_term
+        if changed_term:
+            self.current_term = term
+            self.voted_for = None
+        self.role = Role.FOLLOWER
+        if leader is not None:
+            self.leader_id = leader
+        self._heartbeat_timer.cancel()
+        self._flush_timer.cancel()
+        self._reset_election_timer()
+
+    # -- elections ---------------------------------------------------------------
+
+    def _on_election_timeout(self) -> None:
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.name
+        self.leader_id = None
+        self._votes = {self.name}
+        self.trace.record(self.sim.now, self.name, "candidate", term=self.current_term)
+        message = RequestVote(
+            term=self.current_term,
+            candidate=self.name,
+            last_log_index=self.last_index,
+            last_log_term=self.term_at(self.last_index),
+        )
+        for peer in self.peers:
+            self.send(peer, message)
+        self._reset_election_timer()
+
+    def _log_up_to_date(self, msg: RequestVote) -> bool:
+        my_last_term = self.term_at(self.last_index)
+        if msg.last_log_term != my_last_term:
+            return msg.last_log_term > my_last_term
+        return msg.last_log_index >= self.last_index
+
+    def _on_request_vote(self, src: str, msg: RequestVote) -> None:
+        if msg.term > self.current_term:
+            self._step_down(msg.term)
+        granted = (
+            msg.term == self.current_term
+            and self.voted_for in (None, msg.candidate)
+            and self._log_up_to_date(msg)
+        )
+        extras: Dict[int, Entry] = {}
+        if granted:
+            self.voted_for = msg.candidate
+            self._reset_election_timer()
+            extras = self._vote_extras(msg.last_log_index)
+        self.send(
+            src,
+            RequestVoteReply(
+                term=self.current_term,
+                voter=self.name,
+                granted=granted,
+                extra_entries=extras,
+            ),
+        )
+
+    def _vote_extras(self, candidate_last_index: int) -> Dict[int, Entry]:
+        """Raft sends nothing extra; Raft* overrides (Figure 2a lines 14-16)."""
+        return {}
+
+    def _on_vote_reply(self, src: str, msg: RequestVoteReply) -> None:
+        if msg.term > self.current_term:
+            self._step_down(msg.term)
+            return
+        if self.role is not Role.CANDIDATE or msg.term != self.current_term or not msg.granted:
+            return
+        self._votes.add(msg.voter)
+        self._merge_vote_extras(msg)
+        if len(self._votes) >= self.config.majority:
+            self._assume_leadership()
+
+    def _merge_vote_extras(self, msg: RequestVoteReply) -> None:
+        """Raft ignores extras; Raft* merges safe values (Figure 2a 22-29)."""
+
+    def _assume_leadership(self, initial: bool = False) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.name
+        self._election_timer.cancel()
+        for peer in self.peers:
+            self.next_index[peer] = self.last_index + 1
+            self.match_index[peer] = -1
+            self._sent_hwm[peer] = self.last_index
+            self._sent_commit[peer] = -1
+            self._hb_match[peer] = -1
+        self.trace.record(self.sim.now, self.name, "leader", term=self.current_term)
+        if not initial:
+            # Commit-liveness no-op: gives the new term an entry to count.
+            self._append_to_log(Command(
+                op=OpType.NOP, client_id=f"__leader__{self.name}", seq=self.current_term,
+                value_size=0,
+            ))
+        self._broadcast_appends()
+        self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
+
+    def _on_heartbeat(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        stall_threshold = max(6 * self.config.heartbeat_interval, 600_000)
+        for peer in self.peers:
+            # Loss recovery: rewind the pipeline only after a *long* stall
+            # (well beyond any RTT plus CPU queueing), or a slow-but-healthy
+            # follower gets buried under retransmissions.
+            match = self.match_index.get(peer, -1)
+            if match > self._hb_match.get(peer, -1):
+                self._last_progress[peer] = self.sim.now
+            elif match < self._sent_hwm.get(peer, -1):
+                last = self._last_progress.get(peer, 0)
+                if self.sim.now - last > stall_threshold:
+                    self._sent_hwm[peer] = match
+                    self.next_index[peer] = (
+                        min(self.next_index.get(peer, match + 1), match + 1)
+                        if match >= 0 else 0
+                    )
+                    self._last_progress[peer] = self.sim.now
+            self._hb_match[peer] = match
+            self._send_append(peer, heartbeat=True)
+        self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
+
+    # -- client path -----------------------------------------------------------------
+
+    def submit_command(self, command: Command) -> None:
+        if self.role is Role.LEADER:
+            self._append_to_log(command)
+            self._schedule_flush()
+        else:
+            self.forward_to_leader(command)
+
+    def _append_to_log(self, command: Command) -> None:
+        self.log.append(Entry(term=self.current_term, command=command, ballot=self.current_term))
+
+    def _schedule_flush(self) -> None:
+        if not self._flush_timer.armed:
+            self._flush_timer.arm(self.config.append_flush_interval, self._broadcast_appends)
+
+    # -- replication -----------------------------------------------------------------
+
+    def _broadcast_appends(self) -> None:
+        self._flush_timer.cancel()
+        if self.role is not Role.LEADER:
+            return
+        for peer in self.peers:
+            self._send_append(peer)
+
+    def _send_append(self, peer: str, heartbeat: bool = False) -> None:
+        """Ship the next window of entries to `peer`.
+
+        Pipelined: each call sends only entries beyond what was already
+        shipped (`_sent_hwm`), with `prev` pointing at the previous shipped
+        entry, so back-to-back flushes do not retransmit the in-flight
+        suffix.  Sends nothing when there is neither new content nor a new
+        commit index to advertise, unless this is a heartbeat.
+        """
+        next_idx = self.next_index.get(peer, self.last_index + 1)
+        start = max(next_idx, self._sent_hwm.get(peer, -1) + 1)
+        entries = [entry.copy() for entry in self.log[start:start + MAX_BATCH_ENTRIES]]
+        commit_news = self.commit_index > self._sent_commit.get(peer, -1)
+        if not entries and not commit_news and not heartbeat:
+            return
+        if entries:
+            prev = start - 1
+        else:
+            # Nothing new to ship: anchor the consistency check at a point
+            # the peer is known to have.
+            prev = self.match_index.get(peer, -1)
+        self._sent_hwm[peer] = max(self._sent_hwm.get(peer, -1), prev + len(entries))
+        self._sent_commit[peer] = self.commit_index
+        self.send(peer, AppendEntries(
+            term=self.current_term,
+            leader=self.name,
+            prev_index=prev,
+            prev_term=self.term_at(prev),
+            entries=entries,
+            leader_commit=self.commit_index,
+        ))
+
+    def _on_append_entries(self, src: str, msg: AppendEntries) -> None:
+        if msg.term < self.current_term:
+            self.send(src, AppendEntriesReply(
+                term=self.current_term, follower=self.name,
+                success=False, match_index=self.last_index,
+            ))
+            return
+        if msg.term > self.current_term or self.role is not Role.FOLLOWER:
+            self._step_down(msg.term, leader=msg.leader)
+        self.leader_id = msg.leader
+        self._reset_election_timer()
+
+        success, match = self._try_append(msg)
+        if success:
+            self._advance_commit_follower(min(msg.leader_commit, match))
+        self.send(src, self._make_append_reply(success, match))
+
+    def _make_append_reply(self, success: bool, match: int) -> AppendEntriesReply:
+        return AppendEntriesReply(
+            term=self.current_term, follower=self.name, success=success, match_index=match,
+        )
+
+    def _try_append(self, msg: AppendEntries) -> tuple:
+        """Raft semantics: consistency check, erase conflicts, append.
+        Returns (success, match_index)."""
+        if msg.prev_index >= 0 and self.term_at(msg.prev_index) != msg.prev_term:
+            return False, min(self.last_index, msg.prev_index - 1)
+        insert = msg.prev_index + 1
+        for offset, entry in enumerate(msg.entries):
+            index = insert + offset
+            if index <= self.last_index:
+                if self.log[index].term != entry.term:
+                    # Conflict: erase the extraneous suffix (the step that has
+                    # no MultiPaxos counterpart, §3).
+                    del self.log[index:]
+                    self.log.append(entry.copy())
+            else:
+                self.log.append(entry.copy())
+        return True, msg.prev_index + len(msg.entries)
+
+    def _advance_commit_follower(self, new_commit: int) -> None:
+        if new_commit > self.commit_index:
+            self.commit_index = min(new_commit, self.last_index)
+            self._apply_committed()
+
+    def _on_append_reply(self, src: str, msg: AppendEntriesReply) -> None:
+        if msg.term > self.current_term:
+            self._step_down(msg.term)
+            return
+        if self.role is not Role.LEADER or msg.term != self.current_term:
+            return
+        peer = msg.follower
+        if msg.success:
+            self.match_index[peer] = max(self.match_index.get(peer, -1), msg.match_index)
+            self.next_index[peer] = self.match_index[peer] + 1
+            self._leader_advance_commit(msg)
+            self._send_append(peer)
+        else:
+            self.next_index[peer] = max(0, min(
+                self.next_index.get(peer, 1) - 1, msg.match_index + 1,
+            ))
+            # Rewind the pipeline so the suffix is resent from next_index.
+            self._sent_hwm[peer] = self.next_index[peer] - 1
+            self._handle_append_reject(peer, msg)
+            self._send_append(peer)
+
+    def _handle_append_reject(self, peer: str, msg: AppendEntriesReply) -> None:
+        """Hook for Raft* (reject-because-longer needs no-op padding)."""
+
+    def _leader_advance_commit(self, msg: AppendEntriesReply) -> None:
+        """Advance commit_index by majority counting; Raft restricts the
+        counted entry to the current term (§5.4.2)."""
+        matches = sorted(self.match_index.get(peer, -1) for peer in self.peers)
+        # Index replicated on at least `majority` replicas including self:
+        # the f-th largest peer match (0-indexed from the end).
+        candidate = matches[len(matches) - self.config.f]
+        candidate = min(candidate, self.last_index)
+        while candidate > self.commit_index and not self._can_commit_at(candidate):
+            candidate -= 1
+        if candidate > self.commit_index:
+            self.commit_index = candidate
+            self._apply_committed()
+            self._schedule_flush()  # propagate the new commit index
+
+    def _can_commit_at(self, index: int) -> bool:
+        return self.term_at(index) == self.current_term
+
+    # -- apply --------------------------------------------------------------------
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            index = self.last_applied + 1
+            self.apply_entry(index, self.log[index])
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self._election_timer.cancel()
+        self._heartbeat_timer.cancel()
+        self._flush_timer.cancel()
+        # Persist durable state (term, vote, log) across the crash.
+        self.stable["term"] = self.current_term
+        self.stable["voted_for"] = self.voted_for
+        self.stable["log"] = [entry.copy() for entry in self.log]
+
+    def on_recover(self) -> None:
+        self.current_term = self.stable.get("term", 0)
+        self.voted_for = self.stable.get("voted_for")
+        self.log = [entry.copy() for entry in self.stable.get("log", [])]
+        self.commit_index = -1
+        self.last_applied = -1
+        from repro.kvstore.store import KVStore
+
+        self.store = KVStore()
+        self.role = Role.FOLLOWER
+        self.leader_id = None
+        self._votes = set()
+        self._reset_election_timer()
+
+
+def sim_rng_for(replica: ReplicaBase):
+    """Derive a deterministic per-replica RNG from the network's stream."""
+    from repro.sim.rng import SplitRng
+
+    root = getattr(replica.network, "rng_root", None)
+    if root is None:
+        root = SplitRng(0)
+    return root.stream(f"replica:{replica.name}")

@@ -1,0 +1,138 @@
+"""Raft* (Figure 2 including the blue text).
+
+Raft* differs from Raft in exactly the two ways §3 introduces so that a
+refinement mapping to MultiPaxos exists:
+
+1. **Vote replies carry extra entries.**  A voter includes every entry beyond
+   the candidate's last index; the new leader merges the *safe* value per
+   index (highest ballot) into its own log, stamping them with its current
+   term — the MultiPaxos Phase1Succeed behaviour.  A follower whose log is
+   longer than the leader's append range *rejects* instead of erasing.
+
+2. **Per-entry ballots are rewritten on every append.**  Appending at term t
+   sets the ballot of *all* covered entries to t (MultiPaxos proposers always
+   overwrite the accepted ballot).  This removes the need for Raft's §5.4.2
+   commit restriction: any majority-replicated index commits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.protocols.messages import AppendEntries, AppendEntriesReply, RequestVoteReply
+from repro.protocols.raft import RaftReplica, Role
+from repro.protocols.types import NOP, Command, Entry, OpType
+
+
+class RaftStarReplica(RaftReplica):
+    """A Raft* replica."""
+
+    def __init__(self, name, sim, network, config, trace=None) -> None:
+        self._pending_extras: Dict[int, Entry] = {}
+        super().__init__(name, sim, network, config, trace=trace)
+
+    # -- difference 1: vote-reply extras and leader-side merge ------------------
+
+    def _vote_extras(self, candidate_last_index: int) -> Dict[int, Entry]:
+        return {
+            index: self.log[index].copy()
+            for index in range(candidate_last_index + 1, self.last_index + 1)
+        }
+
+    def _on_vote_reply(self, src: str, msg: RequestVoteReply) -> None:
+        # Stash extras before the base class counts the vote, because reaching
+        # a majority triggers _assume_leadership immediately.
+        if (
+            self.role is Role.CANDIDATE
+            and msg.term == self.current_term
+            and msg.granted
+        ):
+            for index, entry in msg.extra_entries.items():
+                best = self._pending_extras.get(index)
+                if best is None or entry.ballot > best.ballot:
+                    self._pending_extras[index] = entry
+        super()._on_vote_reply(src, msg)
+
+    def _on_election_timeout(self) -> None:
+        self._pending_extras: Dict[int, Entry] = {}
+        super()._on_election_timeout()
+
+    def _assume_leadership(self, initial: bool = False) -> None:
+        if not initial:
+            self._merge_safe_entries()
+        super()._assume_leadership(initial=initial)
+
+    def _merge_safe_entries(self) -> None:
+        """Figure 2a lines 22-29: adopt the highest-ballot value per index
+        beyond our own log, restamped with the current term."""
+        extras = getattr(self, "_pending_extras", {})
+        for index in sorted(extras):
+            if index <= self.last_index:
+                continue  # our own entries are already the safe ones
+            while self.last_index < index - 1:
+                # Hole between our log and a reported extra: fill with no-op
+                # (a proposer choosing its own value for an unconstrained
+                # instance).
+                self._append_to_log(self._padding_nop())
+            entry = extras[index]
+            self.log.append(Entry(
+                term=self.current_term, command=entry.command, ballot=self.current_term,
+            ))
+        self._pending_extras = {}
+
+    def _padding_nop(self) -> Command:
+        return Command(
+            op=OpType.NOP,
+            client_id=f"__pad__{self.name}",
+            seq=self.current_term * 1_000_000 + self.last_index + 1,
+            value_size=0,
+        )
+
+    # -- difference 1 (follower side): never erase, reject longer logs ---------
+
+    def _try_append(self, msg: AppendEntries) -> tuple:
+        if msg.prev_index >= 0 and self.term_at(msg.prev_index) != msg.prev_term:
+            return False, min(self.last_index, msg.prev_index - 1)
+        if not msg.entries:
+            # Pure heartbeat / commit-index update: nothing could be erased,
+            # so the no-erase rule does not apply.
+            return True, msg.prev_index
+        if self.last_index > msg.last_index:
+            # Figure 2b line 16: an acceptor rejects the leader's append if
+            # its log is longer — erasing has no Paxos counterpart.
+            return False, self.last_index
+        insert = msg.prev_index + 1
+        for offset, entry in enumerate(msg.entries):
+            index = insert + offset
+            replacement = entry.copy()
+            if index <= self.last_index:
+                self.log[index] = replacement  # overwrite, never truncate
+            else:
+                self.log.append(replacement)
+        self._rewrite_ballots(msg.term)
+        return True, msg.last_index
+
+    def _rewrite_ballots(self, term: int) -> None:
+        """Difference 2: all entries' ballots become the appending term
+        (Figure 2b lines 6-7)."""
+        for entry in self.log:
+            entry.ballot = term
+
+    def _append_to_log(self, command: Command) -> None:
+        super()._append_to_log(command)
+        self._rewrite_ballots(self.current_term)
+
+    def _handle_append_reject(self, peer: str, msg: AppendEntriesReply) -> None:
+        # A follower with a longer log rejected us.  Our merged log already
+        # holds every potentially-committed value (phase-1 quorum coverage),
+        # so the follower's surplus is unchosen: pad with no-ops so our next
+        # append covers (and overwrites) its entire log.
+        if msg.match_index > self.last_index and self.role is Role.LEADER:
+            while self.last_index < msg.match_index:
+                self._append_to_log(self._padding_nop())
+            self._schedule_flush()
+
+    # -- difference 2 consequence: no current-term commit restriction ------------
+
+    def _can_commit_at(self, index: int) -> bool:
+        return True

@@ -1,0 +1,106 @@
+"""Core value types shared by all protocols."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class OpType(enum.Enum):
+    """Operations of the replicated key-value state machine."""
+
+    PUT = "put"
+    GET = "get"
+    NOP = "nop"  # no-op / skip entries (leader no-ops, Mencius skips)
+
+
+@dataclass(frozen=True)
+class Command:
+    """A client command to the replicated state machine.
+
+    `value_size` is the *simulated* payload size in bytes: the evaluation
+    replays 8 B and 4 KB request sizes without materializing 4 KB strings.
+    """
+
+    op: OpType
+    key: str = ""
+    value: Optional[str] = None
+    client_id: str = ""
+    seq: int = 0
+    value_size: int = 8
+
+    @property
+    def request_id(self) -> Tuple[str, int]:
+        return (self.client_id, self.seq)
+
+    def wire_size(self) -> int:
+        """Approximate bytes on the wire."""
+        base = 24 + len(self.key)
+        if self.op is OpType.PUT:
+            return base + self.value_size
+        return base
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is OpType.GET
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpType.PUT
+
+    @property
+    def is_nop(self) -> bool:
+        return self.op is OpType.NOP
+
+
+NOP = Command(op=OpType.NOP, client_id="__nop__", seq=0, value_size=0)
+
+
+@dataclass(frozen=True)
+class Ballot:
+    """A globally unique, totally ordered proposal number.
+
+    MultiPaxos ballots are (round, proposer) pairs; Raft terms map onto
+    ballots with proposer resolved by the per-term single-leader election.
+    """
+
+    round: int = 0
+    proposer: str = ""
+
+    def next_for(self, proposer: str) -> "Ballot":
+        return Ballot(self.round + 1, proposer)
+
+    def __lt__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) < (other.round, other.proposer)
+
+    def __le__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) <= (other.round, other.proposer)
+
+    def __gt__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) > (other.round, other.proposer)
+
+    def __ge__(self, other: "Ballot") -> bool:
+        return (self.round, self.proposer) >= (other.round, other.proposer)
+
+
+@dataclass
+class Entry:
+    """A log entry.
+
+    `term` is the Raft term (never rewritten by Raft; rewritten on merge by
+    Raft*'s BecomeLeader), `ballot` is Raft*'s added per-entry ballot field —
+    the field whose absence in Raft blocks the direct refinement to Paxos
+    (§3).  For MultiPaxos entries, `term` and `ballot` coincide with the
+    accepted ballot round.
+    """
+
+    term: int
+    command: Command
+    ballot: int = -1
+
+    def wire_size(self) -> int:
+        return 16 + self.command.wire_size()
+
+    def copy(self) -> "Entry":
+        return Entry(term=self.term, command=self.command, ballot=self.ballot)

@@ -1,0 +1,18 @@
+"""Exceptions raised by the simulation substrate."""
+
+
+class SimError(Exception):
+    """Base class for simulator errors."""
+
+
+class SchedulingError(SimError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class UnknownNodeError(SimError):
+    """A message was addressed to a node the network has never seen."""
+
+
+class NodeStateError(SimError):
+    """An operation was attempted on a node in the wrong lifecycle state
+    (e.g. crashing an already-crashed node)."""

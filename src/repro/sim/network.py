@@ -1,0 +1,182 @@
+"""Network model: latency + jitter + NIC serialization + loss + partitions.
+
+Message delivery time from node A to node B is::
+
+    depart  = max(now, egress_free[A]) + size / bandwidth
+    arrive  = depart + one_way_latency(site(A), site(B)) * (1 + jitter)
+
+The egress queue (`egress_free`) is what makes a leader's NIC a bottleneck
+when it must replicate 4 KB entries to four followers (Figure 10b); the
+latency term is the WAN cost (Figures 9a/9b/10c/10d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.sim.errors import UnknownNodeError
+from repro.sim.rng import SplitRng
+from repro.sim.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Simulator
+    from repro.sim.node import Node
+
+
+@dataclass
+class NetworkConfig:
+    """Knobs for the network model.
+
+    bandwidth_bytes_per_sec: egress NIC rate per node.  The paper's instances
+        have a 750 Mbps NIC; the default is scaled down 20x in line with the
+        CPU scale model (see DESIGN.md) so saturation happens at simulable
+        request rates while control traffic stays effectively free.
+    loss_rate: iid drop probability per message.
+    fifo: per-(src,dst) in-order delivery.  Defaults to True: the paper's
+        systems all speak TCP, which is FIFO per connection, and Mencius'
+        skip inference additionally relies on it.  Set False to model an
+        adversarial datagram network (the formal specs in `repro.specs`
+        already cover arbitrary reordering by modelling messages as sets).
+    """
+
+    bandwidth_bytes_per_sec: float = 750e6 / 8 / 20.0
+    loss_rate: float = 0.0
+    deliver_local_instantly: bool = False
+    fifo: bool = True
+
+
+class Network:
+    """Delivers messages between registered nodes."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: Topology,
+        rng: Optional[SplitRng] = None,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.rng_root = rng or SplitRng(0)
+        self.rng = self.rng_root.stream("network")
+        self._nodes: Dict[str, "Node"] = {}
+        self._egress_free: Dict[str, int] = {}
+        self._last_arrival: Dict[Tuple[str, str], int] = {}
+        self._blocked: Set[Tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        self._nodes[node.name] = node
+        self._egress_free[node.name] = 0
+
+    def node(self, name: str) -> "Node":
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownNodeError(name) from None
+
+    @property
+    def node_names(self):
+        return list(self._nodes)
+
+    # -- fault injection ----------------------------------------------------
+
+    def block(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Drop all traffic from src to dst (and back, by default)."""
+        self._blocked.add((src, dst))
+        if bidirectional:
+            self._blocked.add((dst, src))
+
+    def unblock(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        self._blocked.discard((src, dst))
+        if bidirectional:
+            self._blocked.discard((dst, src))
+
+    def partition(self, group_a, group_b) -> None:
+        """Cut every link between the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self.block(a, b)
+
+    def heal(self) -> None:
+        """Remove all partitions/blocks."""
+        self._blocked.clear()
+
+    def isolate(self, name: str) -> None:
+        """Cut `name` off from every other node."""
+        for other in self._nodes:
+            if other != name:
+                self.block(name, other)
+
+    # -- delivery ------------------------------------------------------------
+
+    def send(self, src: str, dst: str, message, size_bytes: Optional[int] = None) -> None:
+        """Send `message` from node `src` to node `dst`.
+
+        Messages to unknown destinations raise; messages across blocked links
+        or hit by random loss are silently dropped (that is the point).
+        """
+        if dst not in self._nodes:
+            raise UnknownNodeError(dst)
+        self.messages_sent += 1
+        if (src, dst) in self._blocked:
+            self.messages_dropped += 1
+            return
+        if self.config.loss_rate > 0 and self.rng.random() < self.config.loss_rate:
+            self.messages_dropped += 1
+            return
+
+        size = size_bytes if size_bytes is not None else _estimate_size(message)
+        self.bytes_sent += size
+
+        src_site = self._nodes[src].site
+        dst_site = self._nodes[dst].site
+
+        if src == dst or (self.config.deliver_local_instantly and src_site == dst_site):
+            self.sim.schedule(self.topology.local_us, self._deliver, src, dst, message)
+            return
+
+        now = self.sim.now
+        serialization = int(size / self.config.bandwidth_bytes_per_sec * 1_000_000)
+        depart = max(now, self._egress_free.get(src, 0)) + serialization
+        self._egress_free[src] = depart
+
+        base = self.topology.latency(src_site, dst_site)
+        jitter = self.topology.jitter_fraction
+        factor = 1.0 + (self.rng.uniform(0, jitter) if jitter > 0 else 0.0)
+        arrive = depart + int(base * factor)
+        if self.config.fifo:
+            key = (src, dst)
+            arrive = max(arrive, self._last_arrival.get(key, arrive - 1) + 1)
+            self._last_arrival[key] = arrive
+        self.sim.schedule(arrive - now, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message) -> None:
+        node = self._nodes.get(dst)
+        if node is None or not node.alive:
+            self.messages_dropped += 1
+            return
+        node._receive(src, message)
+
+    def egress_backlog_us(self, name: str) -> int:
+        """How far in the future the node's NIC is already committed."""
+        return max(0, self._egress_free.get(name, 0) - self.sim.now)
+
+
+def _estimate_size(message) -> int:
+    """Default wire-size estimate for a message object.
+
+    Messages may define `size_bytes()`; otherwise a small constant header is
+    assumed.  Protocol messages in `repro.protocols.messages` all implement
+    `size_bytes` so the bandwidth model sees payload sizes.
+    """
+    size_fn = getattr(message, "size_bytes", None)
+    if callable(size_fn):
+        return int(size_fn())
+    return 64

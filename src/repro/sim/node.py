@@ -1,0 +1,196 @@
+"""Process model.
+
+A `Node` is a single-core process: every received message is handled by
+`on_message`, and handling costs CPU time (`NodeCosts`).  Messages queue
+behind each other on the node's CPU, which is exactly how a consensus leader
+saturates in the paper's Figure 9c / Figure 10a experiments.
+
+Nodes can crash (lose volatile state, stop timers, drop in-flight work) and
+recover (restart from stable storage).  Timers are cancellable handles that
+never fire on a crashed node or across an incarnation boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.sim.errors import NodeStateError
+from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event, Simulator
+    from repro.sim.network import Network
+
+
+@dataclass
+class NodeCosts:
+    """CPU cost model, in microseconds.
+
+    `per_message` is charged for every handled message, `per_command` for
+    every unit of command work a message carries (so batching amortizes
+    headers but not real work), and `per_byte` scales with payload so 4 KB
+    entries cost more than 8 B entries (Figure 10a vs 10b).  The defaults
+    are the scaled budget described in DESIGN.md (~20x slower than the
+    paper's m4.xlarge).
+
+    Unit weights mirror where real systems spend CPU: client-facing request
+    handling (connection, parse, session) is ~3 units, a forwarded command
+    ~1 unit, and a replicated log entry ~0.25 units (etcd's follower append
+    path is far cheaper than its client path).
+    """
+
+    per_message: int = 30
+    per_command: int = 300
+    per_byte: float = 0.01
+
+    def cost(self, message: Any) -> int:
+        size_fn = getattr(message, "size_bytes", None)
+        size = int(size_fn()) if callable(size_fn) else 64
+        count_fn = getattr(message, "command_count", None)
+        count = float(count_fn()) if callable(count_fn) else 0.0
+        return int(self.per_message + self.per_command * count + self.per_byte * size)
+
+
+class Timer:
+    """A cancellable, re-armable timer bound to a node incarnation."""
+
+    def __init__(self, node: "Node", name: str) -> None:
+        self.node = node
+        self.name = name
+        self._event: Optional["Event"] = None
+        self._incarnation = node.incarnation
+
+    def arm(self, delay: int, callback: Callable[[], None]) -> None:
+        """(Re)arm the timer `delay` microseconds from now."""
+        self.cancel()
+        self._incarnation = self.node.incarnation
+        self._event = self.node.sim.schedule(delay, self._fire, callback)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def _fire(self, callback: Callable[[], None]) -> None:
+        self._event = None
+        if not self.node.alive or self.node.incarnation != self._incarnation:
+            return
+        callback()
+
+
+class Node:
+    """Base class for simulated processes (replicas, clients)."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: "Simulator",
+        network: "Network",
+        site: Optional[str] = None,
+        costs: Optional[NodeCosts] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.network = network
+        self.site = site if site is not None else name
+        self.costs = costs or NodeCosts()
+        self.trace = trace or TraceLog(enabled=False)
+        self.alive = True
+        self.incarnation = 0
+        self.stable: Dict[str, Any] = {}  # survives crashes
+        self._cpu_free = 0
+        self.cpu_busy_us = 0
+        self.messages_handled = 0
+        network.register(self)
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, dst: str, message: Any) -> None:
+        """Send a message; does nothing if this node is crashed."""
+        if not self.alive:
+            return
+        self.trace.record(self.sim.now, self.name, "send", dst=dst, msg=type(message).__name__)
+        self.network.send(self.name, dst, message)
+
+    def _receive(self, src: str, message: Any) -> None:
+        """Called by the network on arrival: queue the message on the CPU."""
+        if not self.alive:
+            return
+        cost = self.costs.cost(message)
+        start = max(self.sim.now, self._cpu_free)
+        done = start + cost
+        self._cpu_free = done
+        self.cpu_busy_us += cost
+        incarnation = self.incarnation
+        self.sim.schedule(done - self.sim.now, self._handle, src, message, incarnation)
+
+    def _handle(self, src: str, message: Any, incarnation: int) -> None:
+        if not self.alive or self.incarnation != incarnation:
+            return
+        self.messages_handled += 1
+        self.trace.record(self.sim.now, self.name, "recv", src=src, msg=type(message).__name__)
+        self.on_message(src, message)
+
+    def on_message(self, src: str, message: Any) -> None:
+        """Override in subclasses."""
+        raise NotImplementedError
+
+    # -- timers ---------------------------------------------------------------
+
+    def timer(self, name: str) -> Timer:
+        return Timer(self, name)
+
+    def after(self, delay: int, callback: Callable[[], None]) -> Timer:
+        """One-shot convenience: arm an anonymous timer."""
+        timer = Timer(self, f"after@{self.sim.now}")
+        timer.arm(delay, callback)
+        return timer
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: volatile state is lost, pending work is dropped."""
+        if not self.alive:
+            raise NodeStateError(f"{self.name} is already crashed")
+        self.alive = False
+        self.incarnation += 1
+        self.trace.record(self.sim.now, self.name, "crash")
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart from stable storage."""
+        if self.alive:
+            raise NodeStateError(f"{self.name} is not crashed")
+        self.alive = True
+        self.incarnation += 1
+        self._cpu_free = self.sim.now
+        self.trace.record(self.sim.now, self.name, "recover")
+        self.on_recover()
+
+    def on_crash(self) -> None:
+        """Override for protocol-specific crash bookkeeping."""
+
+    def on_recover(self) -> None:
+        """Override: reload volatile state from `self.stable`, re-arm timers."""
+
+    # -- introspection ------------------------------------------------------------
+
+    def cpu_backlog_us(self) -> int:
+        """How much queued CPU work the node has right now."""
+        return max(0, self._cpu_free - self.sim.now)
+
+    def utilization(self, elapsed_us: int) -> float:
+        """Fraction of `elapsed_us` spent busy (diagnostic)."""
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.cpu_busy_us / elapsed_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"{type(self).__name__}({self.name}@{self.site}, {state})"

@@ -1,0 +1,97 @@
+"""WAN topologies.
+
+The paper's testbed is five EC2 regions — Oregon, Ohio, Ireland, Canada,
+Seoul — with cross-site latencies from 25 ms to 292 ms RTT.  `ec2_five_regions`
+encodes a representative RTT matrix consistent with those figures and with the
+observations the paper makes about it:
+
+* the quorum {Oregon, Ohio, Canada} is the tightest majority (Raft-Oregon has
+  the lowest leader latency, ~79 ms);
+* Seoul is the farthest site on average (Raft-Seoul is the worst-case leader
+  placement);
+* Ireland–Seoul is the longest link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.units import ms
+
+EC2_REGIONS = ("oregon", "ohio", "ireland", "canada", "seoul")
+
+# Round-trip times in milliseconds between the five regions, symmetric.
+# Chosen to satisfy the paper's observations: 25-292 ms spread, Oregon the
+# best leader placement, Seoul the worst, Ireland-Seoul the longest link.
+_EC2_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("oregon", "ohio"): 25.0,
+    ("oregon", "ireland"): 130.0,
+    ("oregon", "canada"): 60.0,
+    ("oregon", "seoul"): 125.0,
+    ("ohio", "ireland"): 80.0,
+    ("ohio", "canada"): 65.0,
+    ("ohio", "seoul"): 180.0,
+    ("ireland", "canada"): 70.0,
+    ("ireland", "seoul"): 292.0,
+    ("canada", "seoul"): 170.0,
+}
+
+
+@dataclass
+class Topology:
+    """A set of sites and the one-way latency between them.
+
+    `latency(a, b)` returns the one-way propagation delay in microseconds.
+    Within a site (client to its local server) the delay is `local_us`.
+    """
+
+    sites: Tuple[str, ...]
+    one_way_us: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    local_us: int = ms(0.25)
+    jitter_fraction: float = 0.05
+
+    def latency(self, src: str, dst: str) -> int:
+        if src == dst:
+            return self.local_us
+        key = (src, dst) if (src, dst) in self.one_way_us else (dst, src)
+        try:
+            return self.one_way_us[key]
+        except KeyError:
+            raise KeyError(f"no latency configured between {src!r} and {dst!r}") from None
+
+    def rtt_ms(self, src: str, dst: str) -> float:
+        """Round-trip time in milliseconds (diagnostic helper)."""
+        return 2 * self.latency(src, dst) / 1000.0
+
+    def nearest_majority_rtt_ms(self, site: str) -> float:
+        """RTT to the (n//2)-th nearest other site — the commit latency floor
+        for a majority-quorum leader placed at `site`."""
+        others = sorted(self.rtt_ms(site, other) for other in self.sites if other != site)
+        need = len(self.sites) // 2  # acks needed beyond self for a majority
+        return others[need - 1]
+
+    def farthest_rtt_ms(self, site: str) -> float:
+        """RTT to the farthest other site (the all-replica wait bound)."""
+        return max(self.rtt_ms(site, other) for other in self.sites if other != site)
+
+
+def ec2_five_regions(jitter_fraction: float = 0.05) -> Topology:
+    """The paper's five-region EC2 deployment."""
+    one_way = {pair: ms(rtt / 2.0) for pair, rtt in _EC2_RTT_MS.items()}
+    return Topology(sites=EC2_REGIONS, one_way_us=one_way, jitter_fraction=jitter_fraction)
+
+
+def uniform_topology(sites: List[str], rtt_ms_value: float, jitter_fraction: float = 0.05) -> Topology:
+    """All pairs share one RTT — handy for controlled tests."""
+    one_way = {}
+    for i, a in enumerate(sites):
+        for b in sites[i + 1:]:
+            one_way[(a, b)] = ms(rtt_ms_value / 2.0)
+    return Topology(sites=tuple(sites), one_way_us=one_way, jitter_fraction=jitter_fraction)
+
+
+def symmetric_lan(n: int, rtt_ms_value: float = 0.5) -> Topology:
+    """An n-site LAN (sub-millisecond RTTs), for unit tests."""
+    sites = [f"s{i}" for i in range(n)]
+    return uniform_topology(sites, rtt_ms_value, jitter_fraction=0.0)

@@ -1,0 +1,63 @@
+"""Structured trace log.
+
+Disabled by default (zero overhead beyond one branch); tests and examples can
+enable it to assert on protocol behaviour ("the follower forwarded to the
+leader", "no append was sent after the partition") without reaching into
+replica internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: int
+    node: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:>12}us] {self.node:<12} {self.kind:<8} {extras}"
+
+
+class TraceLog:
+    """Append-only list of `TraceRecord`s with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, time: int, node: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, node, kind, detail))
+
+    def filter(self, node: Optional[str] = None, kind: Optional[str] = None) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if node is not None and rec.node != node:
+                continue
+            if kind is not None and rec.kind != kind:
+                continue
+            yield rec
+
+    def count(self, node: Optional[str] = None, kind: Optional[str] = None) -> int:
+        return sum(1 for _ in self.filter(node, kind))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)

@@ -1,0 +1,16 @@
+"""Executable TLA+-style specifications of the paper's protocols.
+
+Appendix B, in Python:
+
+* `kvexample`  — the Figure 4 key-value/log porting example;
+* `multipaxos` — B.1 MultiPaxos;
+* `raftstar`   — B.2 Raft* and the Figure 3 refinement mapping to MultiPaxos;
+* `raft`       — plain Raft, demonstrating §3's negative result (no direct
+  refinement: the erasing step has no Paxos counterpart);
+* `pql`        — B.3 Paxos Quorum Lease as a non-mutating diff on MultiPaxos;
+* `rql`        — B.4 Raft*-PQL, *generated* by `core.porting`;
+* `coorpaxos`  — B.5 Coordinated Paxos (Mencius) as a non-mutating diff;
+* `coorraft`   — B.6 Coordinated Raft*, *generated* by `core.porting`;
+* `mapping`    — the Figure 3 table, rendered from the mapping objects;
+* `variants`   — the Figure 6 landscape of Paxos variants.
+"""

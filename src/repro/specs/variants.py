@@ -1,0 +1,118 @@
+"""Figure 6: the landscape of Paxos variants and optimizations.
+
+The paper studies the known Paxos variants and sorts them into
+
+* **non-mutating optimizations of Paxos** (double-lined box; candidates for
+  the automatic port),
+* **protocols Paxos refines** (Flexible Paxos — the arrow points the other
+  way),
+* **variants with no refinement mapping to Paxos in either direction**
+  (left-most box), each with its reason.
+
+This module is the machine-readable version of that figure, and `render()`
+regenerates it as a table (`benchmarks/test_fig6_variants.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+NON_MUTATING = "non-mutating optimization"
+PAXOS_REFINES_IT = "generalization (Paxos refines it)"
+NO_REFINEMENT = "no refinement mapping"
+
+
+@dataclass(frozen=True)
+class Variant:
+    name: str
+    classification: str
+    reference: str
+    reason: str
+    portable: bool
+
+    @property
+    def port_candidate(self) -> bool:
+        return self.portable
+
+
+FIGURE6: Tuple[Variant, ...] = (
+    # The double-lined box: non-mutating optimizations on Paxos.
+    Variant("Paxos Quorum Lease", NON_MUTATING, "Moraru et al. 2014",
+            "lease state is additive; commit waits read votes but never "
+            "change Paxos variables", True),
+    Variant("Mencius", NON_MUTATING, "Mao et al. 2008",
+            "skip tags / executable set are additive over coordinated "
+            "instance ownership", True),
+    Variant("S-Paxos", NON_MUTATING, "Biely et al. 2012",
+            "request dissemination layer is additive; ordering unchanged", True),
+    Variant("HT-Paxos", NON_MUTATING, "Kumar & Agarwal 2015",
+            "like S-Paxos: extra dissemination/ordering staging state", True),
+    Variant("Ring Paxos", NON_MUTATING, "Marandi et al. 2010",
+            "ring dissemination is additive routing state", True),
+    Variant("Multi-Ring Paxos", NON_MUTATING, "Marandi et al. 2012",
+            "partitions across rings; per-ring state additive", True),
+    Variant("WPaxos", NON_MUTATING + " (of Flexible Paxos)", "Ailijiang et al. 2017",
+            "object stealing is additive over flexible quorums; ports onto "
+            "anything refining Flexible Paxos", True),
+    # Generalizations: Paxos refines them, not vice versa.
+    Variant("Flexible Paxos", PAXOS_REFINES_IT, "Howard et al. 2016",
+            "relaxes majority quorums to intersecting phase-1/phase-2 "
+            "quorums; Paxos is the special case", False),
+    # No refinement mapping in either direction.
+    Variant("Fast Paxos", NO_REFINEMENT, "Lamport 2005",
+            "super-majority fast quorums change the quorum structure; also "
+            "misses Paxos transitions (no mapping either way)", False),
+    Variant("Generalized Paxos", NO_REFINEMENT, "Lamport 2005",
+            "agrees on command structs/partial orders, not a single "
+            "sequence", False),
+    Variant("EPaxos", NO_REFINEMENT, "Moraru et al. 2013",
+            "leaderless dependency graphs; ordering decided at execution",
+            False),
+    Variant("Cheap Paxos", NO_REFINEMENT, "Lamport & Massa 2004",
+            "auxiliary servers change the process/quorum model", False),
+    Variant("Vertical Paxos", NO_REFINEMENT, "Lamport et al. 2009",
+            "reconfiguration master changes ballots' meaning", False),
+    Variant("Stoppable Paxos", NO_REFINEMENT, "Lamport et al. 2010",
+            "stopping commands alter the transition structure", False),
+    Variant("Disk Paxos", NO_REFINEMENT, "Gafni & Lamport 2003",
+            "disk blocks replace acceptors", False),
+    Variant("Fast Genuine Generalized Paxos", NO_REFINEMENT, "Sutra & Shapiro 2011",
+            "generalized + fast quorums", False),
+    Variant("Multicoordinated Paxos", NO_REFINEMENT, "Camargos et al. 2007",
+            "fast/coordinated quorums as in Fast Paxos", False),
+    Variant("NetPaxos", NO_REFINEMENT, "Dang et al. 2015",
+            "network-level ordering assumptions replace acceptor logic", False),
+    Variant("Speculative Paxos", NO_REFINEMENT, "Ports et al. 2015",
+            "speculative execution with rollback has no Paxos counterpart",
+            False),
+    Variant("Omega Meets Paxos", NO_REFINEMENT, "Malkhi et al. 2005",
+            "leader-election oracle changes liveness machinery", False),
+)
+
+
+def port_candidates() -> List[Variant]:
+    return [v for v in FIGURE6 if v.port_candidate]
+
+
+def by_classification(classification: str) -> List[Variant]:
+    return [v for v in FIGURE6 if v.classification.startswith(classification)]
+
+
+def render() -> str:
+    lines = [
+        "Figure 6: Paxos variants and optimizations",
+        "=" * 78,
+        f"{'variant':<24} {'classification':<38} portable?",
+        "-" * 78,
+    ]
+    for variant in FIGURE6:
+        flag = "yes" if variant.portable else "no"
+        lines.append(f"{variant.name:<24} {variant.classification:<38} {flag}")
+    lines.append("-" * 78)
+    lines.append(
+        f"{len(port_candidates())} of {len(FIGURE6)} studied variants are "
+        f"candidates for the automatic port (the paper reports 6 on Paxos "
+        f"plus WPaxos on Flexible Paxos)."
+    )
+    return "\n".join(lines)

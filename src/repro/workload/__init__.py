@@ -1,0 +1,6 @@
+"""YCSB-like workload generation (closed-loop clients)."""
+
+from repro.workload.ycsb import WorkloadConfig
+from repro.workload.clients import ClosedLoopClient, spawn_clients
+
+__all__ = ["ClosedLoopClient", "WorkloadConfig", "spawn_clients"]

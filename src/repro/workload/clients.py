@@ -1,0 +1,125 @@
+"""Closed-loop clients.
+
+Each client targets the replica in its own region (the paper's deployment:
+client and server instances per region) and issues the next request as soon
+as the previous one completes.  Failed requests (no leader yet, dropped
+replies) are retried with the same sequence number; the store's at-most-once
+semantics make retries safe.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.metrics.recorder import MetricsRecorder, RequestRecord
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.types import Command, OpType
+from repro.sim.node import Node, NodeCosts
+from repro.sim.units import ms, sec
+from repro.workload.ycsb import WorkloadConfig
+
+RETRY_TIMEOUT = sec(5)
+
+
+class ClosedLoopClient(Node):
+    """A single closed-loop client bound to one server."""
+
+    def __init__(self, name, sim, network, site, server: str,
+                 workload: WorkloadConfig, sites, rng, metrics: MetricsRecorder,
+                 stop_at: Optional[int] = None) -> None:
+        # Clients are not the measured resource: make their CPU free so the
+        # servers are the only bottleneck.
+        super().__init__(name, sim, network, site=site,
+                         costs=NodeCosts(per_message=0, per_byte=0.0))
+        self.server = server
+        self.workload = workload
+        self.sites = list(sites)
+        self.rng = rng
+        self.metrics = metrics
+        self.stop_at = stop_at
+        self.seq = 0
+        self.in_flight: Optional[Command] = None
+        self.sent_at = 0
+        self._retry_timer = self.timer("retry")
+        self.completed = 0
+        # Staggered start so clients don't phase-lock.
+        self.after(self.rng.randint(0, ms(10)), self._issue_next)
+
+    # -- request generation -----------------------------------------------------
+
+    def _pick_command(self) -> Command:
+        self.seq += 1
+        is_read = self.rng.random() < self.workload.read_fraction
+        if self.rng.random() < self.workload.conflict_rate:
+            key = self.workload.hot_key
+        else:
+            partition = self.workload.partition_for(self.site, self.sites)
+            key = WorkloadConfig.key_name(self.rng.choice(partition))
+        if is_read:
+            return Command(op=OpType.GET, key=key, client_id=self.name,
+                           seq=self.seq, value_size=self.workload.value_size)
+        return Command(
+            op=OpType.PUT, key=key, value=f"{self.name}:{self.seq}",
+            client_id=self.name, seq=self.seq, value_size=self.workload.value_size,
+        )
+
+    def _issue_next(self) -> None:
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            return
+        self.in_flight = self._pick_command()
+        self.sent_at = self.sim.now
+        self._send_current()
+
+    def _send_current(self) -> None:
+        if self.in_flight is None:
+            return
+        self.send(self.server, ClientRequest(command=self.in_flight))
+        self._retry_timer.arm(RETRY_TIMEOUT, self._retry)
+
+    def _retry(self) -> None:
+        if self.in_flight is not None:
+            self._send_current()
+
+    # -- replies -------------------------------------------------------------------
+
+    def on_message(self, src: str, message) -> None:
+        if not isinstance(message, ClientReply):
+            return
+        command = self.in_flight
+        if command is None or message.request_id != command.request_id:
+            return  # stale reply from a retried request
+        self._retry_timer.cancel()
+        if not message.ok:
+            # No leader yet (or leadership changed mid-flight): back off and retry.
+            self.in_flight = command
+            self.after(ms(20), self._send_current)
+            return
+        self.in_flight = None
+        self.completed += 1
+        self.metrics.add(RequestRecord(
+            client=self.name,
+            site=self.site,
+            server=self.server,
+            op=command.op,
+            start=self.sent_at,
+            end=self.sim.now,
+            ok=True,
+            local_read=message.local_read,
+        ))
+        self._issue_next()
+
+
+def spawn_clients(sim, network, sites, server_of_site, per_region: int,
+                  workload: WorkloadConfig, rng_root, metrics: MetricsRecorder,
+                  stop_at: Optional[int] = None) -> List[ClosedLoopClient]:
+    """Create `per_region` clients in every site, each bound to its local
+    server (`server_of_site[site]`)."""
+    clients = []
+    for site in sites:
+        for i in range(per_region):
+            name = f"c_{site}_{i}"
+            clients.append(ClosedLoopClient(
+                name, sim, network, site, server_of_site[site], workload,
+                sites, rng_root.stream(f"client:{name}"), metrics, stop_at=stop_at,
+            ))
+    return clients

@@ -1,0 +1,50 @@
+"""Workload configuration (the paper's §5 'Workload' paragraph).
+
+Closed-loop clients issue get/put requests back-to-back.  A configured
+fraction of requests hits one shared popular record (the *conflict rate*);
+otherwise the key space is pre-partitioned among the datacenters evenly and
+keys are drawn uniformly from the local partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs matching the paper's experiments.
+
+    read_fraction: probability a request is a GET (0.9 for Fig 9 default).
+    conflict_rate: probability of touching the shared hot key (0.05 default).
+    value_size: simulated payload bytes for PUTs (8 or 4096 in Fig 10).
+    records: total records pre-partitioned across sites (paper: 100 K).
+    """
+
+    read_fraction: float = 0.9
+    conflict_rate: float = 0.05
+    value_size: int = 8
+    records: int = 100_000
+    hot_key: str = "hot"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.conflict_rate <= 1.0:
+            raise ValueError("conflict_rate must be in [0, 1]")
+        if self.records <= 0:
+            raise ValueError("records must be positive")
+
+    def partition_for(self, site: str, sites: Sequence[str]) -> range:
+        """The local key-id range for `site` (even pre-partitioning)."""
+        ordered: List[str] = list(sites)
+        idx = ordered.index(site)
+        share = self.records // len(ordered)
+        start = idx * share
+        end = start + share if idx < len(ordered) - 1 else self.records
+        return range(start, end)
+
+    @staticmethod
+    def key_name(key_id: int) -> str:
+        return f"k{key_id}"

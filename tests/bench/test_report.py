@@ -1,0 +1,46 @@
+"""Figure table rendering."""
+
+import pytest
+
+from repro.bench.report import FigureTable, render_all
+
+
+def table():
+    t = FigureTable(figure="Fig X", title="demo", columns=["system", "value"])
+    t.add_row("raft", 1.25)
+    t.add_row("pql", 2.5)
+    return t
+
+
+def test_render_contains_rows():
+    text = table().render()
+    assert "Fig X" in text and "raft" in text and "1.2" in text
+
+
+def test_row_length_validated():
+    with pytest.raises(ValueError):
+        table().add_row("only-one-cell")
+
+
+def test_cell_lookup():
+    t = table()
+    assert t.cell("pql", "value") == 2.5
+    with pytest.raises(KeyError):
+        t.cell("missing", "value")
+
+
+def test_notes_rendered():
+    t = table()
+    t.notes.append("a caveat")
+    assert "note: a caveat" in t.render()
+
+
+def test_render_all_joins():
+    text = render_all([table(), table()])
+    assert text.count("Fig X") == 2
+
+
+def test_float_formatting():
+    t = FigureTable(figure="F", title="t", columns=["a"])
+    t.add_row(3.14159)
+    assert "3.1" in t.render()

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SplitRng
+from repro.sim.topology import ec2_five_regions, symmetric_lan
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def lan(sim):
+    """A 5-node LAN network (sub-ms RTT), deterministic."""
+    topology = symmetric_lan(5, rtt_ms_value=1.0)
+    return Network(sim, topology, rng=SplitRng(7), config=NetworkConfig())
+
+
+@pytest.fixture
+def wan(sim):
+    """The paper's 5-region EC2 topology."""
+    return Network(sim, ec2_five_regions(jitter_fraction=0.0), rng=SplitRng(7),
+                   config=NetworkConfig())

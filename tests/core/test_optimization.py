@@ -1,0 +1,105 @@
+"""Optimization diffing and the non-mutating classification (§4.2)."""
+
+import pytest
+
+from repro.core.action import Action, Clause
+from repro.core.machine import SpecMachine
+from repro.core.optimization import diff_optimization
+from repro.core.state import State
+
+G = Clause("g", "guard", lambda s, p: True)
+U = Clause("u", "update", lambda s, p: s["x"] + 1, var="x")
+NEW_GUARD = Clause("new-g", "guard", lambda s, p: s["x"] < 5)
+NEW_UPDATE = Clause("new-u", "update", lambda s, p: s["aux"] + 1, var="aux")
+BAD_UPDATE = Clause("bad-u", "update", lambda s, p: 0, var="x")
+
+
+def base_machine():
+    return SpecMachine(
+        name="A", variables=("x",), constants={},
+        init=lambda c: [State({"x": 0})],
+        actions=[Action(name="Step", clauses=(G, U))],
+    )
+
+
+def optimized(actions, variables=("x", "aux")):
+    return SpecMachine(
+        name="A-delta", variables=variables, constants={},
+        init=lambda c: [State({"x": 0, "aux": 0})],
+        actions=actions,
+    )
+
+
+def test_unchanged_action_detected():
+    diff = diff_optimization(base_machine(), optimized(
+        [Action(name="Step", clauses=(G, U))]))
+    assert len(diff.unchanged) == 1 and not diff.modified and not diff.added
+    assert diff.non_mutating
+
+
+def test_modified_action_detected():
+    diff = diff_optimization(base_machine(), optimized(
+        [Action(name="Step", clauses=(G, U, NEW_GUARD, NEW_UPDATE))]))
+    assert len(diff.modified) == 1
+    assert set(c.name for c in diff.modified[0].added_clauses) == {"new-g", "new-u"}
+    assert diff.non_mutating
+
+
+def test_added_action_detected():
+    diff = diff_optimization(base_machine(), optimized([
+        Action(name="Step", clauses=(G, U)),
+        Action(name="Extra", clauses=(NEW_UPDATE,)),
+    ]))
+    assert [a.name for a in diff.added] == ["Extra"]
+    assert diff.non_mutating
+
+
+def test_deleted_clause_makes_action_added():
+    """Footnote 2: removing a conjunct turns the subaction into an added one."""
+    diff = diff_optimization(base_machine(), optimized(
+        [Action(name="Step", clauses=(U,))]))  # guard g removed
+    assert [a.name for a in diff.added] == ["Step"]
+
+
+def test_added_action_writing_base_var_is_mutating():
+    diff = diff_optimization(base_machine(), optimized([
+        Action(name="Step", clauses=(G, U)),
+        Action(name="Extra", clauses=(BAD_UPDATE,)),
+    ]))
+    assert not diff.non_mutating
+    assert "writes base variable 'x'" in diff.mutating_writes()[0]
+
+
+def test_modified_action_writing_base_var_is_mutating():
+    other_bad = Clause("bad-2", "update", lambda s, p: 9, var="x")
+    machine = SpecMachine(
+        name="A-delta", variables=("x", "aux"), constants={},
+        init=lambda c: [State({"x": 0, "aux": 0})],
+        actions=[Action(name="Step", clauses=(G, NEW_UPDATE, other_bad))],
+    )
+    # Step has G but not U: treated as added (deleted clause), still mutating.
+    diff = diff_optimization(base_machine(), machine)
+    assert not diff.non_mutating
+
+
+def test_added_guard_on_base_var_is_fine():
+    """Figure 4c: `table[k] = {}` is a guard over A's state — allowed."""
+    diff = diff_optimization(base_machine(), optimized(
+        [Action(name="Step", clauses=(G, U, NEW_GUARD))]))
+    assert diff.non_mutating
+
+
+def test_dropping_base_variable_rejected():
+    machine = SpecMachine(
+        name="A-delta", variables=("aux",), constants={},
+        init=lambda c: [State({"aux": 0})], actions=[],
+    )
+    with pytest.raises(ValueError):
+        diff_optimization(base_machine(), machine)
+
+
+def test_summary_text():
+    diff = diff_optimization(base_machine(), optimized(
+        [Action(name="Step", clauses=(G, U, NEW_UPDATE))]))
+    text = diff.summary()
+    assert "non-mutating" in text and "aux" in text

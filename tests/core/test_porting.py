@@ -1,0 +1,157 @@
+"""The §4.3 porting algorithm, end to end on the Figure 4 example."""
+
+import pytest
+
+from repro.core.action import Action, Clause
+from repro.core.explorer import Explorer
+from repro.core.machine import SpecMachine
+from repro.core.optimization import diff_optimization
+from repro.core.porting import (
+    PortSpec,
+    PortingError,
+    port_optimization,
+    ported_to_optimized_mapping,
+    ported_to_target_mapping,
+)
+from repro.core.refinement import check_refinement
+from repro.core.state import State
+from repro.specs import kvexample as kv
+
+
+def test_target_refines_base():
+    """Precondition of the port: B => A under the Figure 4 mapping."""
+    result = check_refinement(kv.log_store(), kv.kv_store(), kv.log_to_kv_mapping())
+    assert result.ok and result.complete
+
+
+def test_optimization_is_non_mutating():
+    diff = diff_optimization(kv.kv_store(), kv.kv_store_sized())
+    assert diff.non_mutating
+    assert diff.new_variables == ("size",)
+    assert len(diff.modified) == 1 and diff.modified[0].base.name == "Put"
+
+
+def test_generated_machine_structure():
+    """B∆ has B's actions with the translated clauses spliced in — the shape
+    of Figure 4d."""
+    ported = kv.log_store_sized()
+    assert ported.variables == ("logs", "output", "size")
+    write = ported.action("Write")
+    clause_names = [c.name for c in write.clauses]
+    assert "write-contiguous" in clause_names          # B's own guard
+    assert any("put-only-fresh" in n for n in clause_names)   # ported guard
+    assert any("put-bumps-size" in n for n in clause_names)   # ported update
+    read = ported.action("Read")
+    assert len(read.clauses) == 1  # Case-2: carried over unchanged
+
+
+def test_ported_machine_executes_like_figure_4d():
+    ported = kv.log_store_sized()
+    state = ported.initial_states()[0]
+    assert state["size"] == 0
+    write = ported.action("Write")
+    binding = {"i": 0, "v": "a"}
+    assert write.enabled(state, binding)
+    nxt = write.apply(state, binding)
+    assert nxt["size"] == 1
+    assert nxt["logs"][0] == ("a",)
+    # second write to the same index now disabled (ported fresh-only guard)
+    assert not write.enabled(nxt, binding)
+    # writing index 1 before 0... index 1 is allowed (contiguous), index 1
+    # fresh: enabled
+    assert write.enabled(nxt, {"i": 1, "v": "b"})
+
+
+def test_ported_refines_optimized():
+    ported = kv.log_store_sized()
+    mapping = ported_to_optimized_mapping(
+        kv.port_spec(), kv.kv_store(), kv.kv_store_sized(), kv.log_store())
+    result = check_refinement(ported, kv.kv_store_sized(), mapping)
+    assert result.ok and result.complete
+
+
+def test_ported_refines_target():
+    ported = kv.log_store_sized()
+    result = check_refinement(ported, kv.log_store(),
+                              ported_to_target_mapping(kv.log_store()))
+    assert result.ok and result.complete
+
+
+def test_ported_inherits_optimization_invariant():
+    result = Explorer(kv.log_store_sized(),
+                      invariants={"size": kv.size_matches_nonempty_entries}).run()
+    assert result.ok and result.complete
+
+
+def test_port_refuses_mutating_optimization():
+    base = kv.kv_store()
+    bad_clause = Clause("clobber", "update",
+                        lambda s, p: s["table"], var="table")
+    mutant = SpecMachine(
+        name="bad-delta", variables=("table", "output", "size"),
+        constants=dict(base.constants),
+        init=kv.kv_store_sized().init,
+        actions=[
+            base.action("Put"),
+            base.action("Get"),
+            Action(name="Clobber", clauses=(bad_clause,)),
+        ],
+    )
+    with pytest.raises(PortingError, match="not non-mutating"):
+        port_optimization(base, mutant, kv.log_store(), kv.port_spec())
+
+
+def test_port_requires_complete_correspondence():
+    spec = PortSpec(state_map=kv.log_to_kv_mapping(),
+                    correspondence={"Write": ("Put",)})  # Read missing
+    with pytest.raises(PortingError, match="no correspondence"):
+        port_optimization(kv.kv_store(), kv.kv_store_sized(), kv.log_store(), spec)
+
+
+def test_port_detects_update_collision():
+    base = kv.kv_store()
+    # Two modified A-actions both writing `size`, both implied by Write.
+    extra = Clause("also-bumps", "update", lambda s, p: s["size"] + 1, var="size")
+    delta = SpecMachine(
+        name="colliding-delta", variables=("table", "output", "size"),
+        constants=dict(base.constants),
+        init=kv.kv_store_sized().init,
+        actions=[
+            base.action("Put").with_clauses([kv.PUT_BUMPS_SIZE]),
+            base.action("Get").with_clauses([extra]),
+        ],
+    )
+    spec = PortSpec(state_map=kv.log_to_kv_mapping(),
+                    correspondence={"Write": ("Put", "Get"), "Read": ()})
+    with pytest.raises(PortingError, match="collision"):
+        port_optimization(base, delta, kv.log_store(), spec)
+
+
+def test_added_action_translated_through_mapping():
+    """Case-1: an added subaction reading A's state is rewritten through f."""
+    base = kv.kv_store()
+    snapshot = Clause(
+        "snapshot-count", "update",
+        lambda s, p: s["size"] + sum(1 for k in s["table"] if s["table"][k] != ()),
+        var="size")
+    delta = SpecMachine(
+        name="delta-with-added", variables=("table", "output", "size"),
+        constants=dict(base.constants),
+        init=kv.kv_store_sized().init,
+        actions=[base.action("Put"), base.action("Get"),
+                 Action(name="Recount", clauses=(snapshot,))],
+    )
+    ported = port_optimization(base, delta, kv.log_store(), kv.port_spec())
+    recount = ported.action("Recount")
+    state = ported.initial_states()[0]
+    filled = state.assign({"logs": state["logs"].set(0, ("a",))})
+    nxt = recount.apply(filled, {})
+    assert nxt["size"] == 1  # read `table` through f(logs)
+
+
+def test_stutter_only_correspondence_allowed():
+    spec = PortSpec(state_map=kv.log_to_kv_mapping(),
+                    correspondence={"Write": ("Put",), "Read": ()})
+    ported = port_optimization(kv.kv_store(), kv.kv_store_sized(),
+                               kv.log_store(), spec)
+    assert len(ported.action("Read").clauses) == 1

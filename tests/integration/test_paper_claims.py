@@ -1,0 +1,118 @@
+"""The paper's §5 claims, asserted end to end at reduced scale.
+
+These are the qualitative statements the reproduction must preserve (who
+wins, in which direction); EXPERIMENTS.md records the quantitative factors.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentSpec, run_experiment
+from repro.workload.ycsb import WorkloadConfig
+
+
+def run(protocol, *, clients=6, read_fraction=0.9, conflict=0.05,
+        value_size=8, mode=None, leader="oregon", duration=4.0, seed=3):
+    return run_experiment(ExperimentSpec(
+        protocol=protocol,
+        leader_site=leader,
+        clients_per_region=clients,
+        duration_s=duration,
+        warmup_s=1.0,
+        cooldown_s=0.5,
+        workload=WorkloadConfig(read_fraction=read_fraction,
+                                conflict_rate=conflict, value_size=value_size),
+        execution_mode=mode,
+        seed=seed,
+    ))
+
+
+# ---- Figure 9a claims -------------------------------------------------------
+
+def test_pql_reads_are_local_everywhere():
+    result = run("raftstar-pql")
+    assert result.local_read_fraction > 0.9
+    assert result.read_latency["followers"]["p50"] < 5.0  # ~1 ms in the paper
+    assert result.read_latency["leader"]["p50"] < 5.0
+
+
+def test_ll_reads_local_only_at_leader():
+    result = run("leaderlease")
+    assert result.read_latency["leader"]["p50"] < 5.0
+    assert result.read_latency["followers"]["p50"] > 20.0
+
+
+def test_raft_reads_pay_a_wan_round_trip():
+    result = run("raft")
+    assert result.read_latency["leader"]["p50"] > 50.0
+    assert result.read_latency["followers"]["p50"] > 100.0
+    assert result.local_read_fraction == 0.0
+
+
+def test_raftstar_similar_latency_to_raft():
+    raft = run("raft")
+    raftstar = run("raftstar")
+    for group in ("leader", "followers"):
+        a = raft.read_latency[group]["p50"]
+        b = raftstar.read_latency[group]["p50"]
+        assert abs(a - b) / a < 0.25
+
+
+# ---- Figure 9b claim --------------------------------------------------------
+
+def test_pql_writes_slower_than_raft_writes():
+    """PQL waits for lease holders; Raft picks the fastest majority."""
+    pql = run("raftstar-pql")
+    raft = run("raft")
+    assert pql.write_latency["leader"]["p50"] > raft.write_latency["leader"]["p50"]
+
+
+# ---- Figure 9c claim --------------------------------------------------------
+
+@pytest.mark.slow
+def test_pql_peak_throughput_beats_baselines_at_high_read_percentage():
+    pql = run("raftstar-pql", clients=40, read_fraction=0.99, duration=5.0)
+    raft = run("raft", clients=40, read_fraction=0.99, duration=5.0)
+    assert pql.throughput_ops > 1.4 * raft.throughput_ops
+
+
+# ---- Figure 9d claim --------------------------------------------------------
+
+@pytest.mark.slow
+def test_pql_speedup_decreases_with_conflict_rate():
+    lo = run("raftstar-pql", clients=25, conflict=0.0, duration=5.0)
+    hi = run("raftstar-pql", clients=25, conflict=0.5, duration=5.0)
+    assert lo.throughput_ops > hi.throughput_ops
+
+
+# ---- Figure 10 claims -------------------------------------------------------
+
+@pytest.mark.slow
+def test_mencius_peak_beats_single_leader_cpu_bound():
+    mencius = run("mencius", clients=60, read_fraction=0.0, conflict=0.0,
+                  mode="commutative", duration=5.0)
+    raft = run("raft", clients=60, read_fraction=0.0, conflict=0.0, duration=5.0)
+    assert mencius.throughput_ops > 1.2 * raft.throughput_ops
+
+
+def test_raft_oregon_beats_raft_seoul():
+    oregon = run("raft", read_fraction=0.0, leader="oregon")
+    seoul = run("raft", read_fraction=0.0, leader="seoul")
+    assert (oregon.write_latency["leader"]["p50"]
+            < seoul.write_latency["leader"]["p50"])
+
+
+def test_mencius_commutative_latency_below_ordered():
+    ordered = run("mencius", read_fraction=0.0, conflict=1.0, mode="ordered")
+    commutative = run("mencius", read_fraction=0.0, conflict=0.0,
+                      mode="commutative")
+    assert (commutative.write_latency["leader"]["p50"]
+            < ordered.write_latency["leader"]["p50"])
+
+
+def test_raft_oregon_leader_latency_lowest_of_all_systems():
+    """Figure 10c: 'the leader of Raft-Oregon processes requests with the
+    lowest latency'."""
+    raft = run("raft", read_fraction=0.0, leader="oregon")
+    mencius = run("mencius", read_fraction=0.0, conflict=0.0, mode="commutative")
+    assert (raft.write_latency["leader"]["p50"]
+            <= mencius.write_latency["leader"]["p50"])

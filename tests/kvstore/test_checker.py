@@ -1,0 +1,88 @@
+"""History checker detects what it should and passes what it should."""
+
+from repro.kvstore.checker import HistoryChecker, HistoryEvent
+from repro.protocols.types import Command, OpType
+
+
+def put(key, value, client="c", seq=1):
+    return Command(op=OpType.PUT, key=key, value=value, client_id=client, seq=seq)
+
+
+def test_prefix_agreement_clean():
+    checker = HistoryChecker()
+    for replica in ("a", "b"):
+        checker.record_apply(replica, 0, put("k", "v1"))
+        checker.record_apply(replica, 1, put("k", "v2", seq=2))
+    assert checker.check_prefix_agreement() == []
+
+
+def test_prefix_agreement_detects_divergence():
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "v1"))
+    checker.record_apply("b", 0, put("k", "DIFFERENT"))
+    violations = checker.check_prefix_agreement()
+    assert violations and "disagree at index 0" in violations[0]
+
+
+def test_prefix_agreement_ignores_disjoint_indexes():
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "v1"))
+    checker.record_apply("b", 1, put("k", "v2", seq=2))
+    assert checker.check_prefix_agreement() == []
+
+
+def test_monotonic_reads_clean():
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "v1", seq=1))
+    checker.record_apply("a", 1, put("k", "v2", seq=2))
+    checker.record_event(HistoryEvent("c", 1, OpType.GET, "k", "v1", 0, 10, "a"))
+    checker.record_event(HistoryEvent("c", 2, OpType.GET, "k", "v2", 20, 30, "a"))
+    assert checker.check_monotonic_reads() == []
+
+
+def test_monotonic_reads_detects_regression():
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "v1", seq=1))
+    checker.record_apply("a", 1, put("k", "v2", seq=2))
+    checker.record_event(HistoryEvent("c", 1, OpType.GET, "k", "v2", 0, 10, "a"))
+    checker.record_event(HistoryEvent("c", 2, OpType.GET, "k", "v1", 20, 30, "a"))
+    violations = checker.check_monotonic_reads()
+    assert violations and "going backwards" in violations[0]
+
+
+def test_lease_freshness_clean():
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "v1", seq=1))
+    checker.record_event(HistoryEvent("w", 1, OpType.PUT, "k", "v1", 0, 10, "a"))
+    checker.record_event(HistoryEvent("r", 1, OpType.GET, "k", "v1", 20, 25, "b",
+                                      local_read=True))
+    assert checker.check_lease_read_freshness() == []
+
+
+def test_lease_freshness_detects_stale_read():
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "old", seq=1))
+    checker.record_apply("a", 1, put("k", "new", seq=2))
+    checker.record_event(HistoryEvent("w", 2, OpType.PUT, "k", "new", 0, 10, "a"))
+    checker.record_event(HistoryEvent("r", 1, OpType.GET, "k", "old", 20, 25, "b",
+                                      local_read=True))
+    violations = checker.check_lease_read_freshness()
+    assert violations and "stale lease read" in violations[0]
+
+
+def test_lease_freshness_ignores_concurrent_reads():
+    """A local read that STARTED before the write completed may see either."""
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "old", seq=1))
+    checker.record_apply("a", 1, put("k", "new", seq=2))
+    checker.record_event(HistoryEvent("w", 2, OpType.PUT, "k", "new", 0, 30, "a"))
+    checker.record_event(HistoryEvent("r", 1, OpType.GET, "k", "old", 20, 25, "b",
+                                      local_read=True))
+    assert checker.check_lease_read_freshness() == []
+
+
+def test_check_all_aggregates():
+    checker = HistoryChecker()
+    checker.record_apply("a", 0, put("k", "v1"))
+    checker.record_apply("b", 0, put("k", "OTHER"))
+    assert len(checker.check_all()) >= 1

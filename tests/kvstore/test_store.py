@@ -1,0 +1,100 @@
+"""KV store state machine."""
+
+from hypothesis import given, strategies as st
+
+from repro.kvstore.store import KVStore
+from repro.protocols.types import Command, OpType
+
+
+def put(key, value, client="c", seq=1, ):
+    return Command(op=OpType.PUT, key=key, value=value, client_id=client, seq=seq)
+
+
+def get(key, client="c", seq=1):
+    return Command(op=OpType.GET, key=key, client_id=client, seq=seq)
+
+
+def test_put_then_get():
+    store = KVStore()
+    store.apply(put("k", "v", seq=1))
+    assert store.apply(get("k", seq=2)).value == "v"
+
+
+def test_get_missing_returns_none():
+    store = KVStore()
+    assert store.apply(get("k")).value is None
+
+
+def test_duplicate_seq_not_reapplied():
+    store = KVStore()
+    store.apply(put("k", "v1", seq=1))
+    store.apply(put("k", "v2", seq=2))
+    result = store.apply(put("k", "v1", seq=1))  # replay of an old write
+    assert store.read_local("k") == "v2"
+    assert result.ok
+
+
+def test_duplicate_returns_original_result():
+    store = KVStore()
+    store.apply(put("k", "v", seq=1))
+    first = store.apply(get("k", seq=2))
+    store.apply(put("k", "w", client="other", seq=1))
+    replay = store.apply(get("k", seq=2))
+    assert replay.value == first.value == "v"
+
+
+def test_version_counts_writes():
+    store = KVStore()
+    assert store.version("k") == 0
+    store.apply(put("k", "a", seq=1))
+    store.apply(put("k", "b", seq=2))
+    assert store.version("k") == 2
+
+
+def test_nop_applies_to_nothing():
+    from repro.protocols.types import NOP
+    store = KVStore()
+    assert store.apply(NOP).ok
+    assert len(store) == 0
+    assert store.applied_count == 0
+
+
+def test_clients_tracked_independently():
+    store = KVStore()
+    store.apply(put("k", "a", client="c1", seq=5))
+    store.apply(put("k", "b", client="c2", seq=1))
+    assert store.read_local("k") == "b"
+    assert store.version("k") == 2
+
+
+def test_snapshot_is_copy():
+    store = KVStore()
+    store.apply(put("k", "v", seq=1))
+    snap = store.snapshot()
+    snap["k"] = "tampered"
+    assert store.read_local("k") == "v"
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.text(min_size=1, max_size=3)), max_size=30))
+def test_store_matches_model_dict(ops):
+    """Property: with unique seqs, the store behaves like a plain dict."""
+    store = KVStore()
+    model = {}
+    for seq, (key, value) in enumerate(ops, start=1):
+        store.apply(put(key, value, seq=seq))
+        model[key] = value
+    assert store.snapshot() == model
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=30))
+def test_replays_idempotent(seqs):
+    """Property: applying any sequence twice equals applying it once."""
+    once = KVStore()
+    twice = KVStore()
+    for seq in seqs:
+        once.apply(put("k", f"v{seq}", seq=seq))
+    for seq in seqs + seqs:
+        twice.apply(put("k", f"v{seq}", seq=seq))
+    assert once.snapshot() == twice.snapshot()
+    assert once.version("k") == twice.version("k")

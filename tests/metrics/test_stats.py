@@ -1,0 +1,63 @@
+"""Percentile math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import percentile, summarize
+
+
+def test_percentile_basic():
+    values = list(range(1, 101))
+    assert percentile(values, 50) == 50
+    assert percentile(values, 90) == 90
+    assert percentile(values, 99) == 99
+    assert percentile(values, 100) == 100
+
+
+def test_percentile_zero_returns_min():
+    assert percentile([5, 1, 9], 0) == 1
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 50) == 7.0
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_summarize():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary["count"] == 4
+    assert summary["mean"] == 2.5
+    assert summary["max"] == 4.0
+
+
+def test_summarize_empty():
+    assert summarize([])["count"] == 0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(values, pct):
+    """Property: percentiles always lie within [min, max] and are monotone
+    in pct."""
+    result = percentile(values, pct)
+    assert min(values) <= result <= max(values)
+    if pct <= 50:
+        assert result <= percentile(values, 90)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100))
+def test_percentile_is_element(values):
+    """Nearest-rank percentile returns an actual sample."""
+    for pct in (1, 25, 50, 90, 99):
+        assert percentile(values, pct) in values

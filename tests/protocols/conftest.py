@@ -1,0 +1,92 @@
+"""Builders for protocol tests: small LAN clusters with direct access to
+replicas, plus a scripted client node."""
+
+from typing import Dict, Optional, Type
+
+import pytest
+
+from repro.protocols.config import ClusterConfig
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.types import Command, OpType
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node, NodeCosts
+from repro.sim.rng import SplitRng
+from repro.sim.topology import symmetric_lan
+from repro.sim.units import ms, sec
+
+
+class ScriptClient(Node):
+    """Sends commands on demand; records replies."""
+
+    def __init__(self, name, sim, network, site=None):
+        super().__init__(name, sim, network, site=site,
+                         costs=NodeCosts(per_message=0, per_command=0, per_byte=0))
+        self.replies = []
+        self._seq = 0
+
+    def put(self, server: str, key: str, value: str) -> Command:
+        self._seq += 1
+        command = Command(op=OpType.PUT, key=key, value=value,
+                          client_id=self.name, seq=self._seq)
+        self.send(server, ClientRequest(command=command))
+        return command
+
+    def get(self, server: str, key: str) -> Command:
+        self._seq += 1
+        command = Command(op=OpType.GET, key=key, client_id=self.name, seq=self._seq)
+        self.send(server, ClientRequest(command=command))
+        return command
+
+    def on_message(self, src, message):
+        if isinstance(message, ClientReply):
+            self.replies.append((self.sim.now, src, message))
+
+    def reply_for(self, command: Command) -> Optional[ClientReply]:
+        for _, _, reply in self.replies:
+            if reply.request_id == command.request_id:
+                return reply
+        return None
+
+
+class MiniCluster:
+    """n replicas of a given class on a LAN + one script client."""
+
+    def __init__(self, replica_cls: Type, n: int = 3, seed: int = 1,
+                 leader: Optional[str] = "s0", rtt_ms: float = 2.0,
+                 config_kwargs: Optional[dict] = None,
+                 replica_kwargs: Optional[dict] = None,
+                 fifo: bool = True):
+        self.sim = Simulator()
+        topo = symmetric_lan(n, rtt_ms_value=rtt_ms)
+        self.network = Network(self.sim, topo, rng=SplitRng(seed),
+                               config=NetworkConfig(fifo=fifo))
+        kwargs = dict(
+            replicas={f"s{i}": f"s{i}" for i in range(n)},
+            initial_leader=leader,
+            election_timeout_min=ms(150),
+            election_timeout_max=ms(300),
+            heartbeat_interval=ms(30),
+        )
+        kwargs.update(config_kwargs or {})
+        self.config = ClusterConfig(**kwargs)
+        self.replicas: Dict[str, object] = {
+            name: replica_cls(name, self.sim, self.network, self.config,
+                              **(replica_kwargs or {}))
+            for name in self.config.names
+        }
+        self.client = ScriptClient("client", self.sim, self.network, site="s0")
+
+    def __getitem__(self, name):
+        return self.replicas[name]
+
+    def run_ms(self, milliseconds: float):
+        self.sim.run(until=self.sim.now + ms(milliseconds))
+
+    def values(self):
+        return list(self.replicas.values())
+
+
+@pytest.fixture
+def cluster_factory():
+    return MiniCluster

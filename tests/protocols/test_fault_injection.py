@@ -1,0 +1,124 @@
+"""Fault injection: message loss, partitions, crash-recover cycles."""
+
+import pytest
+
+from repro.kvstore.checker import HistoryChecker
+from repro.protocols.raft import RaftReplica, Role
+from repro.protocols.raftstar import RaftStarReplica
+from repro.sim.network import NetworkConfig
+from repro.sim.units import ms
+
+
+def attach_checker(cluster):
+    checker = HistoryChecker()
+    for replica in cluster.values():
+        replica.on_apply_hooks.append(checker.record_apply)
+    return checker
+
+
+@pytest.mark.parametrize("replica_cls", [RaftReplica, RaftStarReplica])
+def test_progress_under_message_loss(cluster_factory, replica_cls):
+    cluster = cluster_factory(replica_cls)
+    cluster.network.config.loss_rate = 0.05
+    checker = attach_checker(cluster)
+    cluster.run_ms(5)
+    cmds = []
+    for i in range(10):
+        cmds.append(cluster.client.put("s0", f"k{i}", f"v{i}"))
+        cluster.run_ms(120)
+    cluster.network.config.loss_rate = 0.0
+    cluster.run_ms(2000)
+    replied = sum(1 for c in cmds if cluster.client.reply_for(c))
+    assert replied >= 8  # loss slows things down but does not wedge them
+    assert checker.check_prefix_agreement() == []
+
+
+@pytest.mark.parametrize("replica_cls", [RaftReplica, RaftStarReplica])
+def test_repeated_leader_crashes_never_lose_commits(cluster_factory, replica_cls):
+    cluster = cluster_factory(replica_cls, n=5)
+    checker = attach_checker(cluster)
+    cluster.run_ms(5)
+    committed = {}
+    crashed = []
+    for round_no in range(3):
+        cmd = cluster.client.put("s0" if round_no == 0 else leader_name(cluster),
+                                 f"k{round_no}", f"v{round_no}")
+        cluster.run_ms(400)
+        if cluster.client.reply_for(cmd):
+            committed[f"k{round_no}"] = f"v{round_no}"
+        victim = leader_name(cluster)
+        if victim:
+            cluster[victim].crash()
+            crashed.append(victim)
+        cluster.run_ms(1200)
+        if len(crashed) == 2:
+            break
+    final_leader = leader_name(cluster)
+    assert final_leader is not None
+    for key, value in committed.items():
+        assert cluster[final_leader].store.read_local(key) == value
+    assert checker.check_prefix_agreement() == []
+
+
+def leader_name(cluster):
+    for name, replica in cluster.replicas.items():
+        if replica.alive and replica.role is Role.LEADER:
+            return name
+    return None
+
+
+def test_crashed_follower_recovers_and_catches_up(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cluster["s2"].crash()
+    for i in range(5):
+        cluster.client.put("s0", f"k{i}", f"v{i}")
+    cluster.run_ms(300)
+    cluster["s2"].recover()
+    cluster.run_ms(1000)
+    for i in range(5):
+        assert cluster["s2"].store.read_local(f"k{i}") == f"v{i}"
+
+
+def test_minority_partition_cannot_commit(cluster_factory):
+    cluster = cluster_factory(RaftReplica, n=5)
+    cluster.run_ms(5)
+    cluster.network.partition(["s0", "s1"], ["s2", "s3", "s4"])
+    cmd = cluster.client.put("s0", "k", "minority")
+    cluster.run_ms(500)
+    assert cluster.client.reply_for(cmd) is None
+
+
+def test_majority_side_elects_and_serves(cluster_factory):
+    cluster = cluster_factory(RaftReplica, n=5)
+    cluster.run_ms(5)
+    cluster.network.partition(["s0", "s1"], ["s2", "s3", "s4"])
+    cluster.run_ms(1200)
+    majority_leader = next(
+        (n for n in ("s2", "s3", "s4")
+         if cluster[n].role is Role.LEADER), None)
+    assert majority_leader is not None
+    cmd = cluster.client.put(majority_leader, "k", "majority")
+    cluster.run_ms(400)
+    assert cluster.client.reply_for(cmd).ok
+
+
+def test_heal_reconciles_divergent_logs(cluster_factory):
+    cluster = cluster_factory(RaftReplica, n=5)
+    checker = attach_checker(cluster)
+    cluster.run_ms(5)
+    # old leader strands writes in the minority
+    cluster.network.partition(["s0", "s1"], ["s2", "s3", "s4"])
+    cluster.client.put("s0", "k", "stranded")
+    cluster.run_ms(1200)
+    majority_leader = next(n for n in ("s2", "s3", "s4")
+                           if cluster[n].role is Role.LEADER)
+    done = cluster.client.put(majority_leader, "k", "winner")
+    cluster.run_ms(400)
+    assert cluster.client.reply_for(done).ok
+    cluster.network.heal()
+    cluster.run_ms(1500)
+    # every replica converges on the committed value
+    for replica in cluster.values():
+        assert replica.store.read_local("k") == "winner"
+    assert checker.check_prefix_agreement() == []

@@ -1,0 +1,69 @@
+"""Leader Lease (LL) baseline."""
+
+import pytest
+
+from repro.protocols.leaderlease import LeaderLeaseReplica
+from repro.sim.units import ms
+
+
+def build(cluster_factory, **kwargs):
+    kwargs.setdefault("config_kwargs", {})
+    kwargs["config_kwargs"].setdefault("lease_duration", ms(500))
+    return cluster_factory(LeaderLeaseReplica, **kwargs)
+
+
+def test_leader_serves_reads_locally(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(200)  # heartbeat acks establish the lease
+    assert cluster["s0"].has_leader_lease()
+    read = cluster.client.get("s0", "k")
+    cluster.run_ms(20)
+    reply = cluster.client.reply_for(read)
+    assert reply.ok and reply.local_read
+
+
+def test_follower_reads_forwarded_not_local(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(200)
+    cluster.client.put("s0", "k", "v")
+    cluster.run_ms(100)
+    read = cluster.client.get("s1", "k")
+    cluster.run_ms(100)
+    reply = cluster.client.reply_for(read)
+    assert reply.ok and reply.value == "v"
+    assert cluster["s1"].local_reads_served == 0
+
+
+def test_followers_never_hold_the_lease(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(200)
+    assert not cluster["s1"].has_leader_lease()
+    assert not cluster["s2"].has_leader_lease()
+
+
+def test_isolated_leader_loses_lease(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(200)
+    cluster.network.isolate("s0")
+    cluster.run_ms(900)
+    assert not cluster["s0"].has_leader_lease()
+
+
+def test_read_after_lease_loss_goes_through_log(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(200)
+    cluster.network.isolate("s0")
+    cluster.run_ms(900)
+    before = cluster["s0"].local_reads_served
+    cluster.client.get("s0", "k")
+    cluster.run_ms(50)
+    assert cluster["s0"].local_reads_served == before
+
+
+def test_writes_behave_like_raftstar(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(200)
+    cmd = cluster.client.put("s1", "k", "v")
+    cluster.run_ms(150)
+    assert cluster.client.reply_for(cmd).ok
+    assert cluster["s0"].store.read_local("k") == "v"

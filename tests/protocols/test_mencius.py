@@ -1,0 +1,153 @@
+"""Raft*-Mencius / Coordinated Paxos."""
+
+import pytest
+
+from repro.protocols.mencius import (
+    CoordinatedPaxosReplica,
+    MenciusReplica,
+    RaftStarMenciusReplica,
+    STATUS_COMMITTED,
+    STATUS_SKIPPED,
+)
+from repro.sim.units import ms, sec
+
+
+def build(cluster_factory, mode="ordered", **kwargs):
+    kwargs.setdefault("leader", None)
+    kwargs.setdefault("replica_kwargs", {"execution_mode": mode})
+    kwargs.setdefault("config_kwargs", {})
+    kwargs["config_kwargs"].setdefault("skip_interval", ms(10))
+    kwargs["config_kwargs"].setdefault("revoke_timeout", ms(400))
+    return cluster_factory(RaftStarMenciusReplica, **kwargs)
+
+
+def test_every_replica_serves_its_own_clients(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    cmds = [cluster.client.put(f"s{i}", f"k{i}", f"v{i}") for i in range(3)]
+    cluster.run_ms(300)
+    for cmd in cmds:
+        assert cluster.client.reply_for(cmd).ok
+
+
+def test_owned_indexes_round_robin(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    cluster.client.put("s1", "k", "v")
+    cluster.run_ms(200)
+    replica = cluster["s1"]
+    owned = [i for i, e in replica.entries.items()
+             if e.command.key == "k"]
+    assert owned and all(i % 3 == 1 for i in owned)
+
+
+def test_states_converge_across_replicas(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    for i in range(6):
+        cluster.client.put(f"s{i % 3}", f"k{i}", f"v{i}")
+    cluster.run_ms(500)
+    snapshots = [replica.store.snapshot() for replica in cluster.values()]
+    assert snapshots[0] == snapshots[1] == snapshots[2]
+    assert len(snapshots[0]) == 6
+
+
+def test_skips_fill_idle_owners(cluster_factory):
+    """Only s0 proposes; s1/s2's indexes must be skipped so s0's entries
+    execute."""
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s0", "k", "v")
+    cluster.run_ms(300)
+    assert cluster.client.reply_for(cmd).ok
+    replica = cluster["s0"]
+    skipped = [i for i, s in replica.status.items() if s == STATUS_SKIPPED]
+    assert skipped, "idle owners' indexes must be skipped"
+
+
+def test_frontier_advertised_and_learned(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    cluster.client.put("s0", "k", "v")
+    cluster.run_ms(300)
+    # everyone learned s0's frontier advance
+    for name in ("s1", "s2"):
+        assert cluster[name].frontier["s0"] >= 3
+
+
+def test_commutative_mode_lower_latency_than_ordered(cluster_factory):
+    def one_run(mode):
+        cluster = build(cluster_factory, mode=mode, rtt_ms=40.0)
+        cluster.run_ms(5)
+        cmd = cluster.client.put("s0", "k", "v")
+        cluster.run_ms(1000)
+        reply_time = next(t for t, _, r in cluster.client.replies
+                          if r.request_id == cmd.request_id)
+        return reply_time
+
+    assert one_run("commutative") <= one_run("ordered")
+
+
+def test_execution_order_identical_everywhere(cluster_factory):
+    applied = {}
+    cluster = build(cluster_factory)
+    for name, replica in cluster.replicas.items():
+        applied[name] = []
+        replica.on_apply_hooks.append(
+            lambda n, i, c: applied[n].append((i, c.client_id, c.seq)))
+    cluster.run_ms(5)
+    for i in range(9):
+        cluster.client.put(f"s{i % 3}", f"k{i}", f"v{i}")
+    cluster.run_ms(600)
+    non_nop = {
+        name: [x for x in seq]
+        for name, seq in applied.items()
+    }
+    assert non_nop["s0"] == non_nop["s1"] == non_nop["s2"]
+
+
+def test_crashed_owner_revoked_and_log_moves_on(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    cluster["s2"].crash()
+    cmd = cluster.client.put("s0", "k", "after-crash")
+    cluster.run_ms(2500)  # revoke timeout + recovery round
+    reply = cluster.client.reply_for(cmd)
+    assert reply is not None and reply.ok
+    assert cluster["s1"].store.read_local("k") == "after-crash"
+
+
+def test_client_command_survives_revocation(cluster_factory):
+    """If a recovery no-ops an owner's pending index, the owner re-proposes
+    the ousted command at a fresh index."""
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    # partition s2 away from the other replicas (client connectivity stays)
+    cluster.network.block("s2", "s0")
+    cluster.network.block("s2", "s1")
+    cmd = cluster.client.put("s2", "k", "survive")
+    cluster.run_ms(1500)  # others revoke s2's stalled range
+    cluster.network.heal()
+    cluster.run_ms(2500)
+    reply = cluster.client.reply_for(cmd)
+    assert reply is not None and reply.ok
+    assert cluster["s0"].store.read_local("k") == "survive"
+
+
+def test_coordinated_paxos_variant_works(cluster_factory):
+    cluster = cluster_factory(CoordinatedPaxosReplica, leader=None,
+                              replica_kwargs={"execution_mode": "ordered"},
+                              config_kwargs={"skip_interval": ms(10)})
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s1", "k", "v")
+    cluster.run_ms(300)
+    assert cluster.client.reply_for(cmd).ok
+
+
+def test_skip_tags_recorded(cluster_factory):
+    cluster = build(cluster_factory)
+    cluster.run_ms(5)
+    cluster.client.put("s0", "k", "v")
+    cluster.run_ms(300)
+    replica = cluster["s1"]
+    assert any(replica.skip_tags.values())

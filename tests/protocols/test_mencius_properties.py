@@ -1,0 +1,58 @@
+"""Property-based tests on Mencius' index arithmetic and safety under
+randomized multi-owner traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kvstore.checker import HistoryChecker
+from repro.protocols.config import single_site_cluster
+from repro.protocols.mencius import RaftStarMenciusReplica
+from repro.sim.units import ms
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=2, max_value=7))
+def test_ownership_partition(index, n):
+    """Every index has exactly one owner; ownership is periodic."""
+    cfg = single_site_cluster(n)
+    owner = cfg.owner_of(index)
+    assert owner == cfg.names[index % n]
+    assert cfg.owner_of(index + n) == owner
+    assert sum(1 for name in cfg.names if cfg.owned_by(name, index)) == 1
+
+
+@given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=2))
+def test_next_owned_at_or_above(start, rank):
+    """The next owned index is the least owned index >= start."""
+    from tests.protocols.conftest import MiniCluster
+
+    cluster = MiniCluster(RaftStarMenciusReplica, leader=None)
+    replica = cluster[f"s{rank}"]
+    result = replica._my_next_owned_at_or_above(start)
+    assert result >= start
+    assert result % 3 == rank
+    assert result - 3 < start  # least such index
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2),
+                          st.integers(min_value=0, max_value=9)),
+                min_size=1, max_size=12),
+       st.integers(min_value=0, max_value=3))
+def test_random_traffic_preserves_prefix_agreement(ops, seed):
+    """Random interleavings of client writes at random replicas never make
+    applied logs diverge."""
+    from tests.protocols.conftest import MiniCluster
+
+    cluster = MiniCluster(
+        RaftStarMenciusReplica, leader=None, seed=seed,
+        replica_kwargs={"execution_mode": "ordered"},
+        config_kwargs={"skip_interval": ms(10)},
+    )
+    checker = HistoryChecker()
+    for replica in cluster.values():
+        replica.on_apply_hooks.append(checker.record_apply)
+    cluster.run_ms(5)
+    for target, key in ops:
+        cluster.client.put(f"s{target}", f"k{key}", f"v{len(checker.events)}")
+        cluster.run_ms(15)
+    cluster.run_ms(500)
+    assert checker.check_prefix_agreement() == []

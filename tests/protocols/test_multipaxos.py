@@ -1,0 +1,100 @@
+"""MultiPaxos runnable implementation."""
+
+import pytest
+
+from repro.protocols.multipaxos import MultiPaxosReplica
+from repro.protocols.types import Ballot
+
+
+def test_seeded_leader_proposes_and_commits(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s0", "k", "v")
+    cluster.run_ms(100)
+    assert cluster.client.reply_for(cmd).ok
+    assert cluster["s0"].store.read_local("k") == "v"
+
+
+def test_commit_frontier_propagates_to_acceptors(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    cluster.client.put("s0", "k", "v")
+    cluster.run_ms(300)
+    for replica in cluster.values():
+        assert replica.commit_index >= 0
+        assert replica.store.read_local("k") == "v"
+
+
+def test_follower_forwards(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s2", "k", "fwd")
+    cluster.run_ms(200)
+    assert cluster.client.reply_for(cmd).ok
+
+
+def test_instances_dense_under_single_leader(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    for i in range(6):
+        cluster.client.put("s0", f"k{i}", f"v{i}")
+    cluster.run_ms(300)
+    leader = cluster["s0"]
+    assert leader.commit_index == leader.log_tail
+    assert set(leader.instances) == set(range(leader.log_tail + 1))
+
+
+def test_failover_preserves_committed_values(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s0", "k", "keep-me")
+    cluster.run_ms(150)
+    assert cluster.client.reply_for(cmd).ok
+    cluster["s0"].crash()
+    cluster.run_ms(1500)
+    survivors = [r for r in cluster.values() if r.alive and r.phase1_succeeded]
+    assert len(survivors) == 1
+    new_leader = survivors[0]
+    cluster.run_ms(300)
+    assert new_leader.store.read_local("k") == "keep-me"
+
+
+def test_new_leader_ballot_exceeds_old(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    old_ballot = cluster["s0"].ballot
+    cluster["s0"].crash()
+    cluster.run_ms(1500)
+    new_leader = next(r for r in cluster.values() if r.alive and r.phase1_succeeded)
+    assert new_leader.ballot > old_ballot
+
+
+def test_new_leader_fills_holes_with_nops(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    for i in range(4):
+        cluster.client.put("s0", f"k{i}", f"v{i}")
+    cluster.run_ms(150)
+    cluster["s0"].crash()
+    cluster.run_ms(1500)
+    new_leader = next(r for r in cluster.values() if r.alive and r.phase1_succeeded)
+    cluster.run_ms(500)
+    # the new leader's frontier is contiguous: every instance up to its
+    # tail is chosen (values or no-ops)
+    assert new_leader.commit_index == new_leader.log_tail
+
+
+def test_ballot_uniqueness_by_proposer():
+    assert Ballot(2, "a") != Ballot(2, "b")
+    assert (2, "a") < (2, "b")
+
+
+def test_stale_leader_demoted_on_higher_ballot(cluster_factory):
+    cluster = cluster_factory(MultiPaxosReplica)
+    cluster.run_ms(5)
+    cluster.network.isolate("s0")
+    cluster.run_ms(1500)
+    cluster.network.heal()
+    cluster.run_ms(500)
+    leaders = [r for r in cluster.values() if r.phase1_succeeded]
+    assert len(leaders) == 1

@@ -1,0 +1,177 @@
+"""Raft: replication, commit rules, client paths, elections."""
+
+import pytest
+
+from repro.protocols.raft import RaftReplica, Role
+from repro.protocols.types import OpType
+
+
+def committed_everywhere(cluster, key, value, min_replicas=None):
+    count = sum(
+        1 for replica in cluster.values()
+        if replica.store.read_local(key) == value
+    )
+    return count >= (min_replicas or len(cluster.values()))
+
+
+def test_seeded_leader_is_leader(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    assert cluster["s0"].role is Role.LEADER
+    assert all(cluster[n].leader_id == "s0" for n in ("s1", "s2"))
+
+
+def test_write_commits_and_replies(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s0", "k", "v1")
+    cluster.run_ms(100)
+    reply = cluster.client.reply_for(cmd)
+    assert reply is not None and reply.ok
+
+
+def test_write_applies_on_all_replicas(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cluster.client.put("s0", "k", "v1")
+    cluster.run_ms(200)
+    assert committed_everywhere(cluster, "k", "v1")
+
+
+def test_read_through_log_returns_latest(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cluster.client.put("s0", "k", "v1")
+    cluster.run_ms(100)
+    cmd = cluster.client.get("s0", "k")
+    cluster.run_ms(100)
+    assert cluster.client.reply_for(cmd).value == "v1"
+
+
+def test_follower_forwards_to_leader(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s1", "k", "via-follower")
+    cluster.run_ms(200)
+    reply = cluster.client.reply_for(cmd)
+    assert reply is not None and reply.ok
+    assert cluster["s0"].store.read_local("k") == "via-follower"
+
+
+def test_commit_index_advances_monotonically(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    seen = []
+    for i in range(5):
+        cluster.client.put("s0", f"k{i}", f"v{i}")
+        cluster.run_ms(50)
+        seen.append(cluster["s0"].commit_index)
+    assert seen == sorted(seen)
+    assert seen[-1] >= 4
+
+
+def test_logs_converge(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    for i in range(10):
+        cluster.client.put("s0", f"k{i}", f"v{i}")
+    cluster.run_ms(300)
+    logs = [
+        [(e.term, e.command.client_id, e.command.seq) for e in r.log]
+        for r in cluster.values()
+    ]
+    assert logs[0] == logs[1] == logs[2]
+
+
+def test_election_after_leader_crash(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cluster["s0"].crash()
+    cluster.run_ms(800)
+    leaders = [r for r in cluster.values() if r.alive and r.role is Role.LEADER]
+    assert len(leaders) == 1
+    assert leaders[0].current_term > 1
+
+
+def test_no_progress_without_majority(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cluster["s1"].crash()
+    cluster["s2"].crash()
+    cmd = cluster.client.put("s0", "k", "v")
+    cluster.run_ms(300)
+    assert cluster.client.reply_for(cmd) is None
+    assert cluster["s0"].commit_index == -1
+
+
+def test_progress_resumes_after_recovery(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cluster["s1"].crash()
+    cluster["s2"].crash()
+    cluster.client.put("s0", "k", "v")
+    cluster.run_ms(200)
+    cluster["s1"].recover()
+    cluster.run_ms(2000)
+    # some leader exists and the write eventually commits
+    alive_leaders = [r for r in cluster.values() if r.alive and r.role is Role.LEADER]
+    assert len(alive_leaders) == 1
+    assert alive_leaders[0].store.read_local("k") == "v"
+
+
+def test_committed_data_survives_leader_change(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s0", "k", "v-committed")
+    cluster.run_ms(200)
+    assert cluster.client.reply_for(cmd).ok
+    cluster["s0"].crash()
+    cluster.run_ms(800)
+    new_leader = next(r for r in cluster.values() if r.alive and r.role is Role.LEADER)
+    assert new_leader.store.read_local("k") == "v-committed"
+
+
+def test_old_leader_steps_down_on_higher_term(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    old = cluster["s0"]
+    cluster.network.isolate("s0")
+    cluster.run_ms(800)  # others elect a new leader
+    cluster.network.heal()
+    cluster.run_ms(300)
+    leaders = [r for r in cluster.values() if r.role is Role.LEADER]
+    assert len(leaders) == 1
+    assert old.current_term == leaders[0].current_term
+
+
+def test_single_leader_per_term_across_runs(cluster_factory):
+    """Election safety over several randomized seeds."""
+    for seed in range(4):
+        cluster = cluster_factory(RaftReplica, seed=seed, leader=None)
+        leaders_by_term = {}
+        for _ in range(20):
+            cluster.run_ms(50)
+            for replica in cluster.values():
+                if replica.role is Role.LEADER:
+                    term = replica.current_term
+                    assert leaders_by_term.setdefault(term, replica.name) == replica.name
+
+
+def test_cluster_without_seed_elects_leader(cluster_factory):
+    cluster = cluster_factory(RaftReplica, leader=None)
+    cluster.run_ms(1500)
+    leaders = [r for r in cluster.values() if r.role is Role.LEADER]
+    assert len(leaders) == 1
+
+
+def test_duplicate_client_command_applied_once(cluster_factory):
+    cluster = cluster_factory(RaftReplica)
+    cluster.run_ms(5)
+    cmd = cluster.client.put("s0", "ctr", "one")
+    cluster.run_ms(100)
+    # re-send the same command (same request id), as a retrying client would
+    from repro.protocols.messages import ClientRequest
+    cluster.client.send("s0", ClientRequest(command=cmd))
+    cluster.run_ms(200)
+    leader = cluster["s0"]
+    assert leader.store.version("ctr") == 1

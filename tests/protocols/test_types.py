@@ -1,0 +1,56 @@
+"""Value types."""
+
+from repro.protocols.types import NOP, Ballot, Command, Entry, OpType
+
+
+def test_command_request_id():
+    c = Command(op=OpType.PUT, key="k", value="v", client_id="c1", seq=7)
+    assert c.request_id == ("c1", 7)
+
+
+def test_command_kind_predicates():
+    assert Command(op=OpType.GET, key="k").is_read
+    assert Command(op=OpType.PUT, key="k", value="v").is_write
+    assert NOP.is_nop and not NOP.is_read and not NOP.is_write
+
+
+def test_put_wire_size_includes_value():
+    small = Command(op=OpType.PUT, key="k", value="v", value_size=8)
+    big = Command(op=OpType.PUT, key="k", value="v", value_size=4096)
+    assert big.wire_size() - small.wire_size() == 4096 - 8
+
+
+def test_get_wire_size_ignores_value_size():
+    get = Command(op=OpType.GET, key="k", value_size=4096)
+    assert get.wire_size() < 100
+
+
+def test_ballot_ordering():
+    assert Ballot(1, "a") < Ballot(2, "a")
+    assert Ballot(1, "a") < Ballot(1, "b")
+    assert Ballot(2, "a") > Ballot(1, "z")
+    assert Ballot(1, "a") <= Ballot(1, "a")
+    assert Ballot(1, "a") >= Ballot(1, "a")
+
+
+def test_ballot_next_for():
+    b = Ballot(3, "x").next_for("y")
+    assert b.round == 4 and b.proposer == "y"
+
+
+def test_ballot_hashable_equality():
+    assert Ballot(1, "a") == Ballot(1, "a")
+    assert len({Ballot(1, "a"), Ballot(1, "a"), Ballot(2, "a")}) == 2
+
+
+def test_entry_copy_is_independent():
+    entry = Entry(term=1, command=NOP, ballot=1)
+    clone = entry.copy()
+    clone.ballot = 9
+    assert entry.ballot == 1
+
+
+def test_entry_wire_size():
+    entry = Entry(term=1, command=Command(op=OpType.PUT, key="k", value="v",
+                                          value_size=100))
+    assert entry.wire_size() > 100

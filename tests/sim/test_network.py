@@ -1,0 +1,186 @@
+"""Network model: latency, FIFO, bandwidth, loss, partitions."""
+
+import pytest
+
+from repro.sim.errors import UnknownNodeError
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node, NodeCosts
+from repro.sim.rng import SplitRng
+from repro.sim.topology import symmetric_lan, uniform_topology
+from repro.sim.units import ms
+
+
+class Sink(Node):
+    """Records (time, src, message)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("costs", NodeCosts(per_message=0, per_command=0, per_byte=0))
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((self.sim.now, src, message))
+
+
+class Payload:
+    def __init__(self, size=64, tag=None):
+        self._size = size
+        self.tag = tag
+
+    def size_bytes(self):
+        return self._size
+
+
+def build_pair(rtt_ms=10.0, **net_kwargs):
+    sim = Simulator()
+    topo = uniform_topology(["x", "y"], rtt_ms, jitter_fraction=0.0)
+    net = Network(sim, topo, rng=SplitRng(3), config=NetworkConfig(**net_kwargs))
+    a = Sink("x", sim, net)
+    b = Sink("y", sim, net)
+    return sim, net, a, b
+
+
+def test_delivery_takes_one_way_latency():
+    sim, net, a, b = build_pair(rtt_ms=10.0)
+    a.send("y", Payload(size=0))
+    sim.run()
+    assert len(b.received) == 1
+    # one-way = 5ms, plus zero serialization for 0 bytes
+    assert b.received[0][0] == ms(5)
+
+
+def test_bandwidth_serialization_delays_departure():
+    sim, net, a, b = build_pair(rtt_ms=10.0, bandwidth_bytes_per_sec=1000.0)
+    a.send("y", Payload(size=1000))  # 1 second of serialization
+    sim.run()
+    assert b.received[0][0] == 1_000_000 + ms(5)
+
+
+def test_egress_queue_serializes_back_to_back_sends():
+    sim, net, a, b = build_pair(rtt_ms=10.0, bandwidth_bytes_per_sec=1000.0)
+    a.send("y", Payload(size=500, tag=1))  # 0.5 s
+    a.send("y", Payload(size=500, tag=2))  # queued behind the first
+    sim.run()
+    times = [t for t, _, _ in b.received]
+    assert times[0] == 500_000 + ms(5)
+    assert times[1] == 1_000_000 + ms(5)
+
+
+def test_egress_backlog_visible():
+    sim, net, a, b = build_pair(rtt_ms=10.0, bandwidth_bytes_per_sec=1000.0)
+    a.send("y", Payload(size=2000))
+    assert net.egress_backlog_us("x") == 2_000_000
+
+
+def test_fifo_preserves_order_despite_jitter():
+    sim = Simulator()
+    topo = uniform_topology(["x", "y"], 50.0, jitter_fraction=0.5)
+    net = Network(sim, topo, rng=SplitRng(5), config=NetworkConfig(fifo=True))
+    a = Sink("x", sim, net)
+    b = Sink("y", sim, net)
+    for i in range(50):
+        a.send("y", Payload(size=0, tag=i))
+    sim.run()
+    tags = [m.tag for _, _, m in b.received]
+    assert tags == list(range(50))
+
+
+def test_non_fifo_can_reorder():
+    sim = Simulator()
+    topo = uniform_topology(["x", "y"], 50.0, jitter_fraction=0.9)
+    net = Network(sim, topo, rng=SplitRng(5), config=NetworkConfig(fifo=False))
+    a = Sink("x", sim, net)
+    b = Sink("y", sim, net)
+    for i in range(100):
+        a.send("y", Payload(size=0, tag=i))
+    sim.run()
+    tags = [m.tag for _, _, m in b.received]
+    assert tags != list(range(100))  # with 90% jitter some reorder happens
+
+
+def test_loss_rate_drops_messages():
+    sim = Simulator()
+    topo = symmetric_lan(2)
+    net = Network(sim, topo, rng=SplitRng(5), config=NetworkConfig(loss_rate=0.5))
+    a = Sink("s0", sim, net)
+    b = Sink("s1", sim, net)
+    for _ in range(200):
+        a.send("s1", Payload(size=0))
+    sim.run()
+    assert 40 < len(b.received) < 160
+    assert net.messages_dropped == 200 - len(b.received)
+
+
+def test_block_and_unblock():
+    sim, net, a, b = build_pair()
+    net.block("x", "y")
+    a.send("y", Payload())
+    b.send("x", Payload())
+    sim.run()
+    assert b.received == [] and a.received == []
+    net.unblock("x", "y")
+    a.send("y", Payload())
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_partition_and_heal():
+    sim = Simulator()
+    topo = symmetric_lan(4)
+    net = Network(sim, topo, rng=SplitRng(1))
+    nodes = [Sink(f"s{i}", sim, net) for i in range(4)]
+    net.partition(["s0", "s1"], ["s2", "s3"])
+    nodes[0].send("s3", Payload())
+    nodes[0].send("s1", Payload())
+    sim.run()
+    assert nodes[3].received == []
+    assert len(nodes[1].received) == 1
+    net.heal()
+    nodes[0].send("s3", Payload())
+    sim.run()
+    assert len(nodes[3].received) == 1
+
+
+def test_isolate():
+    sim = Simulator()
+    topo = symmetric_lan(3)
+    net = Network(sim, topo, rng=SplitRng(1))
+    nodes = [Sink(f"s{i}", sim, net) for i in range(3)]
+    net.isolate("s0")
+    nodes[0].send("s1", Payload())
+    nodes[1].send("s0", Payload())
+    nodes[1].send("s2", Payload())
+    sim.run()
+    assert nodes[1].received == []
+    assert nodes[0].received == []
+    assert len(nodes[2].received) == 1
+
+
+def test_unknown_destination_raises():
+    sim, net, a, b = build_pair()
+    with pytest.raises(UnknownNodeError):
+        a.send("ghost", Payload())
+
+
+def test_crashed_node_drops_messages():
+    sim, net, a, b = build_pair()
+    b.crash()
+    a.send("y", Payload())
+    sim.run()
+    assert b.received == []
+    assert net.messages_dropped == 1
+
+
+def test_default_size_estimate_for_plain_objects():
+    sim, net, a, b = build_pair()
+    a.send("y", "just a string")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_self_send_uses_local_latency():
+    sim, net, a, b = build_pair()
+    a.send("x", Payload())
+    sim.run()
+    assert a.received[0][0] == net.topology.local_us

@@ -1,0 +1,78 @@
+"""WAN topology model."""
+
+import pytest
+
+from repro.sim.topology import (
+    EC2_REGIONS,
+    ec2_five_regions,
+    symmetric_lan,
+    uniform_topology,
+)
+from repro.sim.units import ms
+
+
+def test_ec2_has_five_regions():
+    topo = ec2_five_regions()
+    assert set(topo.sites) == set(EC2_REGIONS)
+    assert len(topo.sites) == 5
+
+
+def test_latency_symmetric():
+    topo = ec2_five_regions()
+    for a in topo.sites:
+        for b in topo.sites:
+            if a != b:
+                assert topo.latency(a, b) == topo.latency(b, a)
+
+
+def test_paper_latency_range():
+    """The paper: 'latency across sites varies from 25ms to 292ms' (RTT)."""
+    topo = ec2_five_regions()
+    rtts = [topo.rtt_ms(a, b) for i, a in enumerate(topo.sites)
+            for b in topo.sites[i + 1:]]
+    assert min(rtts) == 25.0
+    assert max(rtts) == 292.0
+
+
+def test_oregon_has_tightest_majority():
+    """Raft-Oregon is the paper's best leader placement."""
+    topo = ec2_five_regions()
+    oregon = topo.nearest_majority_rtt_ms("oregon")
+    for site in topo.sites:
+        assert oregon <= topo.nearest_majority_rtt_ms(site)
+
+
+def test_seoul_is_worst_leader_site():
+    topo = ec2_five_regions()
+    seoul = topo.nearest_majority_rtt_ms("seoul")
+    for site in topo.sites:
+        assert seoul >= topo.nearest_majority_rtt_ms(site)
+
+
+def test_local_latency():
+    topo = ec2_five_regions()
+    assert topo.latency("oregon", "oregon") == topo.local_us
+
+
+def test_unknown_pair_raises():
+    topo = symmetric_lan(3)
+    with pytest.raises(KeyError):
+        topo.latency("s0", "nope")
+
+
+def test_uniform_topology():
+    topo = uniform_topology(["a", "b", "c"], rtt_ms_value=10.0)
+    assert topo.latency("a", "b") == ms(5)
+    assert topo.rtt_ms("b", "c") == 10.0
+
+
+def test_symmetric_lan_builder():
+    topo = symmetric_lan(4, rtt_ms_value=0.5)
+    assert len(topo.sites) == 4
+    assert topo.jitter_fraction == 0.0
+
+
+def test_farthest_rtt():
+    topo = ec2_five_regions()
+    assert topo.farthest_rtt_ms("ireland") == 292.0
+    assert topo.farthest_rtt_ms("seoul") == 292.0

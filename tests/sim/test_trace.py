@@ -1,0 +1,46 @@
+"""Trace log."""
+
+from repro.sim.trace import TraceLog, TraceRecord
+
+
+def test_disabled_records_nothing():
+    log = TraceLog(enabled=False)
+    log.record(1, "n", "send")
+    assert len(log) == 0
+
+
+def test_record_and_filter():
+    log = TraceLog()
+    log.record(1, "a", "send", dst="b")
+    log.record(2, "b", "recv", src="a")
+    log.record(3, "a", "crash")
+    assert log.count(node="a") == 2
+    assert log.count(kind="recv") == 1
+    assert [r.time for r in log.filter(node="a")] == [1, 3]
+
+
+def test_capacity_drops_overflow():
+    log = TraceLog(capacity=2)
+    for i in range(5):
+        log.record(i, "n", "k")
+    assert len(log) == 2
+    assert log.dropped == 3
+
+
+def test_clear():
+    log = TraceLog()
+    log.record(1, "a", "x")
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0
+
+
+def test_str_rendering():
+    rec = TraceRecord(5, "node", "send", {"dst": "x"})
+    assert "node" in str(rec) and "dst=x" in str(rec)
+
+
+def test_iteration():
+    log = TraceLog()
+    log.record(1, "a", "x")
+    log.record(2, "b", "y")
+    assert [r.node for r in log] == ["a", "b"]

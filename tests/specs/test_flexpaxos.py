@@ -1,0 +1,67 @@
+"""Figure 6's Flexible Paxos arrow, both directions."""
+
+import pytest
+
+from repro.core.explorer import Explorer
+from repro.core.refinement import check_refinement
+from repro.specs import flexpaxos as fp
+from repro.specs import multipaxos as mp
+
+
+def test_invalid_quorum_systems_rejected():
+    with pytest.raises(ValueError):
+        fp.default_config(
+            q1=frozenset({frozenset({"p0"})}),
+            q2=frozenset({frozenset({"p1"})}),
+        )
+
+
+def test_majority_instantiation_behaves_like_paxos():
+    cfg = fp.default_config(n=3, values=("a",), max_ballot=2, max_index=0)
+    result = Explorer(fp.build(cfg), invariants=fp.INVARIANTS,
+                      max_states=20_000).run()
+    assert result.ok and result.complete
+
+
+def test_paxos_refines_flexible_paxos():
+    """Figure 6: 'Paxos refines Flexible Paxos' — identity mapping, with
+    Flexible Paxos instantiated at majorities."""
+    cfg = fp.default_config(n=3, values=("a", "b"), max_ballot=2, max_index=0)
+    result = check_refinement(
+        mp.build(cfg), fp.build(cfg), fp.identity_mapping(), max_states=20_000)
+    assert result.ok and result.complete
+
+
+def test_flexible_paxos_does_not_refine_paxos():
+    """'...but not the other way around': with singleton phase-1 quorums a
+    two-server BecomeLeader (self + one promise) is legal, but five-replica
+    MultiPaxos demands three — no counterpart exists.  (At n=3 the two
+    coincide, so the gap only opens at n >= 5.)"""
+    acceptors = tuple(f"p{i}" for i in range(5))
+    cfg = fp.default_config(
+        n=5, values=("a",), max_ballot=1, max_index=0,
+        q1=fp.singletons(acceptors), q2=fp.full_set(acceptors))
+    result = check_refinement(
+        fp.build(cfg), mp.build(cfg), fp.identity_mapping(),
+        max_states=3_000, max_high_steps=2)
+    assert not result.ok
+    assert any(f.transition.action == "BecomeLeader" for f in result.failures)
+
+
+def test_singleton_q1_is_still_safe():
+    """Flexible Paxos' theorem: any intersecting Q1/Q2 preserves agreement."""
+    acceptors = ("p0", "p1", "p2")
+    cfg = fp.default_config(
+        n=3, values=("a", "b"), max_ballot=2, max_index=0,
+        q1=fp.singletons(acceptors), q2=fp.full_set(acceptors))
+    result = Explorer(fp.build(cfg), invariants=fp.INVARIANTS,
+                      max_states=25_000).run()
+    assert result.ok
+
+
+def test_quorum_helpers():
+    acceptors = ("p0", "p1", "p2")
+    assert frozenset({"p0", "p1"}) in fp.majorities(acceptors)
+    assert frozenset({"p0"}) not in fp.majorities(acceptors)
+    assert len(fp.singletons(acceptors)) == 3
+    assert len(fp.full_set(acceptors)) == 1

@@ -1,0 +1,58 @@
+"""The Figure 4 example, spec-level details."""
+
+from repro.core.explorer import Explorer
+from repro.specs import kvexample as kv
+
+
+def test_kv_store_behaviour():
+    machine = kv.kv_store()
+    state = machine.initial_states()[0]
+    put = machine.action("Put")
+    get = machine.action("Get")
+    state = put.apply(state, {"k": 0, "v": "a"})
+    assert state["table"][0] == ("a",)
+    state = get.apply(state, {"k": 0})
+    assert state["output"] == ("a",)
+
+
+def test_log_store_contiguity_guard():
+    machine = kv.log_store()
+    state = machine.initial_states()[0]
+    write = machine.action("Write")
+    assert write.enabled(state, {"i": 0, "v": "a"})
+    assert not write.enabled(state, {"i": 1, "v": "a"})  # hole
+    state = write.apply(state, {"i": 0, "v": "a"})
+    assert write.enabled(state, {"i": 1, "v": "a"})
+
+
+def test_figure_4c_put_guard():
+    """A∆'s Put refuses overwrites (the added guard)."""
+    machine = kv.kv_store_sized()
+    state = machine.initial_states()[0]
+    put = machine.action("Put")
+    state = put.apply(state, {"k": 0, "v": "a"})
+    assert state["size"] == 1
+    assert not put.enabled(state, {"k": 0, "v": "b"})
+
+
+def test_sized_kv_invariant_complete():
+    result = Explorer(kv.kv_store_sized(),
+                      invariants={"size": kv.size_matches_nonempty_entries}).run()
+    assert result.ok and result.complete
+
+
+def test_generated_name_and_constants():
+    ported = kv.log_store_sized(keys=3, values=("a",))
+    assert "B-delta" in ported.name
+    assert ported.constants["keys"] == 3
+
+
+def test_state_spaces_match_figure_4d():
+    """B∆ explores exactly the states a hand-written Figure 4d would:
+    logs contiguous, size = filled entries."""
+    explorer = Explorer(kv.log_store_sized())
+    explorer.run()
+    for state in explorer.reachable_states():
+        filled = [i for i in range(2) if state["logs"][i] != ()]
+        assert filled == list(range(len(filled)))  # contiguity (from B)
+        assert state["size"] == len(filled)        # counting (from A-delta)

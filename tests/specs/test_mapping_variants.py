@@ -1,0 +1,68 @@
+"""Figure 3 (mapping table) and Figure 6 (variant landscape) artifacts."""
+
+from repro.specs import mapping, variants
+from repro.specs.rql import correspondence
+
+
+def test_figure3_sections_present():
+    sections = {row.section for row in mapping.FIGURE3}
+    assert sections == {"variables", "messages", "functions"}
+
+
+def test_figure3_key_rows():
+    raftstar_side = {row.raftstar: row.multipaxos for row in mapping.FIGURE3}
+    assert raftstar_side["currentTerm"] == "ballot"
+    assert raftstar_side["isLeader"] == "phase1Succeeded"
+    assert raftstar_side["requestVote"] == "prepare"
+    assert "Phase2b" in raftstar_side["AppendEntries"]
+
+
+def test_figure3_render():
+    text = mapping.render()
+    assert "Figure 3" in text
+    assert "currentTerm" in text and "ballot" in text
+    assert "[functions]" in text
+
+
+def test_rows_filter():
+    assert all(r.section == "messages" for r in mapping.rows("messages"))
+    assert len(mapping.rows()) == len(mapping.FIGURE3)
+
+
+def test_spec_correspondence_matches_port_input():
+    """The correspondence used by the porting algorithm equals the Figure 3
+    function table at spec granularity."""
+    assert mapping.spec_correspondence() == correspondence()
+
+
+def test_figure6_nonmutating_count():
+    """The paper: 6 non-mutating optimizations on Paxos, plus WPaxos on
+    Flexible Paxos — 7 port candidates in total."""
+    candidates = variants.port_candidates()
+    assert len(candidates) == 7
+    names = {v.name for v in candidates}
+    assert {"Paxos Quorum Lease", "Mencius", "WPaxos"} <= names
+
+
+def test_figure6_classifications():
+    flexible = next(v for v in variants.FIGURE6 if v.name == "Flexible Paxos")
+    assert not flexible.portable
+    assert "Paxos refines it" in flexible.classification
+    fast = next(v for v in variants.FIGURE6 if v.name == "Fast Paxos")
+    assert fast.classification == variants.NO_REFINEMENT
+
+
+def test_figure6_every_variant_has_reason():
+    assert all(v.reason for v in variants.FIGURE6)
+
+
+def test_figure6_render():
+    text = variants.render()
+    assert "Figure 6" in text
+    assert "Mencius" in text and "EPaxos" in text
+    assert "7 of" in text
+
+
+def test_by_classification():
+    non_mutating = variants.by_classification(variants.NON_MUTATING)
+    assert all(v.portable for v in non_mutating)

@@ -1,0 +1,83 @@
+"""MultiPaxos spec (Appendix B.1): safety invariants."""
+
+import pytest
+
+from repro.core.explorer import Explorer
+from repro.specs import multipaxos as mp
+
+
+def tiny():
+    return mp.default_config(n=3, values=("a", "b"), max_ballot=2, max_index=0)
+
+
+def test_agreement_and_one_value_per_ballot_complete():
+    machine = mp.build(tiny())
+    result = Explorer(machine, invariants=mp.INVARIANTS, max_states=30_000).run()
+    assert result.ok
+    assert result.complete  # the 1-slot instance is fully explored
+
+
+def test_owner_assignment():
+    cfg = tiny()
+    assert mp.owner(cfg, 0) == "p0"
+    assert mp.owner(cfg, 1) == "p1"
+    assert mp.owner(cfg, 4) == "p1"
+
+
+def test_majority():
+    assert mp.majority(tiny()) == 2
+
+
+def test_merge_logs_picks_highest_ballot():
+    from repro.core.state import FMap
+    cfg = mp.default_config(max_index=1)
+    own = FMap({0: (1, "a"), 1: (-1, None)})
+    snap = FMap({0: (2, "b"), 1: (-1, None)})
+    merged = mp.merge_logs(cfg, own, [snap])
+    assert merged[0] == (2, "b")
+    assert merged[1] == (-1, None)
+
+
+def test_log_tail():
+    from repro.core.state import FMap
+    cfg = mp.default_config(max_index=1)
+    assert mp.log_tail(cfg, FMap({0: (-1, None), 1: (-1, None)})) == -1
+    assert mp.log_tail(cfg, FMap({0: (1, "a"), 1: (-1, None)})) == 0
+
+
+def test_a_value_can_be_chosen():
+    """Liveness sanity: some reachable state has a chosen value."""
+    machine = mp.build(mp.default_config(n=3, values=("a",), max_ballot=1))
+    explorer = Explorer(machine, max_states=20_000)
+    explorer.run()
+    assert any(
+        mp.chosen_values(state, machine.constants)
+        for state in explorer.reachable_states()
+    )
+
+
+def test_two_leaders_same_ballot_impossible():
+    machine = mp.build(tiny())
+    explorer = Explorer(machine, invariants={
+        "unique-leader-per-ballot": lambda s, c: _unique_leader(s, c)},
+        max_states=30_000)
+    assert explorer.run().ok
+
+
+def _unique_leader(state, constants):
+    leaders = {}
+    for acceptor in constants["acceptors"]:
+        if state["leader"][acceptor]:
+            ballot = state["ballot"][acceptor]
+            if ballot in leaders:
+                return False
+            leaders[ballot] = acceptor
+    return True
+
+
+@pytest.mark.slow
+def test_two_slot_instance():
+    cfg = mp.default_config(n=3, values=("a",), max_ballot=2, max_index=1)
+    result = Explorer(mp.build(cfg), invariants=mp.INVARIANTS,
+                      max_states=60_000).run()
+    assert result.ok

@@ -1,0 +1,52 @@
+"""§3's negative result: plain Raft does NOT refine MultiPaxos directly."""
+
+import pytest
+
+from repro.core.explorer import Explorer
+from repro.core.refinement import check_refinement
+from repro.specs import multipaxos as mp
+from repro.specs import raft as rf
+
+
+def cfg():
+    return mp.default_config(n=3, values=("a",), max_ballot=2, max_index=1)
+
+
+def test_refinement_fails():
+    config = cfg()
+    result = check_refinement(
+        rf.build(config), mp.build(config), rf.raft_to_multipaxos(config),
+        max_states=15_000, max_high_steps=4,
+    )
+    assert not result.ok
+
+
+def test_counterexample_is_the_erasing_step():
+    """The failing transition erases a previously accepted entry — the step
+    the paper says 'would never happen in MultiPaxos'."""
+    config = cfg()
+    result = check_refinement(
+        rf.build(config), mp.build(config), rf.raft_to_multipaxos(config),
+        max_states=15_000, max_high_steps=4, max_failures=5,
+    )
+    erasing = []
+    for failure in result.failures:
+        before, after = failure.transition.state, failure.transition.next_state
+        for acceptor in config["acceptors"]:
+            if len(after["rlog"][acceptor]) < len(before["rlog"][acceptor]):
+                erasing.append(failure)
+    assert erasing, "expected an erasing counterexample"
+    assert all(f.transition.action == "AcceptEntries" for f in erasing)
+
+
+def test_raft_spec_itself_is_safe():
+    """Raft is still a correct consensus protocol (the §5.4.2 discipline is
+    a separate matter) — it just is not a refinement of Paxos."""
+    machine = rf.build(mp.default_config(n=3, values=("a",), max_ballot=2,
+                                         max_index=0))
+    from repro.specs.raftstar import INVARIANTS as RS_INVARIANTS
+
+    result = Explorer(machine, invariants={
+        "election-safety": RS_INVARIANTS["election-safety"]},
+        max_states=30_000).run()
+    assert result.ok

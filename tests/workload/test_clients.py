@@ -1,0 +1,96 @@
+"""Closed-loop clients."""
+
+from repro.metrics.recorder import MetricsRecorder
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.types import OpType
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node, NodeCosts
+from repro.sim.rng import SplitRng
+from repro.sim.topology import symmetric_lan
+from repro.sim.units import ms, sec
+from repro.workload.clients import ClosedLoopClient, spawn_clients
+from repro.workload.ycsb import WorkloadConfig
+
+
+class InstantServer(Node):
+    """Replies to every request immediately; optionally fails first."""
+
+    def __init__(self, *args, fail_first=0, **kwargs):
+        kwargs.setdefault("costs", NodeCosts(per_message=0, per_command=0, per_byte=0))
+        super().__init__(*args, **kwargs)
+        self.seen = 0
+        self.fail_first = fail_first
+
+    def on_message(self, src, message):
+        if not isinstance(message, ClientRequest):
+            return
+        self.seen += 1
+        ok = self.seen > self.fail_first
+        self.send(src, ClientReply(
+            request_id=message.command.request_id, ok=ok,
+            value="x", server=self.name))
+
+
+def build(fail_first=0, read_fraction=0.5):
+    sim = Simulator()
+    net = Network(sim, symmetric_lan(2, rtt_ms_value=1.0), rng=SplitRng(2),
+                  config=NetworkConfig())
+    server = InstantServer("s0", sim, net, fail_first=fail_first)
+    metrics = MetricsRecorder()
+    client = ClosedLoopClient(
+        "c0", sim, net, "s0", "s0",
+        WorkloadConfig(read_fraction=read_fraction, conflict_rate=0.0, records=10),
+        ["s0", "s1"], SplitRng(3).stream("c"), metrics)
+    return sim, server, client, metrics
+
+
+def test_closed_loop_issues_back_to_back():
+    sim, server, client, metrics = build()
+    sim.run(until=ms(200))
+    assert client.completed > 50  # ~1 op per RTT(1ms)
+    assert len(metrics.records) == client.completed
+
+
+def test_failed_reply_retried_with_same_seq():
+    sim, server, client, metrics = build(fail_first=2)
+    sim.run(until=ms(200))
+    assert client.completed > 0
+    # the first command was retried, not skipped
+    assert metrics.records[0].client == "c0"
+
+
+def test_records_have_latency():
+    sim, server, client, metrics = build()
+    sim.run(until=ms(50))
+    rec = metrics.records[0]
+    assert rec.end > rec.start
+    assert rec.latency_ms > 0
+
+
+def test_read_write_mix_roughly_respected():
+    sim, server, client, metrics = build(read_fraction=0.8)
+    sim.run(until=sec(1))
+    reads = sum(1 for r in metrics.records if r.op is OpType.GET)
+    frac = reads / len(metrics.records)
+    assert 0.7 < frac < 0.9
+
+
+def test_stop_at_halts_generation():
+    sim, server, client, metrics = build()
+    client.stop_at = ms(50)
+    sim.run(until=ms(200))
+    assert all(r.start <= ms(51) for r in metrics.records)
+
+
+def test_spawn_clients_per_region():
+    sim = Simulator()
+    net = Network(sim, symmetric_lan(2, rtt_ms_value=1.0), rng=SplitRng(2))
+    InstantServer("s0", sim, net)
+    InstantServer("s1", sim, net)
+    metrics = MetricsRecorder()
+    clients = spawn_clients(sim, net, ["s0", "s1"], {"s0": "s0", "s1": "s1"},
+                            per_region=3, workload=WorkloadConfig(records=10),
+                            rng_root=SplitRng(1), metrics=metrics)
+    assert len(clients) == 6
+    assert {c.site for c in clients} == {"s0", "s1"}

@@ -1,0 +1,55 @@
+"""Workload configuration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.ycsb import WorkloadConfig
+
+
+def test_defaults_match_paper():
+    wl = WorkloadConfig()
+    assert wl.read_fraction == 0.9
+    assert wl.conflict_rate == 0.05
+    assert wl.records == 100_000
+
+
+def test_partitions_are_disjoint_and_cover():
+    wl = WorkloadConfig(records=100)
+    sites = ["a", "b", "c"]
+    ranges = [wl.partition_for(s, sites) for s in sites]
+    ids = [i for r in ranges for i in r]
+    assert sorted(ids) == list(range(100))
+    assert len(set(ids)) == 100
+
+
+def test_last_partition_takes_remainder():
+    wl = WorkloadConfig(records=10)
+    sites = ["a", "b", "c"]
+    assert len(wl.partition_for("c", sites)) == 4  # 3 + 3 + 4
+
+
+def test_invalid_read_fraction():
+    with pytest.raises(ValueError):
+        WorkloadConfig(read_fraction=1.5)
+
+
+def test_invalid_conflict_rate():
+    with pytest.raises(ValueError):
+        WorkloadConfig(conflict_rate=-0.1)
+
+
+def test_invalid_records():
+    with pytest.raises(ValueError):
+        WorkloadConfig(records=0)
+
+
+def test_key_names():
+    assert WorkloadConfig.key_name(17) == "k17"
+
+
+@given(st.integers(min_value=1, max_value=1000), st.integers(min_value=1, max_value=8))
+def test_partitioning_always_covers(records, n_sites):
+    wl = WorkloadConfig(records=records)
+    sites = [f"s{i}" for i in range(n_sites)]
+    ids = [i for s in sites for i in wl.partition_for(s, sites)]
+    assert sorted(ids) == list(range(records))

@@ -1,3 +1,22 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="paxos-raft-repro",
+    version="0.2.0",
+    description=(
+        "Simulation-based reproduction of 'On the Parallels between Paxos "
+        "and Raft, and how to Port Optimizations' (PODC 2019), grown into "
+        "a sharded multi-group consensus testbed"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro-bench=repro.bench.__main__:main",
+        ],
+    },
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

@@ -1,5 +1,21 @@
-"""Benchmark harness: one entry point per paper figure."""
+"""Benchmark harness: one entry point per paper figure, plus the sharded
+multi-group experiment (`run_sharded_experiment`)."""
 
 from repro.bench.harness import Cluster, ExperimentResult, ExperimentSpec, run_experiment
+from repro.shard.cluster import (
+    ShardedCluster,
+    ShardedResult,
+    ShardedSpec,
+    run_sharded_experiment,
+)
 
-__all__ = ["Cluster", "ExperimentResult", "ExperimentSpec", "run_experiment"]
+__all__ = [
+    "Cluster",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ShardedCluster",
+    "ShardedResult",
+    "ShardedSpec",
+    "run_experiment",
+    "run_sharded_experiment",
+]

@@ -3,6 +3,9 @@
     python -m repro.bench                 # every figure, default scale
     python -m repro.bench --scale 1.0     # EXPERIMENTS.md numbers
     python -m repro.bench fig9c fig10a    # a subset
+    python -m repro.bench sharding --shards 1 4 --placement spread
+
+Installed via setup.py this is also the `repro-bench` console script.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import time
 
 from repro.bench import experiments as ex
 from repro.bench.report import render_all
+from repro.shard.placement import PLACEMENTS
 from repro.specs import mapping, variants
 
 FIGURES = {
@@ -25,6 +29,7 @@ FIGURES = {
     "fig10b": lambda scale, seed: ex.fig10b_throughput_4kb(scale, seed).render(),
     "fig10c": lambda scale, seed: ex.fig10c_latency_8b(scale, seed).render(),
     "fig10d": lambda scale, seed: ex.fig10d_latency_4kb(scale, seed).render(),
+    "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
 }
 
 
@@ -38,11 +43,28 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=0.6,
                         help="client/duration scale (1.0 = EXPERIMENTS.md)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8],
+                        metavar="N",
+                        help="shard counts for the sharding figure "
+                             "(default: 1 2 4 8)")
+    parser.add_argument("--placement", default="both",
+                        choices=[*sorted(PLACEMENTS), "both"],
+                        help="leader placement for the sharding figure "
+                             "(default: both)")
     args = parser.parse_args(argv)
+    if any(count < 1 for count in args.shards):
+        parser.error("--shards values must be >= 1")
+
+    placements = (tuple(sorted(PLACEMENTS, reverse=True))
+                  if args.placement == "both" else (args.placement,))
+    figures = dict(FIGURES)
+    figures["sharding"] = lambda scale, seed: ex.sharding_scaling(
+        scale, seed, shard_counts=tuple(args.shards),
+        placements=placements).render()
 
     for name in args.figures:
         start = time.time()
-        print(FIGURES[name](args.scale, args.seed))
+        print(figures[name](args.scale, args.seed))
         print(f"[{name}: {time.time() - start:.1f}s]\n")
     return 0
 

@@ -8,7 +8,7 @@ retries and replays during leader changes stay idempotent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.protocols.types import Command, OpType
 
@@ -22,18 +22,35 @@ class ApplyResult:
 class KVStore:
     """Deterministic state machine with at-most-once apply semantics."""
 
-    def __init__(self) -> None:
+    def __init__(self, key_filter: Optional[Callable[[str], bool]] = None) -> None:
         self._table: Dict[str, str] = {}
         self._versions: Dict[str, int] = {}
         self._last_seq: Dict[str, int] = {}
         self._last_result: Dict[str, ApplyResult] = {}
         self.applied_count = 0
+        self.key_filter = key_filter
+        self.filtered_count = 0
+
+    def set_key_filter(self, key_filter: Optional[Callable[[str], bool]]) -> None:
+        """Restrict the store to the keys it owns (sharded deployments).
+
+        Commands for keys outside the filter fail with `ok=False` instead
+        of mutating state — a safety net behind the router: with correct
+        shard routing it never fires, and `filtered_count` stays 0.
+        """
+        self.key_filter = key_filter
+
+    def owns(self, key: str) -> bool:
+        return self.key_filter is None or self.key_filter(key)
 
     def apply(self, command: Command) -> ApplyResult:
         """Apply a committed command; duplicate (client, seq) pairs return
         the original result without re-executing."""
         if command.op is OpType.NOP:
             return ApplyResult(ok=True)
+        if not self.owns(command.key):
+            self.filtered_count += 1
+            return ApplyResult(ok=False)
         client = command.client_id
         if client and command.seq <= self._last_seq.get(client, -1):
             return self._last_result.get(client, ApplyResult(ok=True))

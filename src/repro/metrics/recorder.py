@@ -89,3 +89,26 @@ class MetricsRecorder:
         if not reads:
             return 0.0
         return sum(1 for r in reads if r.local_read) / len(reads)
+
+    def throughput_by(self, start_us: int, end_us: int,
+                      key: Callable[[RequestRecord], str]) -> Dict[str, float]:
+        """Per-group throughput (ops/s) within the window, grouped by `key`
+        (e.g. the owning shard of each record's server)."""
+        span = to_sec(end_us - start_us)
+        if span <= 0:
+            return {}
+        counts: Dict[str, int] = {}
+        for record in self.window(start_us, end_us):
+            group = key(record)
+            counts[group] = counts.get(group, 0) + 1
+        return {group: count / span for group, count in counts.items()}
+
+    @classmethod
+    def merge(cls, recorders: "List[MetricsRecorder]") -> "MetricsRecorder":
+        """Combine several groups' recorders into one aggregate view."""
+        merged = cls()
+        for recorder in recorders:
+            merged.records.extend(recorder.records)
+            merged.failures += recorder.failures
+        merged.records.sort(key=lambda r: r.end)
+        return merged

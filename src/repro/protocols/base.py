@@ -56,6 +56,12 @@ class ReplicaBase(Node):
         self.last_applied = -1
         self.on_apply_hooks: List[Callable[[str, int, Command], None]] = []
 
+        # Sharded deployments: maps a command to the owning group's id when
+        # this replica's group does NOT own its key (None = ours to serve).
+        # Misrouted requests are rejected with that redirect hint before
+        # they reach the consensus path.
+        self.ownership_guard: Optional[Callable[[Command], Optional[int]]] = None
+
         self._handlers: Dict[type, Callable[[str, Any], None]] = {}
         self.register_handler(ClientRequest, self._on_client_request)
         self.register_handler(ForwardBatch, self._on_forward_batch)
@@ -77,6 +83,13 @@ class ReplicaBase(Node):
 
     def _on_client_request(self, src: str, message: ClientRequest) -> None:
         command = message.command
+        if self.ownership_guard is not None:
+            hint = self.ownership_guard(command)
+            if hint is not None:
+                self.send(src, ClientReply(
+                    request_id=command.request_id, ok=False,
+                    server=self.name, shard_hint=hint))
+                return
         self._clients[command.request_id] = src
         self.submit_command(command)
 
@@ -160,6 +173,11 @@ class ReplicaBase(Node):
             return
         if command.request_id in self._clients or command.request_id in self._relays:
             self.complete(command, ok=result.ok, value=result.value)
+
+    def reset_store(self) -> None:
+        """Fresh state machine for recovery replay, keeping the shard key
+        filter (ownership survives a crash; the applied state does not)."""
+        self.store = KVStore(key_filter=self.store.key_filter)
 
     def serve_local_read(self, command: Command) -> None:
         """Answer a read from local state (lease-protected paths only)."""

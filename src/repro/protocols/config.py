@@ -84,6 +84,9 @@ def single_site_cluster(n: int, prefix: str = "s", **kwargs) -> ClusterConfig:
     return ClusterConfig(replicas={f"{prefix}{i}": f"{prefix}{i}" for i in range(n)}, **kwargs)
 
 
-def geo_cluster(sites, **kwargs) -> ClusterConfig:
-    """One replica per site, named r_<site> (the paper's deployment)."""
-    return ClusterConfig(replicas={f"r_{site}": site for site in sites}, **kwargs)
+def geo_cluster(sites, prefix: str = "r", **kwargs) -> ClusterConfig:
+    """One replica per site, named <prefix>_<site> (the paper's deployment).
+
+    Sharded deployments pass a per-group prefix (e.g. ``g0_r``) so many
+    groups can share one network without name collisions."""
+    return ClusterConfig(replicas={f"{prefix}_{site}": site for site in sites}, **kwargs)

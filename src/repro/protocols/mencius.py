@@ -478,8 +478,6 @@ class MenciusReplica(ReplicaBase):
         self.stable["promised"] = dict(self.promised)
 
     def on_recover(self) -> None:
-        from repro.kvstore.store import KVStore
-
         self.entries = {i: e.copy() for i, e in self.stable.get("entries", {}).items()}
         self.status = {
             i: (s if s != STATUS_COMMITTED else STATUS_ACCEPTED)
@@ -490,7 +488,7 @@ class MenciusReplica(ReplicaBase):
                 self.status[i] = STATUS_SKIPPED
         self.next_own = self.stable.get("next_own", self.rank)
         self.promised = dict(self.stable.get("promised", {}))
-        self.store = KVStore()
+        self.reset_store()
         self._exec_frontier = -1
         self._reply_frontier = -1
         self.last_applied = -1

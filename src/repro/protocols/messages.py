@@ -45,6 +45,9 @@ class ClientReply:
     server: str = ""
     value_size: int = 8
     local_read: bool = False
+    # Sharded deployments: set on a rejection when the key belongs to a
+    # different group, so the client can re-route instead of blind-retrying.
+    shard_hint: Optional[int] = None
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + self.value_size

@@ -337,8 +337,6 @@ class MultiPaxosReplica(ReplicaBase):
         self.stable["log_tail"] = self.log_tail
 
     def on_recover(self) -> None:
-        from repro.kvstore.store import KVStore
-
         self.ballot = self.stable.get("ballot", Ballot(0, ""))
         self.instances = {i: e.copy() for i, e in self.stable.get("instances", {}).items()}
         self.log_tail = self.stable.get("log_tail", -1)
@@ -347,7 +345,7 @@ class MultiPaxosReplica(ReplicaBase):
         self.chosen = {}
         self.commit_index = -1
         self.last_applied = -1
-        self.store = KVStore()
+        self.reset_store()
         self._promises = {}
         self._accept_counts = {}
         self._accept_buffer = {}

@@ -408,9 +408,7 @@ class RaftReplica(ReplicaBase):
         self.log = [entry.copy() for entry in self.stable.get("log", [])]
         self.commit_index = -1
         self.last_applied = -1
-        from repro.kvstore.store import KVStore
-
-        self.store = KVStore()
+        self.reset_store()
         self.role = Role.FOLLOWER
         self.leader_id = None
         self._votes = set()

@@ -1,0 +1,42 @@
+"""Sharded multi-group consensus.
+
+The paper's Figure 10b shows a single leader's CPU and NIC egress are the
+throughput ceiling of any leader-based protocol; Mencius spreads that load
+by rotating instance ownership *within* one group.  Production systems
+(Spanner-style deployments) spread it by *sharding*: many independent
+consensus groups over a hash-partitioned keyspace, with leader placement as
+a first-class scaling knob.  This package is that layer:
+
+* `partition` — hash-range ownership of the YCSB keyspace;
+* `placement` — leader-placement policies (`colocated` reproduces the
+  Figure 10b bottleneck at shard granularity; `spread` recovers the
+  Mencius insight by round-robining leaders across regions);
+* `cluster` — N replica groups of any registered protocol over one shared
+  simulator/network/topology, with per-shard and aggregate stats;
+* `router` — shard-aware closed-loop clients with redirect-on-wrong-shard.
+"""
+
+from repro.shard.cluster import (
+    ShardedCluster,
+    ShardedResult,
+    ShardedSpec,
+    run_sharded_experiment,
+)
+from repro.shard.partition import HashRangePartitioner, Partitioner
+from repro.shard.placement import PLACEMENTS, LeaderPlacement, colocated, spread
+from repro.shard.router import ShardRouter, ShardRoutedClient
+
+__all__ = [
+    "HashRangePartitioner",
+    "LeaderPlacement",
+    "PLACEMENTS",
+    "Partitioner",
+    "ShardRoutedClient",
+    "ShardRouter",
+    "ShardedCluster",
+    "ShardedResult",
+    "ShardedSpec",
+    "colocated",
+    "run_sharded_experiment",
+    "spread",
+]

@@ -1,0 +1,209 @@
+"""N independent consensus groups over one shared simulator and network.
+
+Each shard is a full replica group of any protocol in the `PROTOCOLS`
+registry — one replica per region, its own leader, its own log and store —
+all sharing one `Simulator`, `Network`, and `Topology` so cross-group
+contention (the per-site WAN uplink) is modelled.  Replica names are
+prefixed per group (``g3_r_seoul`` is shard 3's Seoul replica).
+
+Safety is enforced per shard at three layers:
+
+* routing — clients compute ownership with the same partitioner servers use;
+* an ownership guard in front of every replica's client-request handler
+  rejects wrong-shard keys with a redirect hint instead of proposing them;
+* each replica's store carries a key filter (`KVStore.set_key_filter`) as a
+  last-resort safety net; `filtered` in the result must stay 0.
+
+`run_sharded_experiment` mirrors `repro.bench.run_experiment`: build, run,
+trim warm-up/cool-down, return aggregate and per-shard stats plus the
+per-shard `HistoryChecker` verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.kvstore.checker import HistoryChecker
+from repro.metrics.recorder import MetricsRecorder
+from repro.protocols.config import geo_cluster
+from repro.protocols.types import OpType
+from repro.shard.partition import HashRangePartitioner, Partitioner
+from repro.shard.placement import leader_sites
+from repro.shard.router import ShardRouter, checker_hook, spawn_sharded_clients
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SplitRng
+from repro.sim.topology import Topology, ec2_five_regions
+from repro.sim.units import sec
+from repro.workload.ycsb import WorkloadConfig
+
+
+def shard_of_server(server: str) -> int:
+    """Recover the shard id from a group-prefixed replica name (g<id>_...)."""
+    return int(server.split("_", 1)[0][1:])
+
+
+@dataclass
+class ShardedSpec:
+    """One sharded trial's parameters."""
+
+    protocol: str = "raft"
+    num_shards: int = 4
+    placement: str = "spread"
+    colocated_site: str = "oregon"
+    clients_per_region: int = 10
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    duration_s: float = 8.0
+    warmup_s: float = 2.0
+    cooldown_s: float = 1.0
+    seed: int = 1
+    topology: Optional[Topology] = None
+    check_history: bool = False
+    # Shared per-site WAN uplink, as a multiple of one node's NIC rate
+    # (None disables the shared link entirely).
+    site_uplink_factor: Optional[float] = 2.0
+
+    def with_(self, **changes) -> "ShardedSpec":
+        return replace(self, **changes)
+
+
+@dataclass
+class ShardedResult:
+    spec: ShardedSpec
+    throughput_ops: float
+    per_shard_throughput: Dict[int, float]
+    read_latency: Dict[str, float]
+    write_latency: Dict[str, float]
+    completed: int
+    redirects: int
+    filtered: int
+    violations: Dict[int, List[str]]
+    leaders: Dict[int, str]
+    events_processed: int
+
+    @property
+    def linearizable(self) -> bool:
+        return all(not v for v in self.violations.values())
+
+
+class ShardedCluster:
+    """A built sharded deployment: N groups, a router, sharded clients."""
+
+    def __init__(self, spec: ShardedSpec) -> None:
+        self.spec = spec
+        self.topology = spec.topology or ec2_five_regions()
+        self.rng = SplitRng(spec.seed)
+        self.sim = Simulator()
+        node_bw = NetworkConfig.bandwidth_bytes_per_sec
+        net_config = NetworkConfig(
+            site_bandwidth_bytes_per_sec=(
+                None if spec.site_uplink_factor is None
+                else spec.site_uplink_factor * node_bw))
+        self.network = Network(self.sim, self.topology, rng=self.rng, config=net_config)
+        self.metrics = MetricsRecorder()
+        self.partitioner: Partitioner = HashRangePartitioner(spec.num_shards)
+        self.leaders = leader_sites(spec.placement, spec.num_shards,
+                                    self.topology.sites, home=spec.colocated_site)
+
+        # Defer to the registry at build time (shard -> bench -> shard would
+        # otherwise be an import cycle at module load).
+        from repro.bench.harness import LEADERLESS, PROTOCOLS
+
+        replica_cls = PROTOCOLS[spec.protocol]
+        self.groups: Dict[int, Dict[str, object]] = {}
+        self.configs = {}
+        self.checkers: Dict[int, HistoryChecker] = {}
+        for shard in range(spec.num_shards):
+            prefix = f"g{shard}_r"
+            leader = (None if spec.protocol in LEADERLESS
+                      else f"{prefix}_{self.leaders[shard]}")
+            config = geo_cluster(self.topology.sites, prefix=prefix,
+                                 initial_leader=leader)
+            replicas = {
+                name: replica_cls(name, self.sim, self.network, config)
+                for name in config.names
+            }
+            for replica in replicas.values():
+                replica.store.set_key_filter(self.partitioner.predicate(shard))
+                replica.ownership_guard = self._ownership_guard(shard)
+            self.configs[shard] = config
+            self.groups[shard] = replicas
+            if spec.check_history:
+                checker = HistoryChecker()
+                for replica in replicas.values():
+                    replica.on_apply_hooks.append(checker.record_apply)
+                self.checkers[shard] = checker
+
+        local_replica = {
+            shard: {site: f"g{shard}_r_{site}" for site in self.topology.sites}
+            for shard in range(spec.num_shards)
+        }
+        self.router = ShardRouter(self.partitioner, local_replica)
+        self.clients = spawn_sharded_clients(
+            self.sim, self.network, self.topology.sites, self.router,
+            spec.clients_per_region, spec.workload, self.rng, self.metrics,
+            stop_at=sec(spec.duration_s),
+        )
+        if spec.check_history:
+            hook = checker_hook(self.checkers, self.router)
+            for client in self.clients:
+                client.on_complete_hooks.append(hook)
+
+    def _ownership_guard(self, shard: int):
+        """An `ownership_guard` for `shard`'s replicas: the owning shard's
+        id for misrouted keys, None for keys the group serves."""
+        partitioner = self.partitioner
+
+        def guard(command) -> Optional[int]:
+            owner = partitioner.shard_of(command.key)
+            return owner if owner != shard else None
+
+        return guard
+
+    # -- introspection ------------------------------------------------------
+
+    def replicas_of(self, shard: int) -> Dict[str, object]:
+        return self.groups[shard]
+
+    def leader_replica(self, shard: int):
+        return self.groups[shard][f"g{shard}_r_{self.leaders[shard]}"]
+
+    def filtered_count(self) -> int:
+        """Applies rejected by store key filters (0 == routing was airtight)."""
+        return sum(replica.store.filtered_count
+                   for replicas in self.groups.values()
+                   for replica in replicas.values())
+
+    # -- running ------------------------------------------------------------
+
+    def run(self) -> ShardedResult:
+        spec = self.spec
+        self.sim.run(until=sec(spec.duration_s))
+        window_start = sec(spec.warmup_s)
+        window_end = sec(spec.duration_s - spec.cooldown_s)
+        violations = {
+            shard: checker.check_all()
+            for shard, checker in sorted(self.checkers.items())
+        }
+        return ShardedResult(
+            spec=spec,
+            throughput_ops=self.metrics.throughput_ops(window_start, window_end),
+            per_shard_throughput=self.metrics.throughput_by(
+                window_start, window_end,
+                key=lambda record: shard_of_server(record.server)),
+            read_latency=self.metrics.latency_summary_ms(
+                window_start, window_end, lambda r: r.op is OpType.GET),
+            write_latency=self.metrics.latency_summary_ms(
+                window_start, window_end, lambda r: r.op is OpType.PUT),
+            completed=len(self.metrics.window(window_start, window_end)),
+            redirects=sum(client.redirects for client in self.clients),
+            filtered=self.filtered_count(),
+            violations=violations,
+            leaders=dict(self.leaders),
+            events_processed=self.sim.events_processed,
+        )
+
+
+def run_sharded_experiment(spec: ShardedSpec) -> ShardedResult:
+    return ShardedCluster(spec).run()

@@ -1,0 +1,69 @@
+"""Key-space partitioning.
+
+Shards own contiguous ranges of a hashed key space: a key is hashed to a
+point in [0, 2^32) and the point space is split into `num_shards` equal
+ranges.  Hashing first (rather than range-partitioning raw key ids) gives
+every shard an equal slice of a uniform workload regardless of how clients
+draw keys, which is the property the scaling benchmarks rely on.
+
+The hash is content-derived (sha1), not Python's builtin `hash`, so shard
+ownership is stable across processes and seeds — a router and a server
+computing ownership independently always agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, List, Sequence
+
+HASH_SPACE = 1 << 32
+
+
+def key_point(key: str) -> int:
+    """Map a key to its stable point on the hash ring."""
+    digest = hashlib.sha1(key.encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class Partitioner:
+    """Interface: ownership of keys by shard id (0..num_shards-1)."""
+
+    num_shards: int
+
+    def shard_of(self, key: str) -> int:
+        raise NotImplementedError
+
+    def owns(self, shard: int, key: str) -> bool:
+        return self.shard_of(key) == shard
+
+    def predicate(self, shard: int) -> Callable[[str], bool]:
+        """A key filter bound to `shard` (for `KVStore.set_key_filter`)."""
+        return lambda key: self.shard_of(key) == shard
+
+
+class HashRangePartitioner(Partitioner):
+    """Equal hash-ranges: shard i owns points [i*span, (i+1)*span)."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.num_shards = num_shards
+        self._span = HASH_SPACE // num_shards
+
+    def shard_of(self, key: str) -> int:
+        # The last shard absorbs the remainder of the hash space.
+        return min(key_point(key) // self._span, self.num_shards - 1)
+
+    def range_of(self, shard: int) -> range:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range")
+        start = shard * self._span
+        end = HASH_SPACE if shard == self.num_shards - 1 else start + self._span
+        return range(start, end)
+
+    def load_split(self, keys: Sequence[str]) -> List[int]:
+        """How many of `keys` each shard owns (balance diagnostic)."""
+        counts = [0] * self.num_shards
+        for key in keys:
+            counts[self.shard_of(key)] += 1
+        return counts

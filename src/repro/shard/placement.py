@@ -1,0 +1,52 @@
+"""Leader-placement policies.
+
+Where each shard's leader lives is the scaling knob this subsystem exists
+to expose.  `colocated` puts every leader in one region — each group's
+commit path then funnels through that region's shared WAN uplink, which is
+the Figure 10b single-leader bottleneck reproduced at shard granularity.
+`spread` round-robins leaders across regions, recovering the Mencius
+insight (spend every region's NIC, not one) without any intra-group
+protocol change.
+
+A policy maps (shard id, sites) -> the leader's site.  Policies are plain
+callables registered in `PLACEMENTS` so benchmarks and the CLI select them
+by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+# A policy takes (shard, sites) plus policy-specific keywords it is free
+# to ignore (`home` pins the colocated region); new policies only need to
+# be added to PLACEMENTS.
+LeaderPlacement = Callable[..., str]
+
+
+def colocated(shard: int, sites: Sequence[str], home: str = None, **_) -> str:
+    """All shard leaders in one region (default: the first site)."""
+    return home if home is not None else sites[0]
+
+
+def spread(shard: int, sites: Sequence[str], **_) -> str:
+    """Leaders round-robined across regions."""
+    return sites[shard % len(sites)]
+
+
+PLACEMENTS: Dict[str, LeaderPlacement] = {
+    "colocated": colocated,
+    "spread": spread,
+}
+
+
+def leader_sites(policy: str, num_shards: int, sites: Sequence[str],
+                 home: str = None) -> Dict[int, str]:
+    """Resolve a named policy to a shard -> leader-site map."""
+    try:
+        placement = PLACEMENTS[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {policy!r}; choose from {sorted(PLACEMENTS)}"
+        ) from None
+    return {shard: placement(shard, sites, home=home)
+            for shard in range(num_shards)}

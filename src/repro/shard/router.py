@@ -1,0 +1,139 @@
+"""Shard-aware client routing.
+
+A `ShardRouter` is the client-side routing table: key -> owning shard
+(via the partitioner) and shard -> the server a client in a given site
+should contact (the shard's replica in the client's own region, so the
+first hop is always local, as in the single-group deployment).
+
+`ShardRoutedClient` extends the closed-loop client with that table.  The
+retry machinery is inherited unchanged — no-leader rejections and dropped
+replies retry the *same* sequence number against the same server, and the
+store's at-most-once semantics keep retries safe.  The one new path is
+redirect-on-wrong-shard: a server that does not own the requested key
+rejects with a `shard_hint`, and the client re-sends the in-flight command
+to the hinted group immediately (no backoff — a routing error, not an
+unavailable group).  With a fresh routing table that path never fires; it
+exists for stale tables — e.g. a client configured before a reshard — where
+each misrouted request pays one extra local hop but is never lost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kvstore.checker import HistoryEvent
+from repro.protocols.messages import ClientReply
+from repro.protocols.types import Command, OpType
+from repro.shard.partition import Partitioner
+from repro.workload.clients import ClosedLoopClient
+from repro.workload.ycsb import WorkloadConfig
+
+
+class ShardRouter:
+    """Routing table shared by the clients of one sharded deployment."""
+
+    def __init__(self, partitioner: Partitioner,
+                 local_replica: Dict[int, Dict[str, str]]) -> None:
+        self.partitioner = partitioner
+        # shard -> site -> server name (the shard's replica in that site)
+        self.local_replica = local_replica
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.local_replica)
+
+    def shard_of(self, key: str) -> int:
+        return self.partitioner.shard_of(key)
+
+    def server_for(self, shard: int, site: str) -> str:
+        return self.local_replica[shard][site]
+
+    def route(self, key: str, site: str) -> str:
+        """The server a client in `site` should send `key`'s request to."""
+        return self.server_for(self.shard_of(key), site)
+
+
+class ShardRoutedClient(ClosedLoopClient):
+    """A closed-loop client that routes each request to the owning shard.
+
+    Keys are drawn uniformly from the whole keyspace (plus the workload's
+    hot key at the configured conflict rate); the router decides which
+    group's local replica serves each request.
+    """
+
+    def __init__(self, name, sim, network, site, router: ShardRouter,
+                 workload: WorkloadConfig, sites, rng, metrics,
+                 stop_at: Optional[int] = None) -> None:
+        self.router = router
+        self.redirects = 0
+        # `server` is re-routed per command; seed it with shard 0's replica.
+        super().__init__(name, sim, network, site, router.server_for(0, site),
+                         workload, sites, rng, metrics, stop_at=stop_at)
+
+    def _pick_command(self) -> Command:
+        self.seq += 1
+        is_read = self.rng.random() < self.workload.read_fraction
+        if self.rng.random() < self.workload.conflict_rate:
+            key = self.workload.hot_key
+        else:
+            key = self.workload.uniform_key(self.rng)
+        self.server = self.router.route(key, self.site)
+        if is_read:
+            return Command(op=OpType.GET, key=key, client_id=self.name,
+                           seq=self.seq, value_size=self.workload.value_size)
+        return Command(
+            op=OpType.PUT, key=key, value=f"{self.name}:{self.seq}",
+            client_id=self.name, seq=self.seq, value_size=self.workload.value_size,
+        )
+
+    def on_message(self, src: str, message) -> None:
+        command = self.in_flight
+        if (isinstance(message, ClientReply) and not message.ok
+                and message.shard_hint is not None
+                and message.shard_hint in self.router.local_replica
+                and command is not None
+                and message.request_id == command.request_id):
+            # Wrong shard: the contacted group does not own the key.  Fix
+            # the route and resend right away.  (Hints outside our table —
+            # a server ahead of us by a whole reshard — fall through to the
+            # generic backoff-retry below rather than crashing the client.)
+            self._retry_timer.cancel()
+            self.redirects += 1
+            self.server = self.router.server_for(message.shard_hint, self.site)
+            self._send_current()
+            return
+        super().on_message(src, message)
+
+
+def checker_hook(checkers, router: ShardRouter):
+    """An `on_complete` hook recording each success into the owning shard's
+    `HistoryChecker` (client-visible events for the linearizability checks)."""
+
+    def record(command: Command, reply: ClientReply, start: int, end: int) -> None:
+        checker = checkers.get(router.shard_of(command.key))
+        if checker is None:
+            return
+        value = command.value if command.op is OpType.PUT else reply.value
+        checker.record_event(HistoryEvent(
+            client=command.client_id, seq=command.seq, op=command.op,
+            key=command.key, value=value, start=start, end=end,
+            server=reply.server, local_read=reply.local_read,
+        ))
+
+    return record
+
+
+def spawn_sharded_clients(sim, network, sites, router: ShardRouter,
+                          per_region: int, workload: WorkloadConfig,
+                          rng_root, metrics,
+                          stop_at: Optional[int] = None) -> List[ShardRoutedClient]:
+    """`per_region` shard-routed clients in every site."""
+    clients = []
+    for site in sites:
+        for i in range(per_region):
+            name = f"c_{site}_{i}"
+            clients.append(ShardRoutedClient(
+                name, sim, network, site, router, workload, sites,
+                rng_root.stream(f"client:{name}"), metrics, stop_at=stop_at,
+            ))
+    return clients

@@ -32,6 +32,13 @@ class NetworkConfig:
         have a 750 Mbps NIC; the default is scaled down 20x in line with the
         CPU scale model (see DESIGN.md) so saturation happens at simulable
         request rates while control traffic stays effectively free.
+    site_bandwidth_bytes_per_sec: optional shared WAN-egress rate per *site*
+        (a regional uplink all nodes in the site contend on).  `None` (the
+        default) disables the shared link, preserving the single-group
+        model where each node's NIC is the only serialization point.  The
+        sharded experiments enable it so that co-locating many shard
+        leaders in one region saturates that region's uplink (the Figure
+        10b bottleneck reproduced at shard granularity).
     loss_rate: iid drop probability per message.
     fifo: per-(src,dst) in-order delivery.  Defaults to True: the paper's
         systems all speak TCP, which is FIFO per connection, and Mencius'
@@ -41,6 +48,7 @@ class NetworkConfig:
     """
 
     bandwidth_bytes_per_sec: float = 750e6 / 8 / 20.0
+    site_bandwidth_bytes_per_sec: Optional[float] = None
     loss_rate: float = 0.0
     deliver_local_instantly: bool = False
     fifo: bool = True
@@ -63,6 +71,7 @@ class Network:
         self.rng = self.rng_root.stream("network")
         self._nodes: Dict[str, "Node"] = {}
         self._egress_free: Dict[str, int] = {}
+        self._site_egress_free: Dict[str, int] = {}
         self._last_arrival: Dict[Tuple[str, str], int] = {}
         self._blocked: Set[Tuple[str, str]] = set()
         self.messages_sent = 0
@@ -146,6 +155,13 @@ class Network:
         serialization = int(size / self.config.bandwidth_bytes_per_sec * 1_000_000)
         depart = max(now, self._egress_free.get(src, 0)) + serialization
         self._egress_free[src] = depart
+        if self.config.site_bandwidth_bytes_per_sec is not None and src_site != dst_site:
+            # The message also serializes through the site's shared uplink,
+            # after it leaves the node's NIC.
+            site_serialization = int(
+                size / self.config.site_bandwidth_bytes_per_sec * 1_000_000)
+            depart = max(depart, self._site_egress_free.get(src_site, 0)) + site_serialization
+            self._site_egress_free[src_site] = depart
 
         base = self.topology.latency(src_site, dst_site)
         jitter = self.topology.jitter_fraction
@@ -167,6 +183,10 @@ class Network:
     def egress_backlog_us(self, name: str) -> int:
         """How far in the future the node's NIC is already committed."""
         return max(0, self._egress_free.get(name, 0) - self.sim.now)
+
+    def site_egress_backlog_us(self, site: str) -> int:
+        """How far in the future the site's shared uplink is committed."""
+        return max(0, self._site_egress_free.get(site, 0) - self.sim.now)
 
 
 def _estimate_size(message) -> int:

@@ -9,7 +9,7 @@ semantics make retries safe.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.metrics.recorder import MetricsRecorder, RequestRecord
 from repro.protocols.messages import ClientReply, ClientRequest
@@ -42,6 +42,9 @@ class ClosedLoopClient(Node):
         self.sent_at = 0
         self._retry_timer = self.timer("retry")
         self.completed = 0
+        # Called with (command, reply, start, end) on every success —
+        # the sharded layer wires history checkers through this.
+        self.on_complete_hooks: List[Callable] = []
         # Staggered start so clients don't phase-lock.
         self.after(self.rng.randint(0, ms(10)), self._issue_next)
 
@@ -96,6 +99,8 @@ class ClosedLoopClient(Node):
             return
         self.in_flight = None
         self.completed += 1
+        for hook in self.on_complete_hooks:
+            hook(command, message, self.sent_at, self.sim.now)
         self.metrics.add(RequestRecord(
             client=self.name,
             site=self.site,

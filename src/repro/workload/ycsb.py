@@ -45,6 +45,18 @@ class WorkloadConfig:
         end = start + share if idx < len(ordered) - 1 else self.records
         return range(start, end)
 
+    def uniform_key(self, rng) -> str:
+        """A key drawn uniformly from the whole keyspace, ignoring the
+        per-site pre-partitioning — the load model for sharded deployments,
+        where ownership is decided by the hash partitioner rather than the
+        client's site."""
+        return self.key_name(rng.randrange(self.records))
+
     @staticmethod
     def key_name(key_id: int) -> str:
         return f"k{key_id}"
+
+    @staticmethod
+    def key_id(key: str) -> int:
+        """Inverse of `key_name` (raises for non-workload keys)."""
+        return int(key[1:])

@@ -70,3 +70,27 @@ def test_local_read_fraction():
 def test_local_read_fraction_no_reads():
     metrics = MetricsRecorder()
     assert metrics.local_read_fraction(0, sec(1)) == 0.0
+
+
+def test_throughput_by_groups_records():
+    metrics = MetricsRecorder()
+    metrics.add(rec(100, 200, site="oregon"))
+    metrics.add(rec(100, 300, site="oregon"))
+    metrics.add(rec(100, 400, site="seoul"))
+    by_server = metrics.throughput_by(0, sec(1), key=lambda r: r.server)
+    assert by_server == {"r_oregon": 2.0, "r_seoul": 1.0}
+    assert metrics.throughput_by(0, 0, key=lambda r: r.server) == {}
+
+
+def test_merge_combines_groups():
+    a, b = MetricsRecorder(), MetricsRecorder()
+    a.add(rec(100, 300))
+    a.add(rec(0, 10, ok=False))
+    b.add(rec(100, 200, site="seoul"))
+    merged = MetricsRecorder.merge([a, b])
+    # all records present, globally sorted by completion time
+    assert [r.end for r in merged.records] == [ms(200), ms(300)]
+    assert merged.failures == 1
+    assert merged.throughput_ops(0, sec(1)) == 2.0
+    # sources are untouched
+    assert len(a.records) == 1 and len(b.records) == 1

@@ -1,0 +1,112 @@
+"""Shard-aware routing: local-first hops, redirects, retry reuse."""
+
+from repro.shard import ShardedSpec
+from repro.shard.cluster import ShardedCluster
+from repro.shard.partition import HashRangePartitioner, Partitioner
+from repro.shard.router import ShardRoutedClient, ShardRouter
+from repro.sim.units import sec
+from repro.workload.ycsb import WorkloadConfig
+
+WORKLOAD = WorkloadConfig(read_fraction=0.5, conflict_rate=0.0, records=1000)
+
+
+def build_cluster(num_shards=2, **overrides):
+    defaults = dict(
+        protocol="raft", num_shards=num_shards, placement="spread",
+        clients_per_region=0,  # tests attach their own clients
+        workload=WORKLOAD, duration_s=3.0, warmup_s=0.5, cooldown_s=0.5,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return ShardedCluster(ShardedSpec(**defaults))
+
+
+def attach_client(cluster, router=None, site="oregon", name="c_test"):
+    router = router or cluster.router
+    return ShardRoutedClient(
+        name, cluster.sim, cluster.network, site, router, WORKLOAD,
+        cluster.topology.sites, cluster.rng.stream(f"client:{name}"),
+        cluster.metrics, stop_at=sec(2.5),
+    )
+
+
+class SwappedPartitioner(Partitioner):
+    """A deliberately *wrong* ownership map (a stale routing table)."""
+
+    def __init__(self, inner: Partitioner) -> None:
+        self.inner = inner
+        self.num_shards = inner.num_shards
+
+    def shard_of(self, key: str) -> int:
+        return (self.inner.shard_of(key) + 1) % self.num_shards
+
+
+def test_first_hop_is_always_local():
+    cluster = build_cluster()
+    client = attach_client(cluster, site="seoul")
+    cluster.sim.run(until=sec(3.0))
+    assert client.completed > 0
+    for record in cluster.metrics.records:
+        # the contacted server is the owning shard's replica in the
+        # client's own site
+        assert record.server.endswith("_r_seoul")
+
+
+def test_routing_agrees_with_ownership_guard():
+    cluster = build_cluster()
+    client = attach_client(cluster)
+    cluster.sim.run(until=sec(3.0))
+    assert client.completed > 0
+    assert client.redirects == 0
+    assert cluster.filtered_count() == 0
+
+
+def test_stale_router_is_redirected_not_lost():
+    cluster = build_cluster()
+    stale = ShardRouter(SwappedPartitioner(cluster.partitioner),
+                        cluster.router.local_replica)
+    client = attach_client(cluster, router=stale)
+    cluster.sim.run(until=sec(3.0))
+    # Every request first hits the wrong group, gets a shard_hint back,
+    # and is re-sent to the right one — same sequence number, no loss.
+    assert client.completed > 0
+    assert client.redirects >= client.completed
+    assert cluster.filtered_count() == 0
+    # At-most-once held through the redirects: monotone seqs, one record
+    # per completion.
+    assert len(cluster.metrics.records) == client.completed
+
+
+def test_out_of_table_hint_degrades_to_retry_not_crash():
+    # A router whose table only knows shard 0 of a 2-shard cluster: hints
+    # pointing at shard 1 cannot be followed, so the client falls back to
+    # the generic backoff-retry instead of raising.
+    cluster = build_cluster()
+    narrow = ShardRouter(HashRangePartitioner(1),
+                         {0: cluster.router.local_replica[0]})
+    client = attach_client(cluster, router=narrow)
+    cluster.sim.run(until=sec(3.0))  # must not raise inside the event loop
+    # The unroutable key is stuck in harmless backoff-retry (alive, same
+    # seq, no redirect taken), and nothing ever reached the wrong store.
+    assert client.alive
+    assert client.redirects == 0
+    assert client.in_flight is not None
+    assert client.seq == client.completed + 1
+    assert cluster.filtered_count() == 0
+
+
+def test_redirected_request_lands_on_owner():
+    cluster = build_cluster()
+    stale = ShardRouter(SwappedPartitioner(cluster.partitioner),
+                        cluster.router.local_replica)
+    client = attach_client(cluster, router=stale)
+    served = []
+    client.on_complete_hooks.append(
+        lambda command, reply, start, end: served.append((command.key, reply.server)))
+    cluster.sim.run(until=sec(3.0))
+    assert served
+    for key, server in served:
+        # despite the stale table, the answering server is in the true
+        # owner's group
+        shard = int(server.split("_", 1)[0][1:])
+        assert shard == cluster.partitioner.shard_of(key)

@@ -14,29 +14,44 @@ from repro.workload.ycsb import WorkloadConfig
 
 
 class InstantServer(Node):
-    """Replies to every request immediately; optionally fails first."""
+    """Replies to every request immediately; optionally fails first.
 
-    def __init__(self, *args, fail_first=0, **kwargs):
+    `fail_first` rejects the first N requests (ok=False — the no-leader
+    answer), `drop_first` swallows them entirely (reply loss), and
+    `duplicate_replies` sends every reply twice.
+    """
+
+    def __init__(self, *args, fail_first=0, drop_first=0,
+                 duplicate_replies=False, **kwargs):
         kwargs.setdefault("costs", NodeCosts(per_message=0, per_command=0, per_byte=0))
         super().__init__(*args, **kwargs)
         self.seen = 0
         self.fail_first = fail_first
+        self.drop_first = drop_first
+        self.duplicate_replies = duplicate_replies
+        self.request_log = []
 
     def on_message(self, src, message):
         if not isinstance(message, ClientRequest):
             return
         self.seen += 1
+        self.request_log.append(message.command.request_id)
+        if self.seen <= self.drop_first:
+            return
         ok = self.seen > self.fail_first
-        self.send(src, ClientReply(
+        reply = ClientReply(
             request_id=message.command.request_id, ok=ok,
-            value="x", server=self.name))
+            value="x", server=self.name)
+        self.send(src, reply)
+        if self.duplicate_replies:
+            self.send(src, reply)
 
 
-def build(fail_first=0, read_fraction=0.5):
+def build(fail_first=0, read_fraction=0.5, **server_kwargs):
     sim = Simulator()
     net = Network(sim, symmetric_lan(2, rtt_ms_value=1.0), rng=SplitRng(2),
                   config=NetworkConfig())
-    server = InstantServer("s0", sim, net, fail_first=fail_first)
+    server = InstantServer("s0", sim, net, fail_first=fail_first, **server_kwargs)
     metrics = MetricsRecorder()
     client = ClosedLoopClient(
         "c0", sim, net, "s0", "s0",
@@ -58,6 +73,36 @@ def test_failed_reply_retried_with_same_seq():
     assert client.completed > 0
     # the first command was retried, not skipped
     assert metrics.records[0].client == "c0"
+
+
+def test_no_leader_rejection_backs_off_and_retries_same_request():
+    sim, server, client, metrics = build(fail_first=3)
+    sim.run(until=ms(300))
+    # the rejected command was re-sent with the SAME request id until it
+    # succeeded — at-most-once needs the seq to survive the retries
+    first_id = server.request_log[0]
+    assert server.request_log[:4] == [first_id] * 4
+    assert client.completed > 0
+    # no sequence number was burned by the rejections
+    assert client.seq == client.completed + (1 if client.in_flight else 0)
+
+
+def test_lost_reply_retried_after_timeout():
+    sim, server, client, metrics = build(drop_first=1)
+    sim.run(until=sec(6))  # RETRY_TIMEOUT is 5 s
+    assert client.completed > 0
+    # the dropped request was re-sent, not abandoned
+    assert server.request_log.count(server.request_log[0]) == 2
+
+
+def test_duplicate_replies_complete_once():
+    sim, server, client, metrics = build(duplicate_replies=True)
+    sim.run(until=ms(200))
+    assert client.completed > 0
+    # every duplicate was ignored: one metrics record per issued command
+    assert len(metrics.records) == client.completed
+    seqs = [record_id for record_id in server.request_log]
+    assert len(set(seqs)) == len(seqs)  # no request was ever re-sent either
 
 
 def test_records_have_latency():

@@ -45,6 +45,16 @@ def test_invalid_records():
 
 def test_key_names():
     assert WorkloadConfig.key_name(17) == "k17"
+    assert WorkloadConfig.key_id("k17") == 17
+
+
+def test_uniform_key_spans_whole_keyspace():
+    import random
+
+    wl = WorkloadConfig(records=10)
+    rng = random.Random(4)
+    ids = {WorkloadConfig.key_id(wl.uniform_key(rng)) for _ in range(500)}
+    assert ids == set(range(10))
 
 
 @given(st.integers(min_value=1, max_value=1000), st.integers(min_value=1, max_value=8))

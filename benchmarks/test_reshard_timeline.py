@@ -1,0 +1,58 @@
+"""Live resharding under load (beyond the paper's static membership).
+
+PR 1's sharded layer multiplied leaders but froze the partition map at
+construction; reconfiguration is where Howard & Mortier locate the hard
+consensus tradeoffs.  This figure runs the 2 -> 4 split *while clients
+keep issuing 4 KB writes at saturation* and holds the layer to the
+client-visible contract: no acknowledgement is lost or duplicated across
+the epoch change, per-shard histories stay linearizable, and aggregate
+throughput recovers to at least the pre-split level once migration lands.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.bench import experiments as ex
+from repro.shard.cluster import run_reshard_experiment
+
+
+@pytest.mark.slow
+def test_reshard_live_split(benchmark, save_figure):
+    spec = ex.reshard_spec(scale=bench_scale(), seed=1,
+                           shards_from=2, shards_to=4)
+    result = benchmark.pedantic(
+        run_reshard_experiment, args=(spec,), rounds=1, iterations=1)
+    save_figure("reshard_timeline", ex.reshard_table(result).render())
+
+    # The migration ran and finished inside the run.
+    assert result.reshard_completed
+    assert result.moves == 3  # 2->4 split: one range from g0, two from g1
+    assert result.final_epoch == 1
+
+    # Zero lost and zero duplicated acknowledgements across the transition:
+    # every sequence number a client burned was answered exactly once (bar
+    # the final in-flight command per client)...
+    assert result.acks_lost == 0
+    assert result.acks_duplicated == 0
+    # ...and — the check with teeth — no acknowledged write executed more
+    # than once anywhere: on the final owner of every key, the store's
+    # version count matches the distinct acknowledged PUTs (a retry that
+    # re-executed on the new owner instead of hitting the migrated dedup
+    # cache would show up here).
+    assert result.duplicate_executions == 0
+
+    # Every per-shard history — including the two groups spun up mid-run —
+    # stays linearizable across the epoch boundary.
+    assert set(result.violations) == {0, 1, 2, 3}
+    assert result.linearizable
+
+    # Doubling the groups relieves the 2-shard ceiling: steady throughput
+    # after the migration at least recovers the pre-split level.
+    assert result.post_throughput >= result.pre_throughput
+
+    # The redirect machinery did real work (stale tables were repaired via
+    # shipped maps, ping-pongs were capped), and nothing spun unbounded:
+    # boundary bounces are a tiny fraction of total completions.
+    assert result.redirects > 0
+    assert result.capped_redirects <= result.redirects
+    assert result.filtered <= 0.2 * result.completed

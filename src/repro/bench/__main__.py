@@ -4,6 +4,7 @@
     python -m repro.bench --scale 1.0     # EXPERIMENTS.md numbers
     python -m repro.bench fig9c fig10a    # a subset
     python -m repro.bench sharding --shards 1 4 --placement spread
+    python -m repro.bench reshard --reshard-at 4.0 --reshard-to 8
 
 Installed via setup.py this is also the `repro-bench` console script.
 """
@@ -30,6 +31,7 @@ FIGURES = {
     "fig10c": lambda scale, seed: ex.fig10c_latency_8b(scale, seed).render(),
     "fig10d": lambda scale, seed: ex.fig10d_latency_4kb(scale, seed).render(),
     "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
+    "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
 }
 
 
@@ -51,9 +53,20 @@ def main(argv=None) -> int:
                         choices=[*sorted(PLACEMENTS), "both"],
                         help="leader placement for the sharding figure "
                              "(default: both)")
+    parser.add_argument("--reshard-at", type=float, default=None, metavar="S",
+                        help="reshard figure: trigger the split S seconds "
+                             "into the run (default: 40%% of the duration)")
+    parser.add_argument("--reshard-from", type=int, default=2, metavar="N",
+                        help="reshard figure: starting shard count "
+                             "(default: 2)")
+    parser.add_argument("--reshard-to", type=int, default=4, metavar="N",
+                        help="reshard figure: shard count after the split "
+                             "(default: 4)")
     args = parser.parse_args(argv)
     if any(count < 1 for count in args.shards):
         parser.error("--shards values must be >= 1")
+    if args.reshard_from < 1 or args.reshard_to < 1:
+        parser.error("--reshard-from/--reshard-to must be >= 1")
 
     placements = (tuple(sorted(PLACEMENTS, reverse=True))
                   if args.placement == "both" else (args.placement,))
@@ -61,6 +74,9 @@ def main(argv=None) -> int:
     figures["sharding"] = lambda scale, seed: ex.sharding_scaling(
         scale, seed, shard_counts=tuple(args.shards),
         placements=placements).render()
+    figures["reshard"] = lambda scale, seed: ex.reshard_timeline(
+        scale, seed, shards_from=args.reshard_from,
+        shards_to=args.reshard_to, reshard_at_s=args.reshard_at).render()
 
     for name in args.figures:
         start = time.time()

@@ -3,12 +3,28 @@
 Exactly the paper's workload target: `Put(k, v)` / `Get(k)` over ~100 K
 records.  Commands are applied exactly once per (client, seq) pair so that
 retries and replays during leader changes stay idempotent.
+
+Sharded deployments add two concerns:
+
+* a **key filter** restricting the store to the keys its group owns (a
+  safety net behind the router and the replica ownership guard);
+* **range migration** (`MIGRATE_OUT` / `MIGRATE_IN` commands) for live
+  resharding: a donor exports a hash range — the records *and* the
+  at-most-once dedup state of clients whose last command touched it — and
+  a recipient imports it, both through the committed log so every replica
+  of a group transitions at the same log position.
+
+Ordering matters: the duplicate check runs **before** the ownership check.
+A retried command whose original already applied, but whose key has since
+migrated away, must return the cached result — rejecting it would make the
+client re-route and double-execute on the new owner.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from repro.protocols.types import Command, OpType
 
@@ -17,6 +33,9 @@ from repro.protocols.types import Command, OpType
 class ApplyResult:
     ok: bool
     value: Optional[str] = None
+    # True when the command was rejected because this store does not own
+    # its key — the replica turns this into a redirect, not a plain failure.
+    wrong_shard: bool = False
 
 
 class KVStore:
@@ -27,6 +46,9 @@ class KVStore:
         self._versions: Dict[str, int] = {}
         self._last_seq: Dict[str, int] = {}
         self._last_result: Dict[str, ApplyResult] = {}
+        # The key of each client's last applied data command: decides which
+        # dedup entries travel with a migrated range.
+        self._last_key: Dict[str, str] = {}
         self.applied_count = 0
         self.key_filter = key_filter
         self.filtered_count = 0
@@ -48,14 +70,24 @@ class KVStore:
         the original result without re-executing."""
         if command.op is OpType.NOP:
             return ApplyResult(ok=True)
-        if not self.owns(command.key):
-            self.filtered_count += 1
-            return ApplyResult(ok=False)
         client = command.client_id
+        # At-most-once first, ownership second: a duplicate whose key moved
+        # to another shard after the original applied still gets its cached
+        # result (the ownership check would wrongly fail it and trigger a
+        # re-execution on the new owner once the client re-routes).
         if client and command.seq <= self._last_seq.get(client, -1):
             return self._last_result.get(client, ApplyResult(ok=True))
 
-        if command.op is OpType.PUT:
+        if command.op is OpType.MIGRATE_OUT:
+            result = self._apply_migrate_out(command)
+        elif command.op is OpType.MIGRATE_IN:
+            result = self._apply_migrate_in(command)
+        elif not self.owns(command.key):
+            self.filtered_count += 1
+            # Not recorded in the dedup tables: once the client re-routes
+            # (or this store later imports the range) the retry must apply.
+            return ApplyResult(ok=False, wrong_shard=True)
+        elif command.op is OpType.PUT:
             self._table[command.key] = command.value if command.value is not None else ""
             self._versions[command.key] = self._versions.get(command.key, 0) + 1
             result = ApplyResult(ok=True)
@@ -68,7 +100,57 @@ class KVStore:
         if client:
             self._last_seq[client] = command.seq
             self._last_result[client] = result
+            if command.is_data:
+                # Migration commands keep no _last_key: the coordinator's
+                # own dedup state must stay on the group it talked to.
+                self._last_key[client] = command.key
         return result
+
+    # -- range migration ----------------------------------------------------
+
+    def export_range(self, lo: int, hi: int) -> Dict:
+        """Remove and return everything owned in hash range [lo, hi): the
+        records, their versions, and the dedup state of every client whose
+        last applied command touched a key in the range.  Deterministic:
+        replicas applying the same log prefix export identical snapshots."""
+        from repro.shard.partition import key_point  # lazy: kvstore sits below shard
+
+        moved = sorted(k for k in self._table if lo <= key_point(k) < hi)
+        table = {k: self._table.pop(k) for k in moved}
+        versions = {k: self._versions.pop(k) for k in moved if k in self._versions}
+        sessions = {}
+        for client in sorted(self._last_key):
+            key = self._last_key[client]
+            if lo <= key_point(key) < hi:
+                del self._last_key[client]
+                last = self._last_result.pop(client, ApplyResult(ok=True))
+                sessions[client] = [self._last_seq.pop(client, -1), key,
+                                    last.ok, last.value]
+        return {"table": table, "versions": versions, "sessions": sessions}
+
+    def import_range(self, payload: Dict) -> int:
+        """Install an exported range: records, versions, and dedup state
+        (newest seq wins if this store already has an entry)."""
+        self._table.update(payload.get("table", {}))
+        self._versions.update(payload.get("versions", {}))
+        for client, (seq, key, ok, value) in payload.get("sessions", {}).items():
+            if seq > self._last_seq.get(client, -1):
+                self._last_seq[client] = seq
+                self._last_result[client] = ApplyResult(ok=ok, value=value)
+                self._last_key[client] = key
+        return len(payload.get("table", {}))
+
+    def _apply_migrate_out(self, command: Command) -> ApplyResult:
+        meta = json.loads(command.value or "{}")
+        export = self.export_range(meta["lo"], meta["hi"])
+        return ApplyResult(ok=True, value=json.dumps(export, sort_keys=True))
+
+    def _apply_migrate_in(self, command: Command) -> ApplyResult:
+        payload = json.loads(command.value or "{}")
+        imported = self.import_range(payload)
+        return ApplyResult(ok=True, value=str(imported))
+
+    # -- reads / introspection ----------------------------------------------
 
     def read_local(self, key: str) -> Optional[str]:
         """Local (lease-protected) read path; does not go through the log."""

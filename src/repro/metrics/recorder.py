@@ -41,12 +41,18 @@ class MetricsRecorder:
     def __init__(self) -> None:
         self.records: List[RequestRecord] = []
         self.failures = 0
+        # Named event counters (redirects, capped redirects, ...): cheap
+        # shared tallies for paths that do not produce a RequestRecord.
+        self.counters: Dict[str, int] = {}
 
     def add(self, record: RequestRecord) -> None:
         if record.ok:
             self.records.append(record)
         else:
             self.failures += 1
+
+    def incr(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
 
     def window(self, start_us: int, end_us: int) -> List[RequestRecord]:
         return [r for r in self.records if r.start >= start_us and r.end <= end_us]
@@ -110,5 +116,7 @@ class MetricsRecorder:
         for recorder in recorders:
             merged.records.extend(recorder.records)
             merged.failures += recorder.failures
+            for name, count in recorder.counters.items():
+                merged.incr(name, count)
         merged.records.sort(key=lambda r: r.end)
         return merged

@@ -24,7 +24,7 @@ from repro.protocols.messages import (
     ForwardBatch,
     ReplyRelay,
 )
-from repro.protocols.types import Command, Entry
+from repro.protocols.types import Command, Entry, OpType
 from repro.sim.node import Node
 
 RequestId = Tuple[str, int]
@@ -61,6 +61,10 @@ class ReplicaBase(Node):
         # Misrouted requests are rejected with that redirect hint before
         # they reach the consensus path.
         self.ownership_guard: Optional[Callable[[Command], Optional[int]]] = None
+        # Epoch-versioned ownership (live resharding): an object exposing
+        # `.epoch` and `.shard_map()` so rejections can tell a stale client
+        # how far behind its routing table is — and ship the new map.
+        self.shard_info = None
 
         self._handlers: Dict[type, Callable[[str, Any], None]] = {}
         self.register_handler(ClientRequest, self._on_client_request)
@@ -83,15 +87,26 @@ class ReplicaBase(Node):
 
     def _on_client_request(self, src: str, message: ClientRequest) -> None:
         command = message.command
-        if self.ownership_guard is not None:
+        if self.ownership_guard is not None and command.is_data:
             hint = self.ownership_guard(command)
             if hint is not None:
-                self.send(src, ClientReply(
-                    request_id=command.request_id, ok=False,
-                    server=self.name, shard_hint=hint))
+                self.send(src, self._wrong_shard_reply(command, hint,
+                                                       message.epoch))
                 return
         self._clients[command.request_id] = src
         self.submit_command(command)
+
+    def _wrong_shard_reply(self, command: Command, hint: int,
+                           client_epoch: Optional[int]) -> ClientReply:
+        """A redirect rejection; ships the whole partition map when the
+        client's routing epoch is behind this replica's."""
+        reply = ClientReply(request_id=command.request_id, ok=False,
+                            server=self.name, shard_hint=hint)
+        if self.shard_info is not None:
+            reply.epoch = self.shard_info.epoch
+            if client_epoch is not None and client_epoch < self.shard_info.epoch:
+                reply.shard_map = self.shard_info.shard_map()
+        return reply
 
     def submit_command(self, command: Command) -> None:
         """Protocol-specific: propose/forward/serve the command."""
@@ -101,17 +116,31 @@ class ReplicaBase(Node):
         """Best current guess of the leader's name (None if unknown)."""
         raise NotImplementedError
 
-    def complete(self, command: Command, ok: bool, value: Optional[str], local_read: bool = False) -> None:
+    def complete(self, command: Command, ok: bool, value: Optional[str],
+                 local_read: bool = False, shard_hint: Optional[int] = None) -> None:
         """Route the result back to whoever is waiting for this command."""
         request_id = command.request_id
+        value_size = command.value_size if command.is_read else 8
+        if command.op is OpType.MIGRATE_OUT and value:
+            # The exported range snapshot rides back in the reply: charge
+            # its real size to the network/CPU models.
+            value_size = len(value)
         reply = ClientReply(
             request_id=request_id,
             ok=ok,
             value=value,
             server=self.name,
-            value_size=command.value_size if command.is_read else 8,
+            value_size=value_size,
             local_read=local_read,
+            shard_hint=shard_hint,
         )
+        if shard_hint is not None and self.shard_info is not None:
+            # Apply-time bounce (the key migrated away while the command
+            # was in the log): always ship the map — the requester's epoch
+            # is no longer known at this point, and only stale or boundary
+            # clients ever see this path.
+            reply.epoch = self.shard_info.epoch
+            reply.shard_map = self.shard_info.shard_map()
         client = self._clients.pop(request_id, None)
         if client is not None:
             self.send(client, reply)
@@ -172,7 +201,14 @@ class ReplicaBase(Node):
         if command.is_nop:
             return
         if command.request_id in self._clients or command.request_id in self._relays:
-            self.complete(command, ok=result.ok, value=result.value)
+            hint = None
+            if result.wrong_shard and self.ownership_guard is not None:
+                # The key migrated away between this command entering the
+                # log and applying: answer with a redirect so the client
+                # re-routes instead of treating it as a dead end.
+                hint = self.ownership_guard(command)
+            self.complete(command, ok=result.ok, value=result.value,
+                          shard_hint=hint)
 
     def reset_store(self) -> None:
         """Fresh state machine for recovery replay, keeping the shard key
@@ -181,6 +217,14 @@ class ReplicaBase(Node):
 
     def serve_local_read(self, command: Command) -> None:
         """Answer a read from local state (lease-protected paths only)."""
+        if self.ownership_guard is not None:
+            hint = self.ownership_guard(command)
+            if hint is not None:
+                # The key migrated away while the read was pending (it
+                # passed the guard at arrival): a local read would now see
+                # the exported — empty — slot.  Redirect instead.
+                self.complete(command, ok=False, value=None, shard_hint=hint)
+                return
         value = self.store.read_local(command.key)
         self.complete(command, ok=True, value=value, local_read=True)
 

@@ -25,8 +25,29 @@ def _entries_size(entries: List[Entry]) -> int:
 
 
 @dataclass
+class ShardMap:
+    """The partition map at `epoch`, as shipped to stale clients.
+
+    Enough to rebuild a routing table without a separate config service:
+    ownership is equal hash-ranges over `num_shards` groups, and each
+    group's replicas are named by convention (``g<shard>_r_<site>``), so
+    epoch + shard count fully determine key -> server routing.
+    """
+
+    epoch: int
+    num_shards: int
+
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass
 class ClientRequest:
     command: Command
+    # The epoch of the partition map the client routed with (None for
+    # unsharded deployments).  A server on a newer epoch ships its map back
+    # with the rejection instead of just a shard id.
+    epoch: Optional[int] = None
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + self.command.wire_size()
@@ -48,9 +69,15 @@ class ClientReply:
     # Sharded deployments: set on a rejection when the key belongs to a
     # different group, so the client can re-route instead of blind-retrying.
     shard_hint: Optional[int] = None
+    # The answering server's partition-map epoch, and — when the requester's
+    # epoch is behind it — the full map, so one redirect repairs the whole
+    # routing table rather than one key.
+    epoch: Optional[int] = None
+    shard_map: Optional[ShardMap] = None
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + self.value_size
+        extra = self.shard_map.size_bytes() if self.shard_map is not None else 0
+        return HEADER_BYTES + self.value_size + extra
 
 
 @dataclass

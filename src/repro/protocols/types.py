@@ -13,6 +13,12 @@ class OpType(enum.Enum):
     PUT = "put"
     GET = "get"
     NOP = "nop"  # no-op / skip entries (leader no-ops, Mencius skips)
+    # Live resharding: a donor group exports a hash range (and the dedup
+    # state of clients whose last command touched it), a recipient group
+    # imports it.  Both go through the committed log so every replica of a
+    # group flips ownership at the same log position.
+    MIGRATE_OUT = "migrate_out"
+    MIGRATE_IN = "migrate_in"
 
 
 @dataclass(frozen=True)
@@ -37,7 +43,10 @@ class Command:
     def wire_size(self) -> int:
         """Approximate bytes on the wire."""
         base = 24 + len(self.key)
-        if self.op is OpType.PUT:
+        if self.op in (OpType.PUT, OpType.MIGRATE_IN):
+            # MIGRATE_IN carries the exported range snapshot as its value;
+            # `value_size` is set to the blob's real size at construction so
+            # replicating the import costs realistic bytes.
             return base + self.value_size
         return base
 
@@ -52,6 +61,12 @@ class Command:
     @property
     def is_nop(self) -> bool:
         return self.op is OpType.NOP
+
+    @property
+    def is_data(self) -> bool:
+        """A client data operation, subject to shard ownership routing
+        (migration and no-op commands bypass the ownership guard)."""
+        return self.op in (OpType.PUT, OpType.GET)
 
 
 NOP = Command(op=OpType.NOP, client_id="__nop__", seq=0, value_size=0)

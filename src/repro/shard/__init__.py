@@ -12,18 +12,33 @@ a first-class scaling knob.  This package is that layer:
   Figure 10b bottleneck at shard granularity; `spread` recovers the
   Mencius insight by round-robining leaders across regions);
 * `cluster` — N replica groups of any registered protocol over one shared
-  simulator/network/topology, with per-shard and aggregate stats;
-* `router` — shard-aware closed-loop clients with redirect-on-wrong-shard.
+  simulator/network/topology, with per-shard and aggregate stats, plus
+  **live resharding** (`ShardedCluster.reshard`, `run_reshard_experiment`);
+* `router` — shard-aware closed-loop clients with capped
+  redirect-on-wrong-shard and epoch-refreshing routing tables;
+* `reshard` — epoch-versioned per-replica ownership and the migration
+  coordinator that moves key ranges (and their dedup state) between
+  groups through the committed log.
 """
 
 from repro.shard.cluster import (
+    ReshardResult,
+    ReshardSpec,
     ShardedCluster,
     ShardedResult,
     ShardedSpec,
+    run_reshard_experiment,
     run_sharded_experiment,
 )
-from repro.shard.partition import HashRangePartitioner, Partitioner
+from repro.shard.partition import (
+    HashRangePartitioner,
+    Partitioner,
+    RangeMove,
+    VersionedPartitioner,
+    plan_transition,
+)
 from repro.shard.placement import PLACEMENTS, LeaderPlacement, colocated, spread
+from repro.shard.reshard import ReshardCoordinator, ShardOwnership
 from repro.shard.router import ShardRouter, ShardRoutedClient
 
 __all__ = [
@@ -31,12 +46,20 @@ __all__ = [
     "LeaderPlacement",
     "PLACEMENTS",
     "Partitioner",
+    "RangeMove",
+    "ReshardCoordinator",
+    "ReshardResult",
+    "ReshardSpec",
+    "ShardOwnership",
     "ShardRoutedClient",
     "ShardRouter",
     "ShardedCluster",
     "ShardedResult",
     "ShardedSpec",
+    "VersionedPartitioner",
     "colocated",
+    "plan_transition",
+    "run_reshard_experiment",
     "run_sharded_experiment",
     "spread",
 ]

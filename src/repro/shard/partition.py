@@ -14,7 +14,8 @@ computing ownership independently always agree.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, List, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
 
 HASH_SPACE = 1 << 32
 
@@ -50,9 +51,12 @@ class HashRangePartitioner(Partitioner):
         self.num_shards = num_shards
         self._span = HASH_SPACE // num_shards
 
-    def shard_of(self, key: str) -> int:
+    def shard_of_point(self, point: int) -> int:
         # The last shard absorbs the remainder of the hash space.
-        return min(key_point(key) // self._span, self.num_shards - 1)
+        return min(point // self._span, self.num_shards - 1)
+
+    def shard_of(self, key: str) -> int:
+        return self.shard_of_point(key_point(key))
 
     def range_of(self, shard: int) -> range:
         if not 0 <= shard < self.num_shards:
@@ -67,3 +71,116 @@ class HashRangePartitioner(Partitioner):
         for key in keys:
             counts[self.shard_of(key)] += 1
         return counts
+
+
+# ---------------------------------------------------------------------------
+# Epoch-versioned maps and N -> M transition plans (live resharding)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RangeMove:
+    """One migration step of a transition plan: the half-open hash range
+    [start, end) leaves `donor`'s group and joins `recipient`'s."""
+
+    donor: int
+    recipient: int
+    start: int
+    end: int
+
+
+def plan_transition(old: HashRangePartitioner,
+                    new: HashRangePartitioner) -> List[RangeMove]:
+    """The minimal set of range moves turning `old` ownership into `new`.
+
+    Both maps cut the hash ring into equal ranges; overlaying the two cut
+    sets yields segments with a single owner under each map.  Segments
+    whose owner changes become moves; adjacent segments with the same
+    (donor, recipient) pair are coalesced.  N == M yields an empty plan,
+    and the plan works in both directions (split and merge).
+    """
+    cuts = sorted({0, HASH_SPACE}
+                  | {old.range_of(s).start for s in range(old.num_shards)}
+                  | {new.range_of(s).start for s in range(new.num_shards)})
+    moves: List[RangeMove] = []
+    for start, end in zip(cuts, cuts[1:]):
+        donor = old.shard_of_point(start)
+        recipient = new.shard_of_point(start)
+        if donor == recipient:
+            continue
+        if (moves and moves[-1].donor == donor
+                and moves[-1].recipient == recipient
+                and moves[-1].end == start):
+            moves[-1] = RangeMove(donor, recipient, moves[-1].start, end)
+        else:
+            moves.append(RangeMove(donor, recipient, start, end))
+    return moves
+
+
+class VersionedPartitioner(Partitioner):
+    """An epoch-stamped partition map.
+
+    Every reshard advances the epoch by one; routers and replicas compare
+    epochs to decide who is stale, and a server ahead of a client ships the
+    newer map (`ShardMap`) instead of just a shard id.
+    """
+
+    def __init__(self, inner: HashRangePartitioner, epoch: int = 0) -> None:
+        self.inner = inner
+        self.epoch = epoch
+        self.num_shards = inner.num_shards
+
+    @classmethod
+    def initial(cls, num_shards: int) -> "VersionedPartitioner":
+        return cls(HashRangePartitioner(num_shards), epoch=0)
+
+    def shard_of(self, key: str) -> int:
+        return self.inner.shard_of(key)
+
+    def shard_of_point(self, point: int) -> int:
+        return self.inner.shard_of_point(point)
+
+    def range_of(self, shard: int) -> range:
+        return self.inner.range_of(shard)
+
+    def advanced(self, new_num_shards: int
+                 ) -> Tuple["VersionedPartitioner", List[RangeMove]]:
+        """The next-epoch map for `new_num_shards` groups plus the
+        transition plan from this map to it."""
+        target = VersionedPartitioner(HashRangePartitioner(new_num_shards),
+                                      epoch=self.epoch + 1)
+        return target, plan_transition(self.inner, target.inner)
+
+
+# -- owned-range set algebra (per-replica ownership during a transition) -----
+
+
+def add_range(ranges: List[Tuple[int, int]], lo: int, hi: int
+              ) -> List[Tuple[int, int]]:
+    """`ranges` (sorted, disjoint, half-open) with [lo, hi) merged in."""
+    merged: List[Tuple[int, int]] = []
+    for a, b in sorted(ranges + [(lo, hi)]):
+        if merged and a <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+        else:
+            merged.append((a, b))
+    return merged
+
+
+def subtract_range(ranges: List[Tuple[int, int]], lo: int, hi: int
+                   ) -> List[Tuple[int, int]]:
+    """`ranges` with every point in [lo, hi) removed."""
+    out: List[Tuple[int, int]] = []
+    for a, b in ranges:
+        if b <= lo or a >= hi:
+            out.append((a, b))
+            continue
+        if a < lo:
+            out.append((a, lo))
+        if b > hi:
+            out.append((hi, b))
+    return out
+
+
+def ranges_contain(ranges: List[Tuple[int, int]], point: int) -> bool:
+    return any(a <= point < b for a, b in ranges)

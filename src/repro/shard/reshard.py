@@ -1,0 +1,192 @@
+"""Live resharding: epoch-versioned ownership and log-driven migration.
+
+A reshard N -> M is a sequence of `RangeMove`s (see `partition`): each move
+exports a hash range from its donor group and imports it into its recipient
+group, both as ordinary commands through the groups' committed logs, so
+every replica of a group flips ownership at the same log position:
+
+* `MIGRATE_OUT` applied on the donor removes the range's records *and* the
+  at-most-once dedup state of clients whose last command touched it, and
+  returns the snapshot (the donor's leader ships it back to the
+  coordinator in the reply);
+* `MIGRATE_IN` applied on the recipient installs the snapshot.
+
+`ShardOwnership` is the per-replica view: the set of owned hash ranges
+(advanced by applied migrate commands) plus the newest epoch-stamped map
+the replica has learned.  The ownership guard answers misrouted keys with
+a hint under that newest map, and — when the requester's epoch is behind —
+the map itself, which is how clients configured before a reshard repair
+their routing tables.
+
+`ReshardCoordinator` is a simulated node driving the plan move by move
+under live load, with the same retry discipline as ordinary clients (named
+timers, at-most-once via (client, seq) dedup).  Mid-transition the two
+sides can disagree about a boundary key — the donor has exported it, the
+recipient has not yet imported it — which is exactly the redirect
+ping-pong the router's hop cap and backoff fall-back exist for.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.protocols.messages import ClientReply, ClientRequest, ShardMap
+from repro.protocols.types import Command, OpType
+from repro.shard.partition import (
+    HashRangePartitioner,
+    RangeMove,
+    VersionedPartitioner,
+    add_range,
+    key_point,
+    ranges_contain,
+    subtract_range,
+)
+from repro.sim.node import Node, NodeCosts
+from repro.sim.units import ms, sec
+
+RESHARD_CLIENT = "__reshard__"
+
+
+class ShardOwnership:
+    """One replica's epoch-versioned view of what its group owns."""
+
+    def __init__(self, shard: int, versioned: VersionedPartitioner,
+                 owned: bool = True) -> None:
+        self.shard = shard
+        self.map = versioned  # newest map this replica has learned
+        if owned and shard < versioned.num_shards:
+            span = versioned.range_of(shard)
+            self.ranges: List[Tuple[int, int]] = [(span.start, span.stop)]
+        else:
+            # A group spun up mid-reshard owns nothing until it imports.
+            self.ranges = []
+
+    @property
+    def epoch(self) -> int:
+        return self.map.epoch
+
+    def shard_map(self) -> ShardMap:
+        return ShardMap(epoch=self.map.epoch, num_shards=self.map.num_shards)
+
+    def owns_key(self, key: str) -> bool:
+        return ranges_contain(self.ranges, key_point(key))
+
+    def guard(self, command: Command) -> Optional[int]:
+        """`ReplicaBase.ownership_guard`: None for keys this group owns,
+        else the owner under the newest map this replica knows (which can
+        transiently be this very group, for a range awaiting import — the
+        router's hop cap turns that into backoff rather than a spin)."""
+        if self.owns_key(command.key):
+            return None
+        return self.map.shard_of(command.key)
+
+    def on_apply(self, replica: str, index: int, command: Command) -> None:
+        """`on_apply_hooks` hook: advance ownership when a migrate command
+        applies.  Idempotent, so dedup-suppressed duplicates are harmless."""
+        if command.op is OpType.MIGRATE_OUT:
+            meta = json.loads(command.value or "{}")
+            self._learn(meta)
+            self.ranges = subtract_range(self.ranges, meta["lo"], meta["hi"])
+        elif command.op is OpType.MIGRATE_IN:
+            meta = json.loads(command.value or "{}")
+            self._learn(meta)
+            self.ranges = add_range(self.ranges, meta["lo"], meta["hi"])
+
+    def _learn(self, meta: Dict) -> None:
+        if meta.get("epoch", -1) > self.map.epoch:
+            self.map = VersionedPartitioner(
+                HashRangePartitioner(meta["num_shards"]), meta["epoch"])
+
+
+class ReshardCoordinator(Node):
+    """Drives a transition plan through the groups' logs, move by move."""
+
+    RETRY = sec(1)
+    BACKOFF = ms(50)
+
+    def __init__(self, name, sim, network, site: str,
+                 target: VersionedPartitioner, moves: List[RangeMove],
+                 on_done: Optional[Callable[[], None]] = None) -> None:
+        # Like clients, the coordinator is not the measured resource.
+        super().__init__(name, sim, network, site=site,
+                         costs=NodeCosts(per_message=0, per_byte=0.0))
+        self.target = target
+        self.moves = list(moves)
+        self.on_done = on_done
+        self.seq = 0
+        self.completed_at: Optional[int] = None
+        self._move_idx = 0
+        self._phase = ""  # "export" | "import"
+        self._command: Optional[Command] = None
+        self._dst = ""
+        self._retry_timer = self.timer("reshard-retry")
+        self.sim.schedule(0, self._next_move)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def _meta(self, move: RangeMove) -> Dict:
+        return {"lo": move.start, "hi": move.end,
+                "epoch": self.target.epoch,
+                "num_shards": self.target.num_shards}
+
+    def _next_move(self) -> None:
+        if self._move_idx >= len(self.moves):
+            self.completed_at = self.sim.now
+            self._command = None
+            if self.on_done is not None:
+                self.on_done()
+            return
+        move = self.moves[self._move_idx]
+        value = json.dumps(self._meta(move), sort_keys=True)
+        self._phase = "export"
+        self._issue(move.donor, Command(
+            op=OpType.MIGRATE_OUT, key=f"reshard:{self.target.epoch}:{move.start}",
+            value=value, client_id=RESHARD_CLIENT, seq=self._next_seq(),
+            value_size=len(value)))
+
+    def _next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def _issue(self, shard: int, command: Command) -> None:
+        self._command = command
+        # First hop is the group's replica in the coordinator's own site;
+        # forwarding finds the leader, elections just delay the reply.
+        self._dst = f"g{shard}_r_{self.site}"
+        self._send()
+
+    def _send(self) -> None:
+        if self._command is None:
+            return
+        self.send(self._dst, ClientRequest(command=self._command,
+                                           epoch=self.target.epoch))
+        self._retry_timer.arm(self.RETRY, self._send)
+
+    def on_message(self, src: str, message) -> None:
+        if not isinstance(message, ClientReply) or self._command is None:
+            return
+        if message.request_id != self._command.request_id:
+            return  # stale reply from a retried step
+        if not message.ok:
+            # No leader yet (e.g. a freshly spun-up group mid-election):
+            # back off, then retry the same step — dedup makes it safe.
+            self._retry_timer.arm(self.BACKOFF, self._send)
+            return
+        self._retry_timer.cancel()
+        move = self.moves[self._move_idx]
+        if self._phase == "export":
+            payload = json.loads(message.value or "{}")
+            payload.update(self._meta(move))
+            blob = json.dumps(payload, sort_keys=True)
+            self._phase = "import"
+            self._issue(move.recipient, Command(
+                op=OpType.MIGRATE_IN,
+                key=f"reshard:{self.target.epoch}:{move.start}",
+                value=blob, client_id=RESHARD_CLIENT, seq=self._next_seq(),
+                value_size=len(blob)))
+        else:
+            self._move_idx += 1
+            self._next_move()

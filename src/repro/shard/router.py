@@ -3,28 +3,35 @@
 A `ShardRouter` is the client-side routing table: key -> owning shard
 (via the partitioner) and shard -> the server a client in a given site
 should contact (the shard's replica in the client's own region, so the
-first hop is always local, as in the single-group deployment).
+first hop is always local, as in the single-group deployment).  The table
+is epoch-versioned: when a server on a newer partition map rejects a
+request it ships the map (`ShardMap`) along with the redirect, and
+`refresh` rebuilds the whole table — one stale request repairs routing for
+every client sharing the router.
 
 `ShardRoutedClient` extends the closed-loop client with that table.  The
 retry machinery is inherited unchanged — no-leader rejections and dropped
 replies retry the *same* sequence number against the same server, and the
-store's at-most-once semantics keep retries safe.  The one new path is
+store's at-most-once semantics keep retries safe.  The new path is
 redirect-on-wrong-shard: a server that does not own the requested key
 rejects with a `shard_hint`, and the client re-sends the in-flight command
-to the hinted group immediately (no backoff — a routing error, not an
-unavailable group).  With a fresh routing table that path never fires; it
-exists for stale tables — e.g. a client configured before a reshard — where
-each misrouted request pays one extra local hop but is never lost.
+to the hinted group immediately (a routing error, not an unavailable
+group).  Redirects are capped per command: mid-reshard, two groups can
+*disagree* about a boundary key — the donor has exported it, the recipient
+has not yet imported it — and uncapped hint-following would bounce the
+request between them indefinitely.  After `num_shards` consecutive hops
+the client falls back to the generic backoff retry (and counts the event),
+which breaks the ping-pong and succeeds once the migration lands.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.kvstore.checker import HistoryEvent
-from repro.protocols.messages import ClientReply
+from repro.protocols.messages import ClientReply, ClientRequest, ShardMap
 from repro.protocols.types import Command, OpType
-from repro.shard.partition import Partitioner
+from repro.shard.partition import HashRangePartitioner, Partitioner, VersionedPartitioner
 from repro.workload.clients import ClosedLoopClient
 from repro.workload.ycsb import WorkloadConfig
 
@@ -33,14 +40,42 @@ class ShardRouter:
     """Routing table shared by the clients of one sharded deployment."""
 
     def __init__(self, partitioner: Partitioner,
-                 local_replica: Dict[int, Dict[str, str]]) -> None:
+                 local_replica: Dict[int, Dict[str, str]],
+                 sites: Optional[Sequence[str]] = None) -> None:
         self.partitioner = partitioner
         # shard -> site -> server name (the shard's replica in that site)
         self.local_replica = local_replica
+        # Sites for rebuilding the table on refresh (replicas are named by
+        # convention); derived from the table when not given explicitly.
+        if sites is not None:
+            self.sites = list(sites)
+        else:
+            self.sites = sorted({site for table in local_replica.values()
+                                 for site in table})
 
     @property
     def num_shards(self) -> int:
         return len(self.local_replica)
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The routing table's partition-map epoch (None for plain,
+        unversioned partitioners)."""
+        return getattr(self.partitioner, "epoch", None)
+
+    def refresh(self, shard_map: ShardMap) -> bool:
+        """Adopt a newer partition map shipped by a server; returns whether
+        the table changed.  Maps at or behind the current epoch are ignored."""
+        current = self.epoch
+        if current is not None and shard_map.epoch <= current:
+            return False
+        self.partitioner = VersionedPartitioner(
+            HashRangePartitioner(shard_map.num_shards), shard_map.epoch)
+        self.local_replica = {
+            shard: {site: f"g{shard}_r_{site}" for site in self.sites}
+            for shard in range(shard_map.num_shards)
+        }
+        return True
 
     def shard_of(self, key: str) -> int:
         return self.partitioner.shard_of(key)
@@ -66,12 +101,18 @@ class ShardRoutedClient(ClosedLoopClient):
                  stop_at: Optional[int] = None) -> None:
         self.router = router
         self.redirects = 0
+        self.capped_redirects = 0
+        self._redirect_hops = 0  # consecutive redirects for the current command
         # `server` is re-routed per command; seed it with shard 0's replica.
         super().__init__(name, sim, network, site, router.server_for(0, site),
                          workload, sites, rng, metrics, stop_at=stop_at)
 
+    def _redirect_cap(self) -> int:
+        return max(2, self.router.num_shards)
+
     def _pick_command(self) -> Command:
         self.seq += 1
+        self._redirect_hops = 0
         is_read = self.rng.random() < self.workload.read_fraction
         if self.rng.random() < self.workload.conflict_rate:
             key = self.workload.hot_key
@@ -86,31 +127,70 @@ class ShardRoutedClient(ClosedLoopClient):
             client_id=self.name, seq=self.seq, value_size=self.workload.value_size,
         )
 
+    def _request_message(self) -> ClientRequest:
+        # Stamp the request with the routing table's epoch so a server on a
+        # newer map knows to ship the map back, not just a shard id.
+        epoch = self.router.epoch
+        return ClientRequest(command=self.in_flight,
+                             epoch=epoch if epoch is not None else 0)
+
     def on_message(self, src: str, message) -> None:
+        refreshed = False
+        if isinstance(message, ClientReply) and message.shard_map is not None:
+            # A server ahead of us shipped its map: one redirect repairs
+            # the whole table for every client sharing this router.
+            refreshed = self.router.refresh(message.shard_map)
         command = self.in_flight
         if (isinstance(message, ClientReply) and not message.ok
                 and message.shard_hint is not None
                 and message.shard_hint in self.router.local_replica
                 and command is not None
                 and message.request_id == command.request_id):
-            # Wrong shard: the contacted group does not own the key.  Fix
-            # the route and resend right away.  (Hints outside our table —
-            # a server ahead of us by a whole reshard — fall through to the
-            # generic backoff-retry below rather than crashing the client.)
-            self._retry_timer.cancel()
-            self.redirects += 1
-            self.server = self.router.server_for(message.shard_hint, self.site)
-            self._send_current()
-            return
+            # Wrong shard: the contacted group does not own the key.
+            # (Hints outside our table — a server ahead of us that did not
+            # ship a map — fall through to the generic backoff-retry below
+            # rather than crashing the client.)
+            target = self.router.server_for(message.shard_hint, self.site)
+            if target == self.server:
+                # A hint pointing back at the group we just asked (its
+                # range is still awaiting import): resending instantly
+                # cannot help — take the backoff path and try again shortly.
+                pass
+            elif self._redirect_hops >= self._redirect_cap():
+                # Ping-pong guard: mid-reshard, two groups can bounce a
+                # boundary key between them.  Stop following hints, fall
+                # back to backoff retry, and start counting hops afresh.
+                self.capped_redirects += 1
+                self.metrics.incr("capped_redirects")
+                self._redirect_hops = 0
+            else:
+                # Cancel BOTH pending resend paths: a backoff armed by an
+                # earlier hintless rejection would otherwise fire after
+                # this redirect and send a duplicate concurrent request.
+                self._retry_timer.cancel()
+                self._backoff_timer.cancel()
+                self._redirect_hops += 1
+                self.redirects += 1
+                self.metrics.incr("redirects")
+                self.server = target
+                self._send_current()
+                return
+        if refreshed and self.in_flight is not None:
+            # No redirect taken (backoff or success path): still point the
+            # next (re)send at the owner under the just-learned map.
+            self.server = self.router.route(self.in_flight.key, self.site)
         super().on_message(src, message)
 
 
-def checker_hook(checkers, router: ShardRouter):
-    """An `on_complete` hook recording each success into the owning shard's
-    `HistoryChecker` (client-visible events for the linearizability checks)."""
+def checker_hook(checkers):
+    """An `on_complete` hook recording each success into the serving shard's
+    `HistoryChecker` (client-visible events for the linearizability checks).
+    The shard is recovered from the answering server's name, so events stay
+    attributed correctly even while a reshard is moving keys between groups."""
 
     def record(command: Command, reply: ClientReply, start: int, end: int) -> None:
-        checker = checkers.get(router.shard_of(command.key))
+        shard = int(reply.server.split("_", 1)[0][1:])
+        checker = checkers.get(shard)
         if checker is None:
             return
         value = command.value if command.op is OpType.PUT else reply.value

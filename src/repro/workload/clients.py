@@ -41,6 +41,11 @@ class ClosedLoopClient(Node):
         self.in_flight: Optional[Command] = None
         self.sent_at = 0
         self._retry_timer = self.timer("retry")
+        # Rejection backoff is a *named* timer: `arm` replaces any pending
+        # resend, so duplicated rejections (a retransmit answered twice, or
+        # a rejection racing the retry timeout) collapse into one resend
+        # instead of multiplying in-flight sends.
+        self._backoff_timer = self.timer("backoff")
         self.completed = 0
         # Called with (command, reply, start, end) on every success —
         # the sharded layer wires history checkers through this.
@@ -76,8 +81,12 @@ class ClosedLoopClient(Node):
     def _send_current(self) -> None:
         if self.in_flight is None:
             return
-        self.send(self.server, ClientRequest(command=self.in_flight))
+        self.send(self.server, self._request_message())
         self._retry_timer.arm(RETRY_TIMEOUT, self._retry)
+
+    def _request_message(self) -> ClientRequest:
+        """Hook: sharded clients stamp the request with their map epoch."""
+        return ClientRequest(command=self.in_flight)
 
     def _retry(self) -> None:
         if self.in_flight is not None:
@@ -93,10 +102,11 @@ class ClosedLoopClient(Node):
             return  # stale reply from a retried request
         self._retry_timer.cancel()
         if not message.ok:
-            # No leader yet (or leadership changed mid-flight): back off and retry.
-            self.in_flight = command
-            self.after(ms(20), self._send_current)
+            # No leader yet (or leadership changed mid-flight): back off and
+            # retry.  Re-arming the named timer dedupes duplicate rejections.
+            self._backoff_timer.arm(ms(20), self._send_current)
             return
+        self._backoff_timer.cancel()
         self.in_flight = None
         self.completed += 1
         for hook in self.on_complete_hooks:

@@ -94,6 +94,43 @@ def test_apply_hooks_called(cluster_factory):
     assert seen == [("s0", 0)]
 
 
+def test_local_read_rechecks_ownership_before_serving(cluster_factory):
+    """A lease/local read pending across a MIGRATE_OUT must not be served
+    from the exported (now empty) slot: serve_local_read re-checks the
+    ownership guard and answers with a redirect instead of a ghost None."""
+    cluster = cluster_factory(EchoReplica, leader=None)
+    replica = cluster["s0"]
+    replica.ownership_guard = lambda command: 1  # the key migrated to g1
+    cmd = Command(op=OpType.GET, key="k", client_id="client", seq=1)
+    replica._clients[cmd.request_id] = "client"
+    replica.serve_local_read(cmd)
+    cluster.run_ms(10)
+    reply = cluster.client.reply_for(cmd)
+    assert reply is not None and not reply.ok
+    assert reply.shard_hint == 1
+    assert not reply.local_read
+
+
+def test_apply_time_wrong_shard_answered_with_redirect(cluster_factory):
+    """A command that slipped into the log just before its key's range was
+    exported is bounced with a redirect hint at apply time, not silently
+    failed."""
+    cluster = cluster_factory(EchoReplica, leader=None)
+    replica = cluster["s0"]
+    # Ownership flipped after the command entered the log: the guard and
+    # filter both already reject the key when the entry applies.
+    replica.store.set_key_filter(lambda key: False)
+    replica.ownership_guard = lambda command: 2
+    cmd = Command(op=OpType.PUT, key="k", value="v", client_id="client", seq=1)
+    replica._clients[cmd.request_id] = "client"
+    replica.apply_entry(0, Entry(term=1, command=cmd))
+    cluster.run_ms(10)
+    reply = cluster.client.reply_for(cmd)
+    assert reply is not None and not reply.ok
+    assert reply.shard_hint == 2
+    assert replica.store.read_local("k") is None
+
+
 def test_nop_entries_do_not_reply(cluster_factory):
     cluster = cluster_factory(EchoReplica, leader=None)
     replica = cluster["s0"]

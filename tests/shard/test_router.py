@@ -1,10 +1,17 @@
 """Shard-aware routing: local-first hops, redirects, retry reuse."""
 
+from repro.metrics.recorder import MetricsRecorder
+from repro.protocols.messages import ClientReply, ClientRequest
 from repro.shard import ShardedSpec
 from repro.shard.cluster import ShardedCluster
 from repro.shard.partition import HashRangePartitioner, Partitioner
 from repro.shard.router import ShardRoutedClient, ShardRouter
-from repro.sim.units import sec
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node, NodeCosts
+from repro.sim.rng import SplitRng
+from repro.sim.topology import symmetric_lan
+from repro.sim.units import ms, sec
 from repro.workload.ycsb import WorkloadConfig
 
 WORKLOAD = WorkloadConfig(read_fraction=0.5, conflict_rate=0.0, records=1000)
@@ -93,6 +100,79 @@ def test_out_of_table_hint_degrades_to_retry_not_crash():
     assert client.in_flight is not None
     assert client.seq == client.completed + 1
     assert cluster.filtered_count() == 0
+
+
+class DisagreeingServer(Node):
+    """A server with a frozen mid-reshard ownership view: it rejects every
+    request with a hint at some *other* shard.  Two of these pointing at
+    each other reproduce the redirect ping-pong."""
+
+    def __init__(self, *args, hint, **kwargs):
+        kwargs.setdefault("costs", NodeCosts(per_message=0, per_byte=0))
+        super().__init__(*args, **kwargs)
+        self.hint = hint
+        self.accept = False
+        self.seen = 0
+
+    def on_message(self, src, message):
+        if not isinstance(message, ClientRequest):
+            return
+        self.seen += 1
+        command = message.command
+        if self.accept:
+            self.send(src, ClientReply(request_id=command.request_id,
+                                       ok=True, value="x", server=self.name))
+        else:
+            self.send(src, ClientReply(request_id=command.request_id,
+                                       ok=False, server=self.name,
+                                       shard_hint=self.hint))
+
+
+def build_pingpong():
+    sim = Simulator()
+    net = Network(sim, symmetric_lan(3, rtt_ms_value=1.0), rng=SplitRng(4),
+                  config=NetworkConfig())
+    s0 = DisagreeingServer("s0", sim, net, hint=1)  # "shard 1 owns it"
+    s1 = DisagreeingServer("s1", sim, net, hint=0)  # "shard 0 owns it"
+    router = ShardRouter(HashRangePartitioner(2),
+                         {0: {"s2": "s0"}, 1: {"s2": "s1"}})
+    metrics = MetricsRecorder()
+    client = ShardRoutedClient(
+        "c0", sim, net, "s2", router,
+        WorkloadConfig(read_fraction=0.0, conflict_rate=0.0, records=1),
+        ["s2"], SplitRng(9).stream("c"), metrics)
+    return sim, s0, s1, client, metrics
+
+
+def test_redirect_pingpong_is_capped_and_falls_back_to_backoff():
+    """Regression: two servers with disagreeing ownership views (exactly
+    the mid-reshard state) used to bounce one request between their groups
+    indefinitely at network speed.  The hop cap breaks each bounce run and
+    falls back to the 20 ms backoff retry."""
+    sim, s0, s1, client, metrics = build_pingpong()
+    sim.run(until=sec(1))
+    assert client.completed == 0  # both sides still deny ownership
+    # Bounded: at most `cap` hops per ~20 ms backoff round (pre-fix the
+    # request ping-pongs once per RTT, ~1000 redirects in this window).
+    assert client.capped_redirects >= 1
+    assert client.redirects <= 160
+    assert metrics.counters["capped_redirects"] == client.capped_redirects
+    assert metrics.counters["redirects"] == client.redirects
+    # The client is still healthy and retrying the SAME sequence number.
+    assert client.alive and client.in_flight is not None
+    assert client.seq == 1
+
+
+def test_capped_redirect_recovers_once_ownership_settles():
+    """After the cap falls back to backoff, the client must still complete
+    the command once one side starts serving (migration landed)."""
+    sim, s0, s1, client, metrics = build_pingpong()
+    sim.run(until=ms(500))
+    s1.accept = True  # the recipient finished importing the range
+    sim.run(until=sec(1))
+    assert client.completed >= 1
+    # at-most-once held: no sequence number was burned by the storm
+    assert client.seq == client.completed + (1 if client.in_flight else 0)
 
 
 def test_redirected_request_lands_on_owner():

@@ -95,6 +95,40 @@ def test_lost_reply_retried_after_timeout():
     assert server.request_log.count(server.request_log[0]) == 2
 
 
+def test_duplicate_rejections_collapse_into_one_resend():
+    """Regression: every matching ok=False reply used to schedule another
+    *anonymous* backoff callback, so a rejection delivered twice (a
+    retransmit answered twice, or a rejection racing the 5 s retry timer)
+    permanently doubled the in-flight sends.  The named backoff timer
+    (`arm` replaces) collapses duplicates into one pending resend."""
+    sim, server, client, metrics = build(drop_first=10**9)  # server stays mute
+    sim.run(until=ms(20))
+    assert server.seen == 1
+    request_id = client.in_flight.request_id
+    # Two rejections for the same in-flight request.
+    for _ in range(2):
+        server.send("c0", ClientReply(request_id=request_id, ok=False,
+                                      server="s0"))
+    sim.run(until=ms(200))
+    # Exactly ONE backoff resend (pre-fix: one per delivered rejection).
+    assert server.seen == 2
+    assert server.request_log == [request_id, request_id]
+
+
+def test_many_duplicate_rejections_still_one_resend_per_round():
+    """The multiplied-rejection storm: every rejection answered twice for
+    many rounds must still produce one resend per ~20 ms backoff round,
+    not an exponentially growing herd."""
+    sim, server, client, metrics = build(fail_first=8, duplicate_replies=True)
+    sim.run(until=ms(400))
+    assert client.completed >= 1
+    first_id = server.request_log[0]
+    # 8 rejection rounds -> 9 sends of the first command (pre-fix the
+    # doubling herd pushes this past a dozen within the same window).
+    assert server.request_log.count(first_id) == 9
+    assert len(metrics.records) == client.completed
+
+
 def test_duplicate_replies_complete_once():
     sim, server, client, metrics = build(duplicate_replies=True)
     sim.run(until=ms(200))

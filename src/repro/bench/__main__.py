@@ -5,6 +5,7 @@
     python -m repro.bench fig9c fig10a    # a subset
     python -m repro.bench sharding --shards 1 4 --placement spread
     python -m repro.bench reshard --reshard-at 4.0 --reshard-to 8
+    python -m repro.bench txn --txn-shards 1 2 4 --cross-ratio 0 0.5
 
 Installed via setup.py this is also the `repro-bench` console script.
 """
@@ -32,6 +33,7 @@ FIGURES = {
     "fig10d": lambda scale, seed: ex.fig10d_latency_4kb(scale, seed).render(),
     "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
     "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
+    "txn": lambda scale, seed: ex.txn_figures(scale, seed),
 }
 
 
@@ -62,11 +64,22 @@ def main(argv=None) -> int:
     parser.add_argument("--reshard-to", type=int, default=4, metavar="N",
                         help="reshard figure: shard count after the split "
                              "(default: 4)")
+    parser.add_argument("--txn-shards", type=int, nargs="+", default=[1, 2, 4],
+                        metavar="N",
+                        help="shard counts for the txn figure (default: 1 2 4)")
+    parser.add_argument("--cross-ratio", type=float, nargs="+",
+                        default=[0.0, 0.1, 0.5], metavar="R",
+                        help="cross-shard ratios for the txn figure "
+                             "(default: 0 0.1 0.5)")
     args = parser.parse_args(argv)
     if any(count < 1 for count in args.shards):
         parser.error("--shards values must be >= 1")
     if args.reshard_from < 1 or args.reshard_to < 1:
         parser.error("--reshard-from/--reshard-to must be >= 1")
+    if any(count < 1 for count in args.txn_shards):
+        parser.error("--txn-shards values must be >= 1")
+    if any(not 0.0 <= ratio <= 1.0 for ratio in args.cross_ratio):
+        parser.error("--cross-ratio values must be in [0, 1]")
 
     placements = (tuple(sorted(PLACEMENTS, reverse=True))
                   if args.placement == "both" else (args.placement,))
@@ -77,6 +90,9 @@ def main(argv=None) -> int:
     figures["reshard"] = lambda scale, seed: ex.reshard_timeline(
         scale, seed, shards_from=args.reshard_from,
         shards_to=args.reshard_to, reshard_at_s=args.reshard_at).render()
+    figures["txn"] = lambda scale, seed: ex.txn_figures(
+        scale, seed, shard_counts=tuple(args.txn_shards),
+        cross_ratios=tuple(args.cross_ratio))
 
     for name in args.figures:
         start = time.time()

@@ -25,6 +25,8 @@ from repro.shard.cluster import (
     run_reshard_experiment,
     run_sharded_experiment,
 )
+from repro.shard.nemesis import Nemesis
+from repro.shard.txn import TxnResult, TxnSpec, run_txn_experiment
 from repro.workload.ycsb import WorkloadConfig
 
 PQL_SYSTEMS: Tuple[Tuple[str, str], ...] = (
@@ -380,3 +382,139 @@ def reshard_timeline(scale: float = 1.0, seed: int = 1,
     return reshard_table(run_reshard_experiment(
         reshard_spec(scale, seed, shards_from=shards_from,
                      shards_to=shards_to, reshard_at_s=reshard_at_s)))
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard transactions: committed throughput vs shard count and
+# cross-shard ratio, plus the same trial under a nemesis fault schedule
+# (beyond the paper — 2PC composed over the protocol-agnostic groups)
+# ---------------------------------------------------------------------------
+
+
+def txn_spec(scale: float = 1.0, seed: int = 1, num_shards: int = 4,
+             cross_shard_ratio: float = 0.1, txn_size: int = 2,
+             protocol: str = "raft") -> TxnSpec:
+    """One transactional trial: `txn_size`-op transactions, 50 % reads,
+    64 B values, a cross-shard 2PC with probability `cross_shard_ratio`."""
+    return TxnSpec(
+        protocol=protocol,
+        num_shards=num_shards,
+        placement="spread",
+        clients_per_region=_scaled(20, scale),
+        workload=WorkloadConfig(read_fraction=0.5, conflict_rate=0.0,
+                                value_size=64, records=10_000),
+        duration_s=6.0 * max(scale, 0.5),
+        warmup_s=1.5 * max(scale, 0.5),
+        cooldown_s=0.5,
+        seed=seed,
+        check_history=True,
+        txn_size=txn_size,
+        cross_shard_ratio=cross_shard_ratio,
+    )
+
+
+def _txn_safety(result: TxnResult) -> str:
+    if result.safe:
+        return "yes"
+    return (f"NO (lost={result.acks_lost} dup={result.acks_duplicated} "
+            f"re-exec={result.duplicate_executions} "
+            f"ser={len(result.serializability_violations)})")
+
+
+def txn_scaling(scale: float = 1.0, seed: int = 1,
+                shard_counts: Tuple[int, ...] = (1, 2, 4),
+                cross_ratios: Tuple[float, ...] = (0.0, 0.1, 0.5),
+                protocol: str = "raft") -> FigureTable:
+    """Committed transactional throughput (ops/s = txns/s x txn_size) vs
+    shard count, swept over the cross-shard ratio.  At 0 % every
+    transaction takes the single-command fast path — one atomic log entry
+    in the owning group — so the row tracks plain sharded throughput; the
+    50 % row pays two WAN round trips (prepare, commit) plus the logged
+    decision for half its transactions."""
+    table = FigureTable(
+        figure="Txn",
+        title=f"Transactional throughput (ops/s) vs shard count, {protocol}, "
+              "2-op txns, 50% reads, 64 B values",
+        columns=["cross-shard", *map(_shard_column, shard_counts),
+                 "strict-serializable + zero lost/dup acks"],
+    )
+    for ratio in cross_ratios:
+        cells: List[float] = []
+        clean = "yes"
+        for count in shard_counts:
+            result = run_txn_experiment(txn_spec(
+                scale, seed, num_shards=count, cross_shard_ratio=ratio,
+                protocol=protocol))
+            cells.append(result.ops_throughput)
+            if not result.safe:
+                clean = _txn_safety(result)
+        table.add_row(f"{int(ratio * 100)}%", *cells, clean)
+    table.notes.append("0% cross-shard = single-command fast path (one "
+                       "atomic log entry per txn); 2PC prepares lock keys "
+                       "wait-die, commits replicate the decision in the "
+                       "home shard before phase 2")
+    table.notes.append("'strict-serializable' = Elle-style cycle check over "
+                       "wr/ww/rw/real-time edges against the stores' "
+                       "per-key install orders, plus ack accounting")
+    return table
+
+
+def txn_fault_nemesis(cluster, seed: int = 1) -> Nemesis:
+    """The figure's fault schedule: a shard leader killed mid-prepare
+    traffic, the busiest coordinator killed mid-commit traffic, and a
+    leader partitioned later — recovery must replay the decision log."""
+    duration = cluster.spec.duration_s
+    nemesis = Nemesis(cluster, seed=seed)
+    nemesis.leader_kill_at(0.3 * duration)
+    nemesis.coordinator_kill_at(0.45 * duration, 0)
+    nemesis.leader_partition_at(0.6 * duration)
+    return nemesis
+
+
+def txn_faults(scale: float = 1.0, seed: int = 1, num_shards: int = 4,
+               cross_shard_ratio: float = 0.5,
+               protocol: str = "raft") -> Tuple[FigureTable, TxnResult]:
+    """The 50 %-cross-shard trial re-run under the nemesis schedule."""
+    spec = txn_spec(scale, seed, num_shards=num_shards,
+                    cross_shard_ratio=cross_shard_ratio, protocol=protocol)
+    holder: Dict[str, Nemesis] = {}
+
+    def install(cluster) -> None:
+        holder["nemesis"] = txn_fault_nemesis(cluster, seed=seed)
+
+    result = run_txn_experiment(spec, nemesis=install)
+    nemesis = holder["nemesis"]
+    table = FigureTable(
+        figure="Txn-faults",
+        title=f"{int(cross_shard_ratio * 100)}% cross-shard transactions "
+              f"under faults ({protocol}, {num_shards} shards): leader kill "
+              "mid-prepare, coordinator kill mid-commit, leader partition",
+        columns=["metric", "value"],
+    )
+    table.add_row("committed txns", result.committed_total)
+    table.add_row("txn throughput (txn/s)", result.txn_throughput)
+    table.add_row("2PC commits / attempt aborts / waits",
+                  f"{result.commits_2pc} / {result.attempt_aborts} / "
+                  f"{result.waits}")
+    table.add_row("coordinator recoveries", result.recoveries)
+    table.add_row("acks lost / duplicated", f"{result.acks_lost} / "
+                                            f"{result.acks_duplicated}")
+    table.add_row("acked writes re-executed", result.duplicate_executions)
+    table.add_row("strict-serializability violations",
+                  len(result.serializability_violations))
+    table.add_row("prepared locks left (in-flight only)", result.locks_left)
+    for at_s, what in nemesis.log:
+        table.notes.append(f"t={at_s:.2f}s {what}")
+    return table, result
+
+
+def txn_figures(scale: float = 1.0, seed: int = 1,
+                shard_counts: Tuple[int, ...] = (1, 2, 4),
+                cross_ratios: Tuple[float, ...] = (0.0, 0.1, 0.5)) -> str:
+    """The full `txn` CLI figure: the scaling sweep plus the faulted run."""
+    scaling = txn_scaling(scale, seed, shard_counts=shard_counts,
+                          cross_ratios=cross_ratios)
+    faults, _result = txn_faults(scale, seed,
+                                 num_shards=max(shard_counts),
+                                 cross_shard_ratio=max(cross_ratios))
+    return scaling.render() + "\n\n" + faults.render()

@@ -14,17 +14,40 @@ Sharded deployments add two concerns:
   a recipient imports it, both through the committed log so every replica
   of a group transitions at the same log position.
 
+Cross-shard transactions (`repro.shard.txn`) add a third: the store is one
+**participant** in two-phase commit, and every 2PC step is itself a
+committed command, so the lock table and staged writes below are rebuilt
+identically on every replica of the group (and by crash-recovery replay):
+
+* `TXN_PREPARE` locks the keys, stages the writes, performs the reads, and
+  votes — conflicts are resolved **wait-die** (an older transaction's
+  prepare is told to wait and retried by its coordinator while it keeps
+  its other locks; a younger one "dies" and is retried from scratch with
+  its original priority, so it eventually becomes the oldest and wins);
+* `TXN_COMMIT` installs the staged writes and releases the locks;
+  `TXN_ABORT` drops them; both are idempotent;
+* `TXN_DECIDE` records the coordinator's decision in the transaction's
+  *home* shard — the first decision recorded wins, and the apply result
+  always returns the winner, which is how a recovered coordinator's
+  presumed-abort race against its own pre-crash decision stays safe;
+* `TXN_RECOVER` fences a coordinator incarnation (stale prepares from the
+  crashed incarnation are refused, so they cannot leave orphan locks) and
+  reports the prepared transactions and logged decisions it must resolve.
+
 Ordering matters: the duplicate check runs **before** the ownership check.
 A retried command whose original already applied, but whose key has since
 migrated away, must return the cached result — rejecting it would make the
-client re-route and double-execute on the new owner.
+client re-route and double-execute on the new owner.  Lock-conflict
+rejections (`ApplyResult.conflict`) are deliberately NOT recorded in the
+dedup tables: the client retries the same sequence number once the lock is
+released, and the retry must actually apply.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.protocols.types import Command, OpType
 
@@ -36,6 +59,10 @@ class ApplyResult:
     # True when the command was rejected because this store does not own
     # its key — the replica turns this into a redirect, not a plain failure.
     wrong_shard: bool = False
+    # True when the command was rejected because a prepared transaction
+    # holds a lock on one of its keys.  Not dedup-recorded: the client's
+    # retry with the same sequence number must apply once the lock clears.
+    conflict: bool = False
 
 
 class KVStore:
@@ -52,6 +79,16 @@ class KVStore:
         self.applied_count = 0
         self.key_filter = key_filter
         self.filtered_count = 0
+        # -- 2PC participant state (all advanced only by applied commands,
+        #    so every replica of the group holds identical copies) --------
+        self._locks: Dict[str, str] = {}          # key -> holding txn handle
+        self._staged: Dict[str, Dict[str, str]] = {}   # handle -> writes
+        self._txn_meta: Dict[str, Dict] = {}      # handle -> prepare metadata
+        self._decisions: Dict[str, Dict] = {}     # handle -> decision record
+        self._txn_fence: Dict[str, int] = {}      # coordinator -> min incarnation
+        # Per-key install order of every write (PUT or committed txn
+        # write), for the strict-serializability checker.
+        self._write_log: Dict[str, List[str]] = {}
 
     def set_key_filter(self, key_filter: Optional[Callable[[str], bool]]) -> None:
         """Restrict the store to the keys it owns (sharded deployments).
@@ -82,14 +119,33 @@ class KVStore:
             result = self._apply_migrate_out(command)
         elif command.op is OpType.MIGRATE_IN:
             result = self._apply_migrate_in(command)
+        elif command.op is OpType.TXN_PREPARE:
+            result = self._apply_txn_prepare(command)
+        elif command.op is OpType.TXN_COMMIT:
+            result = self._apply_txn_finish(command, commit=True)
+        elif command.op is OpType.TXN_ABORT:
+            result = self._apply_txn_finish(command, commit=False)
+        elif command.op is OpType.TXN_DECIDE:
+            result = self._apply_txn_decide(command)
+        elif command.op is OpType.TXN_RECOVER:
+            result = self._apply_txn_recover(command)
+        elif command.op is OpType.TXN:
+            result = self._apply_txn_single(command)
+            if result.wrong_shard or result.conflict:
+                # Neither counts against the dedup slot: the retry (after a
+                # re-route or a lock release) must actually apply.
+                return result
         elif not self.owns(command.key):
             self.filtered_count += 1
             # Not recorded in the dedup tables: once the client re-routes
             # (or this store later imports the range) the retry must apply.
             return ApplyResult(ok=False, wrong_shard=True)
+        elif command.key in self._locks:
+            # A prepared transaction holds this key: plain reads/writes wait
+            # it out via the client's ordinary backoff-retry machinery.
+            return ApplyResult(ok=False, conflict=True)
         elif command.op is OpType.PUT:
-            self._table[command.key] = command.value if command.value is not None else ""
-            self._versions[command.key] = self._versions.get(command.key, 0) + 1
+            self._put_local(command.key, command.value if command.value is not None else "")
             result = ApplyResult(ok=True)
         elif command.op is OpType.GET:
             result = ApplyResult(ok=True, value=self._table.get(command.key))
@@ -105,6 +161,131 @@ class KVStore:
                 # own dedup state must stay on the group it talked to.
                 self._last_key[client] = command.key
         return result
+
+    def _put_local(self, key: str, value: str) -> None:
+        self._table[key] = value
+        self._versions[key] = self._versions.get(key, 0) + 1
+        self._write_log.setdefault(key, []).append(value)
+
+    # -- transactions (2PC participant) --------------------------------------
+
+    @staticmethod
+    def _txn_json(**payload) -> str:
+        return json.dumps(payload, sort_keys=True)
+
+    def _apply_txn_single(self, command: Command) -> ApplyResult:
+        """A single-shard transaction: every op applies atomically in one
+        log entry, respecting the 2PC lock table (so single-shard and
+        cross-shard transactions serialize against each other)."""
+        ops = json.loads(command.value or "{}").get("ops", [])
+        keys = [key for _, key, _ in ops]
+        if any(not self.owns(key) for key in keys):
+            self.filtered_count += 1
+            return ApplyResult(ok=False, wrong_shard=True)
+        if any(key in self._locks for key in keys):
+            return ApplyResult(ok=False, conflict=True)
+        reads: Dict[str, Optional[str]] = {}
+        for op, key, value in ops:
+            if op == "get":
+                reads[key] = self._table.get(key)
+            else:
+                self._put_local(key, value if value is not None else "")
+        return ApplyResult(ok=True, value=self._txn_json(reads=reads))
+
+    def _vote(self, vote: str, **extra) -> ApplyResult:
+        return ApplyResult(ok=True, value=self._txn_json(vote=vote, **extra))
+
+    def _apply_txn_prepare(self, command: Command) -> ApplyResult:
+        """Lock-stage-read-vote.  Deterministic per log position, so every
+        replica of the group casts the identical vote and holds the
+        identical lock table."""
+        meta = json.loads(command.value or "{}")
+        handle = meta["handle"]
+        if meta["inc"] < self._txn_fence.get(meta["coord"], -1):
+            # A prepare from a fenced (crashed) coordinator incarnation:
+            # refusing it here is what keeps orphan locks impossible.
+            return self._vote("no", reason="fenced")
+        if handle in self._staged:
+            # Re-prepare of an already-granted attempt (lost reply, new
+            # sequence number): idempotent re-vote.
+            return self._vote("yes", reads=self._txn_meta[handle]["reads"])
+        keys = [key for _, key, _ in meta["ops"]]
+        if any(not self.owns(key) for key in keys):
+            self.filtered_count += 1
+            return self._vote("no", reason="wrong_shard")
+        verdict = "yes"
+        for key in keys:
+            holder = self._locks.get(key)
+            if holder is None:
+                continue
+            holder_meta = self._txn_meta.get(holder, {})
+            if (meta["ts"], handle) < (holder_meta.get("ts", -1), holder):
+                # Requester is older: wait (its coordinator re-sends this
+                # prepare while the transaction keeps its other locks).
+                verdict = "wait" if verdict == "yes" else verdict
+            else:
+                # Requester is younger: die (abort + retry from scratch
+                # with the original ts, so its priority only ever ages).
+                verdict = "no"
+        if verdict != "yes":
+            return self._vote(verdict, reason="conflict")
+        reads: Dict[str, Optional[str]] = {}
+        writes: Dict[str, str] = {}
+        for op, key, value in meta["ops"]:
+            if op == "get":
+                reads[key] = self._table.get(key)
+            else:
+                writes[key] = value if value is not None else ""
+        for key in keys:
+            self._locks[key] = handle
+        self._staged[handle] = writes
+        self._txn_meta[handle] = dict(meta, reads=reads)
+        return self._vote("yes", reads=reads)
+
+    def _release(self, handle: str) -> None:
+        self._locks = {key: holder for key, holder in self._locks.items()
+                       if holder != handle}
+
+    def _apply_txn_finish(self, command: Command, commit: bool) -> ApplyResult:
+        """Phase 2: install (commit) or drop (abort) the staged writes and
+        release the locks.  Idempotent — an unknown handle is a finished or
+        never-prepared attempt, both of which are no-ops."""
+        handle = json.loads(command.value or "{}")["handle"]
+        staged = self._staged.pop(handle, None)
+        if staged is not None:
+            if commit:
+                for key in sorted(staged):
+                    self._put_local(key, staged[key])
+            self._release(handle)
+            self._txn_meta.pop(handle, None)
+        return ApplyResult(ok=True, value=self._txn_json(done=True))
+
+    def _apply_txn_decide(self, command: Command) -> ApplyResult:
+        """Record the coordinator's decision; the FIRST decision for a
+        handle wins and the reply always carries the winner, so a recovered
+        coordinator racing its own pre-crash decision converges on one
+        outcome."""
+        meta = json.loads(command.value or "{}")
+        existing = self._decisions.get(meta["handle"])
+        if existing is None:
+            self._decisions[meta["handle"]] = meta
+            existing = meta
+        return ApplyResult(ok=True, value=json.dumps(existing, sort_keys=True))
+
+    def _apply_txn_recover(self, command: Command) -> ApplyResult:
+        """Fence the coordinator's crashed incarnations, then report every
+        prepared transaction and logged decision it owns.  Ordered through
+        the log, so any prepare committed before this query is visible in
+        the report and any prepare still in flight behind it is fenced."""
+        meta = json.loads(command.value or "{}")
+        coord = meta["coord"]
+        self._txn_fence[coord] = max(self._txn_fence.get(coord, -1), meta["inc"])
+        prepared = [self._txn_meta[handle] for handle in sorted(self._txn_meta)
+                    if self._txn_meta[handle].get("coord") == coord]
+        decisions = [self._decisions[handle] for handle in sorted(self._decisions)
+                     if self._decisions[handle].get("coord") == coord]
+        return ApplyResult(ok=True, value=self._txn_json(
+            prepared=prepared, decisions=decisions))
 
     # -- range migration ----------------------------------------------------
 
@@ -159,6 +340,18 @@ class KVStore:
     def version(self, key: str) -> int:
         """Number of writes applied to `key` (used by safety checkers)."""
         return self._versions.get(key, 0)
+
+    def write_order(self, key: str) -> List[str]:
+        """Every value installed at `key`, in apply order (the per-key
+        version order the strict-serializability checker anchors on)."""
+        return list(self._write_log.get(key, []))
+
+    def locked_keys(self) -> Dict[str, str]:
+        """Current prepared-lock table (key -> holding handle)."""
+        return dict(self._locks)
+
+    def prepared_handles(self) -> List[str]:
+        return sorted(self._staged)
 
     def snapshot(self) -> Dict[str, str]:
         return dict(self._table)

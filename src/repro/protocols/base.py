@@ -87,7 +87,7 @@ class ReplicaBase(Node):
 
     def _on_client_request(self, src: str, message: ClientRequest) -> None:
         command = message.command
-        if self.ownership_guard is not None and command.is_data:
+        if self.ownership_guard is not None and command.shard_checked:
             hint = self.ownership_guard(command)
             if hint is not None:
                 self.send(src, self._wrong_shard_reply(command, hint,
@@ -121,9 +121,9 @@ class ReplicaBase(Node):
         """Route the result back to whoever is waiting for this command."""
         request_id = command.request_id
         value_size = command.value_size if command.is_read else 8
-        if command.op is OpType.MIGRATE_OUT and value:
-            # The exported range snapshot rides back in the reply: charge
-            # its real size to the network/CPU models.
+        if value and (command.op is OpType.MIGRATE_OUT or command.is_txn):
+            # Range snapshots and transaction votes/reads/reports ride back
+            # in the reply: charge their real size to the network/CPU models.
             value_size = len(value)
         reply = ClientReply(
             request_id=request_id,

@@ -81,6 +81,52 @@ class ClientReply:
 
 
 @dataclass
+class TxnRequest:
+    """Client -> transaction coordinator: run `ops` atomically.
+
+    `ops` is a list of ``(op, key, value)`` triples ("put"/"get", value
+    None for reads).  `ts` is the transaction's wait-die priority — fixed
+    at the *first* attempt and reused on every retry so a transaction's
+    priority ages rather than resets (the property wound-wait/wait-die
+    liveness rests on).  Retries reuse `txn_seq`; the coordinator caches
+    committed replies per (client, txn_seq)."""
+
+    client: str
+    txn_seq: int
+    ts: int
+    ops: List[Tuple[str, str, Optional[str]]]
+    epoch: Optional[int] = None
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + sum(24 + len(k) + (len(v) if v else 0)
+                                  for _, k, v in self.ops)
+
+    def command_count(self) -> float:
+        # Same client-facing cost profile as a ClientRequest.
+        return 3.0
+
+
+@dataclass
+class TxnReply:
+    """Coordinator -> client: the transaction's outcome.
+
+    `committed` False with `ok` True means a clean abort the client may
+    retry under a fresh transaction id; `reads` carries the values observed
+    at the 2PC serialization point (all locks held)."""
+
+    client: str
+    txn_seq: int
+    ok: bool
+    committed: bool = False
+    reads: Dict[str, Optional[str]] = field(default_factory=dict)
+    server: str = ""
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + sum(8 + (len(v) if v else 0)
+                                  for v in self.reads.values())
+
+
+@dataclass
 class ForwardBatch:
     """A follower forwarding a batch of client commands to the leader
     (the etcd behaviour the paper keeps enabled: 'when a follower receives

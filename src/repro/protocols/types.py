@@ -19,6 +19,25 @@ class OpType(enum.Enum):
     # group flips ownership at the same log position.
     MIGRATE_OUT = "migrate_out"
     MIGRATE_IN = "migrate_in"
+    # Cross-shard transactions (repro.shard.txn).  A single-shard
+    # transaction is one atomic multi-op command (`TXN`); cross-shard
+    # transactions are two-phase commit where every protocol step is an
+    # ordinary command through a participant group's committed log, so a
+    # participant survives its leader crashing mid-transaction:
+    #   TXN_PREPARE  lock keys + stage writes + vote (participant log);
+    #   TXN_COMMIT   install staged writes, release locks;
+    #   TXN_ABORT    drop staged writes, release locks;
+    #   TXN_DECIDE   the coordinator's commit/abort decision, replicated
+    #                in the transaction's *home* shard (first decision
+    #                recorded wins — recovery replays this log);
+    #   TXN_RECOVER  a restarted coordinator's fenced query for its
+    #                prepared transactions and logged decisions.
+    TXN = "txn"
+    TXN_PREPARE = "txn_prepare"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+    TXN_DECIDE = "txn_decide"
+    TXN_RECOVER = "txn_recover"
 
 
 @dataclass(frozen=True)
@@ -43,10 +62,12 @@ class Command:
     def wire_size(self) -> int:
         """Approximate bytes on the wire."""
         base = 24 + len(self.key)
-        if self.op in (OpType.PUT, OpType.MIGRATE_IN):
-            # MIGRATE_IN carries the exported range snapshot as its value;
-            # `value_size` is set to the blob's real size at construction so
-            # replicating the import costs realistic bytes.
+        if self.op in (OpType.PUT, OpType.MIGRATE_IN, OpType.TXN,
+                       OpType.TXN_PREPARE):
+            # MIGRATE_IN carries the exported range snapshot as its value,
+            # TXN/TXN_PREPARE the transaction's operation list; `value_size`
+            # is set to the blob's real size at construction so replicating
+            # the payload costs realistic bytes.
             return base + self.value_size
         return base
 
@@ -67,6 +88,21 @@ class Command:
         """A client data operation, subject to shard ownership routing
         (migration and no-op commands bypass the ownership guard)."""
         return self.op in (OpType.PUT, OpType.GET)
+
+    @property
+    def is_txn(self) -> bool:
+        """Any transaction-layer command (repro.shard.txn)."""
+        return self.op in (OpType.TXN, OpType.TXN_PREPARE, OpType.TXN_COMMIT,
+                           OpType.TXN_ABORT, OpType.TXN_DECIDE,
+                           OpType.TXN_RECOVER)
+
+    @property
+    def shard_checked(self) -> bool:
+        """Commands whose keys must be owned by the serving group: client
+        data operations plus single-shard transactions.  2PC commands are
+        coordinator-routed and ownership-checked inside the store at
+        prepare time instead."""
+        return self.op in (OpType.PUT, OpType.GET, OpType.TXN)
 
 
 NOP = Command(op=OpType.NOP, client_id="__nop__", seq=0, value_size=0)

@@ -15,10 +15,16 @@ a first-class scaling knob.  This package is that layer:
   simulator/network/topology, with per-shard and aggregate stats, plus
   **live resharding** (`ShardedCluster.reshard`, `run_reshard_experiment`);
 * `router` — shard-aware closed-loop clients with capped
-  redirect-on-wrong-shard and epoch-refreshing routing tables;
+  redirect-on-wrong-shard and epoch-refreshing routing tables, plus
+  `ShardRoutedClient.transact` for atomic multi-key transactions;
 * `reshard` — epoch-versioned per-replica ownership and the migration
   coordinator that moves key ranges (and their dedup state) between
-  groups through the committed log.
+  groups through the committed log;
+* `txn` — cross-shard transactions: two-phase commit where every protocol
+  step goes through a participant group's committed log, with a
+  decision-log-recovering `TxnCoordinator` and wait-die locking;
+* `nemesis` — seeded fault injection (leader kills/partitions,
+  coordinator crashes) for proving the above under failure.
 """
 
 from repro.shard.cluster import (
@@ -27,8 +33,18 @@ from repro.shard.cluster import (
     ShardedCluster,
     ShardedResult,
     ShardedSpec,
+    UnsupportedProtocolError,
     run_reshard_experiment,
     run_sharded_experiment,
+)
+from repro.shard.nemesis import Nemesis
+from repro.shard.txn import (
+    TxnCluster,
+    TxnCoordinator,
+    TxnResult,
+    TxnSpec,
+    TxnWorkloadClient,
+    run_txn_experiment,
 )
 from repro.shard.partition import (
     HashRangePartitioner,
@@ -44,6 +60,7 @@ from repro.shard.router import ShardRouter, ShardRoutedClient
 __all__ = [
     "HashRangePartitioner",
     "LeaderPlacement",
+    "Nemesis",
     "PLACEMENTS",
     "Partitioner",
     "RangeMove",
@@ -56,10 +73,17 @@ __all__ = [
     "ShardedCluster",
     "ShardedResult",
     "ShardedSpec",
+    "TxnCluster",
+    "TxnCoordinator",
+    "TxnResult",
+    "TxnSpec",
+    "TxnWorkloadClient",
+    "UnsupportedProtocolError",
     "VersionedPartitioner",
     "colocated",
     "plan_transition",
     "run_reshard_experiment",
     "run_sharded_experiment",
+    "run_txn_experiment",
     "spread",
 ]

@@ -55,6 +55,11 @@ def shard_of_server(server: str) -> int:
     return int(server.split("_", 1)[0][1:])
 
 
+class UnsupportedProtocolError(RuntimeError):
+    """A shard-layer operation was requested on a protocol that cannot
+    serve it (e.g. live resharding of leaderless Mencius groups)."""
+
+
 @dataclass
 class ShardedSpec:
     """One sharded trial's parameters."""
@@ -133,11 +138,7 @@ class ShardedCluster:
         }
         self.router = ShardRouter(self.versioned, local_replica,
                                   sites=self.topology.sites)
-        self.clients = spawn_sharded_clients(
-            self.sim, self.network, self.topology.sites, self.router,
-            spec.clients_per_region, spec.workload, self.rng, self.metrics,
-            stop_at=sec(spec.duration_s),
-        )
+        self.clients = self._spawn_clients()
         if spec.check_history:
             hook = checker_hook(self.checkers)
             for client in self.clients:
@@ -148,6 +149,16 @@ class ShardedCluster:
         self.reshard_started_at: Optional[int] = None
         self.reshard_completed_at: Optional[int] = None
         self._target: Optional[VersionedPartitioner] = None
+
+    def _spawn_clients(self):
+        """Build this deployment's client fleet (the transactional cluster
+        overrides this to spawn coordinators + transactional clients)."""
+        spec = self.spec
+        return spawn_sharded_clients(
+            self.sim, self.network, self.topology.sites, self.router,
+            spec.clients_per_region, spec.workload, self.rng, self.metrics,
+            stop_at=sec(spec.duration_s),
+        )
 
     def _build_group(self, shard: int, leader_site: str,
                      versioned: VersionedPartitioner, owned: bool) -> None:
@@ -188,7 +199,20 @@ class ShardedCluster:
 
     def reshard(self, new_num_shards: int, at: Optional[int] = None) -> None:
         """Transition to `new_num_shards` groups — immediately, or at sim
-        time `at` (microseconds) so the migration runs under live load."""
+        time `at` (microseconds) so the migration runs under live load.
+
+        Raises `UnsupportedProtocolError` for leaderless protocols: the
+        migration coordinator drives MIGRATE_OUT/IN through each group's
+        leader (retrying until one answers), and a Mencius group has no
+        leader to converge on — the transition would silently wedge."""
+        from repro.bench.harness import LEADERLESS
+
+        if self.spec.protocol in LEADERLESS:
+            raise UnsupportedProtocolError(
+                f"live resharding is not supported for leaderless protocol "
+                f"{self.spec.protocol!r}: MIGRATE_OUT/IN need a group leader "
+                f"to serve the export snapshot; use a leader-based protocol "
+                f"or drain the group offline instead")
         if at is None:
             self._start_reshard(new_num_shards)
         else:
@@ -349,11 +373,16 @@ def duplicate_execution_count(cluster: ShardedCluster) -> int:
 
 
 def run_reshard_experiment(spec: ReshardSpec,
-                           bucket_s: float = 0.5) -> ReshardResult:
+                           bucket_s: float = 0.5,
+                           nemesis=None) -> ReshardResult:
     """Build a `num_shards`-group cluster, trigger a live transition to
-    `reshard_to` groups at `reshard_at_s`, and account for every ack."""
+    `reshard_to` groups at `reshard_at_s`, and account for every ack.
+    `nemesis(cluster)`, when given, installs a fault schedule (leader
+    crashes, partitions — see `repro.shard.nemesis`) before the run."""
     cluster = ShardedCluster(spec)
     cluster.reshard(spec.reshard_to, at=sec(spec.reshard_at_s))
+    if nemesis is not None:
+        nemesis(cluster)
     cluster.sim.run(until=sec(spec.duration_s))
 
     metrics = cluster.metrics

@@ -1,0 +1,150 @@
+"""Seeded fault injection for sharded and transactional clusters.
+
+Howard & Mortier's comparison argues the interesting Paxos/Raft differences
+only surface under leader failure — which is exactly what steady-state
+benchmarks never exercise.  A `Nemesis` schedules faults at sim times
+against a built (not yet run) `ShardedCluster`/`TxnCluster`:
+
+* **leader_kill** — crash the current leader of a consensus group (or a
+  random alive replica if the group is mid-election), recover it later;
+* **leader_partition** — cut the leader off from its group peers for a
+  while (a gray failure: clients can still reach it, it just cannot
+  commit), then heal exactly those links;
+* **coordinator_kill** — crash a transaction coordinator mid-2PC and
+  recover it, forcing the fenced decision-log replay in
+  `repro.shard.txn.TxnCoordinator.on_recover`.
+
+Everything is driven by a named stream off the experiment seed, so a
+failing schedule replays exactly.  `tests/shard/nemesis.py` provides the
+schedule presets the test suite uses; `random_schedule` is the generic
+generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.rng import SplitRng
+from repro.sim.units import sec
+
+KINDS = ("leader_kill", "leader_partition", "coordinator_kill")
+
+
+class Nemesis:
+    """Schedules seeded faults against a built cluster before `run()`."""
+
+    def __init__(self, cluster, seed: int = 0,
+                 leader_down_s: float = 1.2,
+                 partition_s: float = 1.2,
+                 coordinator_down_s: float = 1.0) -> None:
+        self.cluster = cluster
+        self.rng = SplitRng(0xFA11 + seed).stream("nemesis")
+        self.leader_down_s = leader_down_s
+        self.partition_s = partition_s
+        self.coordinator_down_s = coordinator_down_s
+        self.log: List[Tuple[float, str]] = []
+        self.kills = 0
+        self.partitions = 0
+        self.coordinator_kills = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def leader_kill_at(self, at_s: float, shard: Optional[int] = None) -> None:
+        self.cluster.sim.schedule_at(sec(at_s), self._leader_kill, shard)
+
+    def leader_partition_at(self, at_s: float,
+                            shard: Optional[int] = None) -> None:
+        self.cluster.sim.schedule_at(sec(at_s), self._leader_partition, shard)
+
+    def coordinator_kill_at(self, at_s: float,
+                            index: Optional[int] = None) -> None:
+        self.cluster.sim.schedule_at(sec(at_s), self._coordinator_kill, index)
+
+    def random_schedule(self, events: int, start_s: float, end_s: float,
+                        kinds: Sequence[str] = ("leader_kill",
+                                                "leader_partition")) -> None:
+        """`events` faults at random times in [start_s, end_s)."""
+        for _ in range(events):
+            at_s = self.rng.uniform(start_s, end_s)
+            kind = self.rng.choice(list(kinds))
+            if kind == "leader_kill":
+                self.leader_kill_at(at_s)
+            elif kind == "leader_partition":
+                self.leader_partition_at(at_s)
+            elif kind == "coordinator_kill":
+                self.coordinator_kill_at(at_s)
+            else:  # pragma: no cover - caller typo
+                raise ValueError(f"unknown nemesis kind {kind!r}")
+
+    # -- fault actions -------------------------------------------------------
+
+    def _note(self, what: str) -> None:
+        self.log.append((self.cluster.sim.now / 1e6, what))
+
+    def _pick_victim(self, shard: Optional[int]):
+        groups = self.cluster.groups
+        if shard is None:
+            shard = self.rng.choice(sorted(groups))
+        replicas = groups[shard]
+        alive = [r for r in replicas.values() if r.alive]
+        if not alive:
+            return shard, None
+        leaders = [r for r in alive if getattr(r, "is_leader", False)]
+        return shard, (leaders[0] if leaders else self.rng.choice(
+            sorted(alive, key=lambda r: r.name)))
+
+    def _leader_kill(self, shard: Optional[int]) -> None:
+        shard, victim = self._pick_victim(shard)
+        if victim is None:
+            self._note(f"leader_kill g{shard}: no replica alive, skipped")
+            return
+        victim.crash()
+        self.kills += 1
+        self._note(f"leader_kill g{shard}: crashed {victim.name}")
+
+        def recover() -> None:
+            if not victim.alive:
+                victim.recover()
+                self._note(f"leader_kill g{shard}: recovered {victim.name}")
+        self.cluster.sim.schedule(sec(self.leader_down_s), recover)
+
+    def _leader_partition(self, shard: Optional[int]) -> None:
+        shard, victim = self._pick_victim(shard)
+        if victim is None:
+            self._note(f"leader_partition g{shard}: no replica alive, skipped")
+            return
+        peers = [name for name in self.cluster.groups[shard]
+                 if name != victim.name]
+        network = self.cluster.network
+        for peer in peers:
+            network.block(victim.name, peer)
+        self.partitions += 1
+        self._note(f"leader_partition g{shard}: isolated {victim.name} "
+                   f"from its group")
+
+        def heal() -> None:
+            for peer in peers:
+                network.unblock(victim.name, peer)
+            self._note(f"leader_partition g{shard}: healed {victim.name}")
+        self.cluster.sim.schedule(sec(self.partition_s), heal)
+
+    def _coordinator_kill(self, index: Optional[int]) -> None:
+        coordinators = getattr(self.cluster, "coordinators", [])
+        alive = [c for c in coordinators if c.alive]
+        if not alive:
+            self._note("coordinator_kill: none alive, skipped")
+            return
+        victim = (coordinators[index] if index is not None
+                  else self.rng.choice(sorted(alive, key=lambda c: c.name)))
+        if not victim.alive:
+            self._note(f"coordinator_kill: {victim.name} already down, skipped")
+            return
+        victim.crash()
+        self.coordinator_kills += 1
+        self._note(f"coordinator_kill: crashed {victim.name}")
+
+        def recover() -> None:
+            if not victim.alive:
+                victim.recover()
+                self._note(f"coordinator_kill: recovered {victim.name}")
+        self.cluster.sim.schedule(sec(self.coordinator_down_s), recover)

@@ -76,10 +76,19 @@ class ShardOwnership:
         """`ReplicaBase.ownership_guard`: None for keys this group owns,
         else the owner under the newest map this replica knows (which can
         transiently be this very group, for a range awaiting import — the
-        router's hop cap turns that into backoff rather than a spin)."""
-        if self.owns_key(command.key):
-            return None
-        return self.map.shard_of(command.key)
+        router's hop cap turns that into backoff rather than a spin).
+        Single-shard transactions are checked on every key they touch."""
+        for key in self._guarded_keys(command):
+            if not self.owns_key(key):
+                return self.map.shard_of(key)
+        return None
+
+    @staticmethod
+    def _guarded_keys(command: Command) -> List[str]:
+        if command.op is OpType.TXN:
+            ops = json.loads(command.value or "{}").get("ops", [])
+            return [key for _, key, _ in ops]
+        return [command.key]
 
     def on_apply(self, replica: str, index: int, command: Command) -> None:
         """`on_apply_hooks` hook: advance ownership when a migrate command

@@ -26,14 +26,26 @@ which breaks the ping-pong and succeeds once the migration lands.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kvstore.checker import HistoryEvent
-from repro.protocols.messages import ClientReply, ClientRequest, ShardMap
+from repro.metrics.recorder import RequestRecord
+from repro.protocols.messages import (
+    ClientReply,
+    ClientRequest,
+    ShardMap,
+    TxnReply,
+    TxnRequest,
+)
 from repro.protocols.types import Command, OpType
 from repro.shard.partition import HashRangePartitioner, Partitioner, VersionedPartitioner
-from repro.workload.clients import ClosedLoopClient
+from repro.workload.clients import RETRY_TIMEOUT, ClosedLoopClient
 from repro.workload.ycsb import WorkloadConfig
+
+# One transaction operation: ("put"|"get", key, value-or-None).
+TxnOp = Tuple[str, str, Optional[str]]
+TxnOps = Sequence[TxnOp]
 
 
 class ShardRouter:
@@ -98,14 +110,30 @@ class ShardRoutedClient(ClosedLoopClient):
 
     def __init__(self, name, sim, network, site, router: ShardRouter,
                  workload: WorkloadConfig, sites, rng, metrics,
-                 stop_at: Optional[int] = None) -> None:
+                 stop_at: Optional[int] = None,
+                 coordinator: Optional[str] = None) -> None:
         self.router = router
         self.redirects = 0
         self.capped_redirects = 0
         self._redirect_hops = 0  # consecutive redirects for the current command
+        # -- transactions (`transact`) ----------------------------------
+        # Cross-shard transactions go through this coordinator (required
+        # only when transact() actually crosses shards); single-shard ones
+        # ride the ordinary command path as one atomic TXN command.
+        self.coordinator = coordinator
+        self.txn_seq = 0
+        self.txn_in_flight: Optional[TxnRequest] = None
+        self.txns_issued = 0
+        self.txns_committed = 0
+        self.single_shard_txns = 0
+        self.cross_shard_txns = 0
+        # Called with (client, txn_id, ops, reads, start, end) per commit.
+        self.on_txn_complete_hooks: List = []
         # `server` is re-routed per command; seed it with shard 0's replica.
         super().__init__(name, sim, network, site, router.server_for(0, site),
                          workload, sites, rng, metrics, stop_at=stop_at)
+        self._txn_timer = self.timer("txn-retry")
+        self.on_complete_hooks.append(self._single_txn_complete)
 
     def _redirect_cap(self) -> int:
         return max(2, self.router.num_shards)
@@ -134,7 +162,99 @@ class ShardRoutedClient(ClosedLoopClient):
         return ClientRequest(command=self.in_flight,
                              epoch=epoch if epoch is not None else 0)
 
+    # -- transactions --------------------------------------------------------
+
+    def transact(self, ops: TxnOps) -> None:
+        """Issue `ops` as one atomic multi-key transaction.
+
+        Single-shard transactions are sent as one `TXN` command through the
+        owning group — the full epoch/redirect/dedup machinery of ordinary
+        commands applies unchanged.  Cross-shard transactions go to the
+        transaction coordinator, which runs 2PC through the participant
+        groups' logs; the client's retry (same `txn_seq`) is answered from
+        the coordinator's committed-reply cache."""
+        ops = [tuple(op) for op in ops]
+        self.txns_issued += 1
+        self.sent_at = self.sim.now
+        shards = {self.router.shard_of(key) for _, key, _ in ops}
+        if len(shards) == 1:
+            self.single_shard_txns += 1
+            self.seq += 1
+            self._redirect_hops = 0
+            value = json.dumps({"ops": [list(op) for op in ops]},
+                               sort_keys=True)
+            self.in_flight = Command(
+                op=OpType.TXN, key=ops[0][1], value=value, client_id=self.name,
+                seq=self.seq, value_size=len(value))
+            self.server = self.router.route(ops[0][1], self.site)
+            self._send_current()
+            return
+        if self.coordinator is None:
+            raise RuntimeError(
+                f"{self.name}: cross-shard transaction but no coordinator set")
+        self.cross_shard_txns += 1
+        self.txn_seq += 1
+        self.txn_in_flight = TxnRequest(
+            client=self.name, txn_seq=self.txn_seq, ts=self.sim.now,
+            ops=[list(op) for op in ops], epoch=self.router.epoch)
+        self._send_txn()
+
+    def _send_txn(self) -> None:
+        if self.txn_in_flight is None:
+            return
+        self.send(self.coordinator, self.txn_in_flight)
+        self._txn_timer.arm(RETRY_TIMEOUT, self._send_txn)
+
+    def pending_ops(self) -> List[TxnOp]:
+        """The operations of whatever is in flight right now (for end-of-run
+        accounting: these may or may not have executed)."""
+        if self.txn_in_flight is not None:
+            return [tuple(op) for op in self.txn_in_flight.ops]
+        command = self.in_flight
+        if command is None:
+            return []
+        if command.op is OpType.TXN:
+            return [tuple(op) for op in
+                    json.loads(command.value or "{}").get("ops", [])]
+        if command.op is OpType.PUT:
+            return [("put", command.key, command.value)]
+        if command.op is OpType.GET:
+            return [("get", command.key, None)]
+        return []
+
+    def _single_txn_complete(self, command: Command, reply: ClientReply,
+                             start: int, end: int) -> None:
+        if command.op is not OpType.TXN:
+            return
+        reads = json.loads(reply.value or "{}").get("reads", {})
+        ops = json.loads(command.value or "{}").get("ops", [])
+        self._finish_txn(f"{self.name}:s{command.seq}", ops, reads, start, end)
+
+    def _finish_txn(self, txn_id: str, ops, reads, start: int, end: int) -> None:
+        self.txns_committed += 1
+        for hook in self.on_txn_complete_hooks:
+            hook(self, txn_id, [tuple(op) for op in ops], reads, start, end)
+
+    def _on_txn_reply(self, message: TxnReply) -> None:
+        request = self.txn_in_flight
+        if (request is None
+                or (message.client, message.txn_seq)
+                != (request.client, request.txn_seq)):
+            return  # stale reply from an earlier transaction
+        self._txn_timer.cancel()
+        self.txn_in_flight = None
+        start, end = self.sent_at, self.sim.now
+        self.metrics.add(RequestRecord(
+            client=self.name, site=self.site, server=message.server,
+            op=OpType.TXN, start=start, end=end, ok=True))
+        self._finish_txn(f"{request.client}:{request.txn_seq}", request.ops,
+                         message.reads, start, end)
+        self._issue_next()
+
     def on_message(self, src: str, message) -> None:
+        if isinstance(message, TxnReply):
+            self._on_txn_reply(message)
+            return
         refreshed = False
         if isinstance(message, ClientReply) and message.shard_map is not None:
             # A server ahead of us shipped its map: one redirect repairs
@@ -189,6 +309,8 @@ def checker_hook(checkers):
     attributed correctly even while a reshard is moving keys between groups."""
 
     def record(command: Command, reply: ClientReply, start: int, end: int) -> None:
+        if not command.is_data:
+            return  # transactions are checked by the txn-level checker
         shard = int(reply.server.split("_", 1)[0][1:])
         checker = checkers.get(shard)
         if checker is None:

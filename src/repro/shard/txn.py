@@ -1,0 +1,734 @@
+"""Cross-shard transactions: two-phase commit over consensus groups.
+
+The paper's thesis is that Paxos and Raft are interchangeable underneath
+protocol-agnostic machinery; this module is the strongest composition test
+of that claim in the repo: a 2PC layer built purely against the
+`ReplicaBase` command-log interface, so it runs unchanged over any
+registered leader-based protocol.
+
+Every 2PC step is an **ordinary command through a participant group's
+committed log** (see `KVStore._apply_txn_*`), which buys the two fault
+properties the Howard & Mortier comparison says matter:
+
+* a participant survives its leader crashing mid-transaction — the
+  PREPARE (locks + staged writes + vote) is replicated state, so the new
+  leader answers the coordinator's retry from the same lock table (or the
+  dedup cache, if the crashed leader already applied it);
+* the **decision is replicated too**: before sending any COMMIT, the
+  coordinator logs a `TXN_DECIDE` record in the transaction's *home*
+  shard.  A restarted coordinator replays that decision log
+  (`TXN_RECOVER`) instead of relying on its own memory — removing the
+  "single reliable node" caveat the reshard coordinator still has.
+
+Coordinator recovery is fenced by incarnation: `TXN_RECOVER` both reports
+the prepared transactions/decisions and raises the store-side fence, so a
+prepare from the crashed incarnation that was still in flight is refused
+rather than left holding orphan locks.  Undecided prepared transactions
+are resolved **presumed abort** (the recovery logs an abort decision; the
+first decision recorded in the home log wins, so a racing pre-crash
+commit decision is honored if it got there first).
+
+Conflicts are resolved wait-die (see `store.py`): the older transaction
+re-sends the conflicted prepare while keeping its other locks; the
+younger aborts and retries with its original timestamp, so every
+transaction eventually becomes oldest and commits — deadlock-free without
+any cross-group waits-for graph.  Pure wound-wait cannot be ported here:
+once a participant's PREPARE is applied it has voted yes through its log,
+and 2PC forbids unilaterally aborting a voted participant — so the wound
+branch is only available against transactions that have not locked yet,
+which is exactly the wait-die half of the family.
+
+Single-shard transactions skip all of this: `ShardRoutedClient.transact`
+sends them as one atomic `TXN` command through the owning group's log
+(respecting the 2PC lock table), which is why the 0 % cross-shard figure
+tracks plain sharded throughput.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.kvstore.checker import TxnEvent, check_strict_serializability
+from repro.metrics.recorder import MetricsRecorder, RequestRecord
+from repro.protocols.messages import ClientReply, ClientRequest, TxnReply, TxnRequest
+from repro.protocols.types import Command, OpType
+from repro.shard.cluster import ShardedCluster, ShardedSpec
+from repro.shard.router import ShardRoutedClient, ShardRouter, TxnOps
+from repro.sim.node import Node, NodeCosts
+from repro.sim.units import ms, sec
+from repro.workload.ycsb import WorkloadConfig
+
+TXN_CLIENT_PREFIX = "__txn__:"
+TXN_RECOVER_PREFIX = "__txnrec__:"
+
+
+class _TxnState:
+    """One in-flight transaction attempt at the coordinator."""
+
+    __slots__ = ("txn_id", "client_node", "ops", "ts", "handle", "participants",
+                 "home", "phase", "pending", "waiting", "reads", "seq",
+                 "retries")
+
+    def __init__(self, txn_id: str, client_node: Optional[str], ops: TxnOps,
+                 ts: int, handle: str, participants: Dict[int, TxnOps],
+                 seq_base: int, retries: int = 0) -> None:
+        self.txn_id = txn_id
+        self.client_node = client_node
+        self.ops = ops
+        self.ts = ts
+        self.handle = handle
+        self.participants = participants
+        self.home = min(participants) if participants else 0
+        self.phase = "prepare"          # prepare | decide | commit | abort
+        self.pending: Dict[int, Command] = {}  # shard -> awaiting reply
+        self.waiting: set = set()       # shards between a "wait" vote and
+                                        # the re-prepare (no command in flight)
+        self.reads: Dict[str, Optional[str]] = {}
+        self.seq = seq_base
+        self.retries = retries
+
+    @property
+    def all_prepared(self) -> bool:
+        return not self.pending and not self.waiting
+
+
+class TxnCoordinator(Node):
+    """Drives 2PC for its clients' cross-shard transactions.
+
+    One coordinator per site; clients talk to the local one.  The
+    coordinator is an ordinary simulated process with the default CPU cost
+    model (it is part of the measured serving path, unlike the bench
+    clients), and it can crash and recover: `on_recover` runs the fenced
+    decision-log replay described in the module docstring."""
+
+    RETRY = sec(1)        # lost-message resend sweep
+    BACKOFF = ms(50)      # transport failures (no leader yet)
+    WAIT_RETRY = ms(100)  # re-send a prepare that was told to wait
+    DIE_BACKOFF = ms(20)  # base backoff before retrying a died attempt
+
+    def __init__(self, name, sim, network, site: str, router: ShardRouter,
+                 metrics: MetricsRecorder, rng,
+                 costs: Optional[NodeCosts] = None) -> None:
+        super().__init__(name, sim, network, site=site,
+                         costs=costs or NodeCosts())
+        self.router = router
+        self.metrics = metrics
+        self.rng = rng
+        self._active: Dict[str, _TxnState] = {}     # txn_id -> state
+        self._by_handle: Dict[str, _TxnState] = {}  # handle -> state
+        self._completed: Dict[str, TxnReply] = {}   # committed-reply cache
+        self._queued: List[Tuple[str, TxnRequest]] = []
+        self._recover_pending: Dict[int, Command] = {}
+        self._recover_reports: Dict[str, Dict] = {"prepared": {}, "decisions": {}}
+        self._recovering = False
+        self._attempts = 0
+        self.commits = 0
+        self.attempt_aborts = 0
+        self.recoveries = 0
+        self._tick_timer = self.timer("txn-tick")
+        self._tick_timer.arm(self.RETRY, self._tick)
+
+    # -- client requests -----------------------------------------------------
+
+    def on_message(self, src: str, message) -> None:
+        if isinstance(message, TxnRequest):
+            self._on_request(src, message)
+        elif isinstance(message, ClientReply):
+            self._on_reply(message)
+
+    def _on_request(self, src: str, msg: TxnRequest) -> None:
+        txn_id = f"{msg.client}:{msg.txn_seq}"
+        if self._recovering:
+            # Don't start work until the decision-log replay has rebuilt
+            # the committed cache — re-running a decided transaction here
+            # would be the double-execution this design exists to prevent.
+            self._queued.append((src, msg))
+            return
+        cached = self._completed.get(txn_id)
+        if cached is not None:
+            self.send(src, cached)
+            return
+        active = self._active.get(txn_id)
+        if active is not None:
+            active.client_node = src  # duplicate request: re-register reply path
+            return
+        self._start_attempt(txn_id, src, list(msg.ops), msg.ts)
+
+    def _start_attempt(self, txn_id: str, client_node: Optional[str],
+                       ops: TxnOps, ts: int, retries: int = 0) -> None:
+        self._attempts += 1
+        handle = f"{txn_id}#{self.incarnation}.{self._attempts}"
+        participants: Dict[int, List] = {}
+        for op in ops:
+            participants.setdefault(self.router.shard_of(op[1]), []).append(list(op))
+        state = _TxnState(txn_id, client_node, ops, ts, handle, participants,
+                          seq_base=self.incarnation * 1_000_000, retries=retries)
+        self._active[txn_id] = state
+        self._by_handle[handle] = state
+        for shard in sorted(participants):
+            self._send_prepare(state, shard)
+
+    # -- command plumbing ----------------------------------------------------
+
+    def _command(self, state: _TxnState, op: OpType, payload: Dict) -> Command:
+        state.seq += 1
+        value = json.dumps(payload, sort_keys=True)
+        return Command(op=op, key=f"txn:{state.handle}", value=value,
+                       client_id=f"{TXN_CLIENT_PREFIX}{state.handle}",
+                       seq=state.seq, value_size=len(value))
+
+    def _send_command(self, shard: int, command: Command) -> None:
+        self.send(self.router.server_for(shard, self.site),
+                  ClientRequest(command=command, epoch=self.router.epoch))
+
+    def _send_prepare(self, state: _TxnState, shard: int) -> None:
+        command = self._command(state, OpType.TXN_PREPARE, {
+            "handle": state.handle, "txn": state.txn_id, "coord": self.name,
+            "inc": self.incarnation, "ts": state.ts,
+            "ops": state.participants[shard],
+            "participants": sorted(state.participants), "home": state.home,
+        })
+        state.pending[shard] = command
+        self._send_command(shard, command)
+
+    def _tick(self) -> None:
+        """Lost-message sweep: re-send every outstanding command."""
+        for state in list(self._by_handle.values()):
+            for shard, command in state.pending.items():
+                self._send_command(shard, command)
+        for shard, command in self._recover_pending.items():
+            self._send_command(shard, command)
+        self._tick_timer.arm(self.RETRY, self._tick)
+
+    def _resend_later(self, state: _TxnState, shard: int, command: Command,
+                      delay: int) -> None:
+        def resend() -> None:
+            if (self._by_handle.get(state.handle) is state
+                    and state.pending.get(shard) is command):
+                self._send_command(shard, command)
+        self.after(delay, resend)
+
+    # -- replies -------------------------------------------------------------
+
+    def _on_reply(self, msg: ClientReply) -> None:
+        client_id, _seq = msg.request_id
+        if client_id.startswith(TXN_RECOVER_PREFIX):
+            self._on_recover_reply(msg)
+            return
+        if not client_id.startswith(TXN_CLIENT_PREFIX):
+            return
+        state = self._by_handle.get(client_id[len(TXN_CLIENT_PREFIX):])
+        if state is None:
+            return
+        shard = next((s for s, c in state.pending.items()
+                      if c.request_id == msg.request_id), None)
+        if shard is None:
+            return  # stale reply from an already-answered step
+        if msg.shard_map is not None:
+            self.router.refresh(msg.shard_map)
+        if not msg.ok:
+            # No leader yet (election in progress) or a mid-reshard bounce:
+            # back off and re-send the same command — dedup makes it safe.
+            self._resend_later(state, shard, state.pending[shard], self.BACKOFF)
+            return
+        payload = json.loads(msg.value or "{}")
+        if state.phase == "prepare":
+            self._on_vote(state, shard, payload)
+        elif state.phase == "decide":
+            state.pending.pop(shard, None)
+            self._on_decision(state, payload)
+        else:  # commit / abort phase-2 acks
+            state.pending.pop(shard, None)
+            if not state.pending:
+                self._finish_phase2(state)
+
+    def _on_vote(self, state: _TxnState, shard: int, payload: Dict) -> None:
+        vote = payload.get("vote")
+        if vote == "yes":
+            state.pending.pop(shard, None)
+            state.reads.update(payload.get("reads") or {})
+            if state.all_prepared:
+                self._log_decision(state)
+        elif vote == "wait":
+            # We are older than the lock holder: keep our other locks and
+            # re-prepare this shard until the holder decides (wait-die).
+            # A fresh sequence number each time — the retry must re-apply,
+            # not be answered from the dedup cache with the same "wait".
+            # The shard moves pending -> waiting, NOT out of the attempt:
+            # a "yes" from the last other participant must not read an
+            # empty `pending` as all-prepared and commit without us.
+            self.metrics.incr("txn_waits")
+            state.pending.pop(shard, None)
+            state.waiting.add(shard)
+
+            def again() -> None:
+                if (self._by_handle.get(state.handle) is state
+                        and state.phase == "prepare"
+                        and shard in state.waiting):
+                    state.waiting.discard(shard)
+                    self._send_prepare(state, shard)
+            self.after(self.WAIT_RETRY, again)
+        else:
+            # "no": we are younger than a holder (die), fenced, or misrouted
+            # — abort this attempt everywhere and retry from scratch.
+            self._abort_attempt(state)
+
+    def _abort_attempt(self, state: _TxnState) -> None:
+        self.attempt_aborts += 1
+        self.metrics.incr("txn_attempt_aborts")
+        state.phase = "abort"
+        self._phase2(state, commit=False)
+
+    def _log_decision(self, state: _TxnState) -> None:
+        """All participants voted yes: replicate the commit decision in the
+        home shard before any COMMIT is sent.  The reply carries whichever
+        decision the home log recorded FIRST, and we obey it."""
+        state.phase = "decide"
+        command = self._command(state, OpType.TXN_DECIDE, self._decision_record(
+            state, "commit"))
+        state.pending = {state.home: command}
+        self._send_command(state.home, command)
+
+    def _decision_record(self, state: _TxnState, outcome: str) -> Dict:
+        return {"handle": state.handle, "txn": state.txn_id, "coord": self.name,
+                "participants": sorted(state.participants), "outcome": outcome,
+                "reads": state.reads}
+
+    def _on_decision(self, state: _TxnState, decision: Dict) -> None:
+        state.reads = decision.get("reads") or state.reads
+        if decision.get("outcome") == "commit":
+            state.phase = "commit"
+            self._phase2(state, commit=True)
+        else:
+            # Our commit decision lost to a recovery abort: phase-2 abort,
+            # then retry the whole transaction as a fresh attempt.
+            state.phase = "abort"
+            self._phase2(state, commit=False)
+
+    def _phase2(self, state: _TxnState, commit: bool) -> None:
+        op = OpType.TXN_COMMIT if commit else OpType.TXN_ABORT
+        state.pending = {}
+        state.waiting.clear()
+        for shard in sorted(state.participants):
+            command = self._command(state, op, {"handle": state.handle})
+            state.pending[shard] = command
+            self._send_command(shard, command)
+        if not state.pending:  # pragma: no cover - always has participants
+            self._finish_phase2(state)
+
+    def _finish_phase2(self, state: _TxnState) -> None:
+        self._by_handle.pop(state.handle, None)
+        if self._active.get(state.txn_id) is state:
+            del self._active[state.txn_id]
+        if state.phase == "commit":
+            self.commits += 1
+            self.metrics.incr("txn_commits")
+            client, txn_seq = state.txn_id.rsplit(":", 1)
+            reply = TxnReply(client=client, txn_seq=int(txn_seq), ok=True,
+                             committed=True, reads=dict(state.reads),
+                             server=self.name)
+            self._completed[state.txn_id] = reply
+            if state.client_node is not None:
+                self.send(state.client_node, reply)
+            return
+        if not state.ops:
+            return  # recovery cleanup of an orphan attempt: nothing to retry
+        # Aborted attempt: retry with the ORIGINAL timestamp after a jittered
+        # backoff, so the transaction's wait-die priority only ever ages.
+        delay = min(self.DIE_BACKOFF * (2 ** min(state.retries, 4)), ms(500))
+        delay += self.rng.randint(0, int(ms(20)))
+
+        def retry() -> None:
+            if (state.txn_id not in self._active
+                    and state.txn_id not in self._completed
+                    and not self._recovering):
+                self._start_attempt(state.txn_id, state.client_node, state.ops,
+                                    state.ts, retries=state.retries + 1)
+        self.after(delay, retry)
+
+    # -- crash / recovery ----------------------------------------------------
+
+    def on_crash(self) -> None:
+        # Volatile state is lost; the decision log in the home shards is not.
+        self._active.clear()
+        self._by_handle.clear()
+        self._completed.clear()
+        self._queued.clear()
+        self._recover_pending.clear()
+
+    def on_recover(self) -> None:
+        self.recoveries += 1
+        self.metrics.incr("txn_recoveries")
+        self._recovering = True
+        self._recover_reports = {"prepared": {}, "decisions": {}}
+        self._tick_timer.arm(self.RETRY, self._tick)
+        for shard in range(self.router.num_shards):
+            value = json.dumps({"coord": self.name, "inc": self.incarnation},
+                               sort_keys=True)
+            command = Command(
+                op=OpType.TXN_RECOVER, key=f"txnrec:{self.name}", value=value,
+                client_id=f"{TXN_RECOVER_PREFIX}{self.name}:{self.incarnation}",
+                seq=shard + 1, value_size=len(value))
+            self._recover_pending[shard] = command
+            self._send_command(shard, command)
+
+    def _on_recover_reply(self, msg: ClientReply) -> None:
+        shard = next((s for s, c in self._recover_pending.items()
+                      if c.request_id == msg.request_id), None)
+        if shard is None:
+            return
+        if not msg.ok:
+            self._send_command(shard, self._recover_pending[shard])
+            return
+        payload = json.loads(msg.value or "{}")
+        del self._recover_pending[shard]
+        reports = self._recover_reports
+        for meta in payload.get("prepared", []):
+            reports["prepared"][meta["handle"]] = meta
+        for record in payload.get("decisions", []):
+            reports["decisions"][record["handle"]] = record
+        if not self._recover_pending:
+            self._finish_recovery(reports["prepared"], reports["decisions"])
+
+    def _finish_recovery(self, prepared: Dict[str, Dict],
+                         decisions: Dict[str, Dict]) -> None:
+        """Replay the decision log: decided-commit transactions are pushed
+        through phase 2 again (idempotent) and their replies re-cached for
+        client retries; prepared-but-undecided transactions are resolved
+        presumed-abort, releasing their locks."""
+        for handle in sorted(decisions):
+            record = decisions[handle]
+            if record["outcome"] == "commit":
+                # Re-cache the committed reply for client retries whether or
+                # not phase 2 needs finishing.
+                client, txn_seq = record["txn"].rsplit(":", 1)
+                self._completed[record["txn"]] = TxnReply(
+                    client=client, txn_seq=int(txn_seq), ok=True,
+                    committed=True, reads=record.get("reads") or {},
+                    server=self.name)
+            if handle not in prepared:
+                # No participant still holds state for this handle: phase 2
+                # finished before the crash.  Skipping it keeps recovery
+                # O(in-flight), not O(every decision ever logged).
+                continue
+            state = _TxnState(record["txn"], None, [], 0, handle,
+                              {int(s): [] for s in record["participants"]},
+                              seq_base=self.incarnation * 1_000_000)
+            state.reads = record.get("reads") or {}
+            if record["outcome"] == "commit":
+                state.phase = "commit"
+                self._active[state.txn_id] = state
+                self._by_handle[handle] = state
+                self._phase2(state, commit=True)
+            else:
+                # An abort this (or a previous) incarnation decided but never
+                # finished delivering: release the surviving locks.
+                state.phase = "abort"
+                state.retries = 10**6  # a cleanup, not a client retry loop
+                self._by_handle[handle] = state
+                self._phase2(state, commit=False)
+        for handle in sorted(prepared):
+            if handle in decisions:
+                continue
+            meta = prepared[handle]
+            if self._active.get(meta["txn"]) is not None:
+                continue  # a commit resumption for this txn is already running
+            state = _TxnState(meta["txn"], None, [], meta.get("ts", 0), handle,
+                              {int(s): [] for s in meta["participants"]},
+                              seq_base=self.incarnation * 1_000_000)
+            state.phase = "decide"
+            self._by_handle[handle] = state
+            command = self._command(state, OpType.TXN_DECIDE,
+                                    self._decision_record(state, "abort"))
+            state.pending = {int(meta["home"]): command}
+            self._send_command(int(meta["home"]), command)
+        self._recovering = False
+        queued, self._queued = self._queued, []
+        for src, msg in queued:
+            self._on_request(src, msg)
+
+
+# ---------------------------------------------------------------------------
+# The txn experiment: committed-transaction throughput vs shard count and
+# cross-shard ratio, with every ack accounted for
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TxnSpec(ShardedSpec):
+    """A sharded trial whose load is multi-key transactions.
+
+    Every client iteration issues one `txn_size`-operation transaction;
+    with probability `cross_shard_ratio` its keys are drawn from two
+    different shards (2PC through the coordinator), otherwise from one
+    shard (the atomic single-command fast path)."""
+
+    txn_size: int = 2
+    cross_shard_ratio: float = 0.1
+
+
+@dataclass
+class TxnResult:
+    spec: TxnSpec
+    txn_throughput: float     # committed transactions per second
+    ops_throughput: float     # txn_throughput * txn_size (op-comparable)
+    committed: int            # committed transactions inside the window
+    committed_total: int
+    latency_ms: Dict[str, float]
+    single_shard: int
+    cross_shard: int
+    commits_2pc: int
+    attempt_aborts: int
+    waits: int
+    recoveries: int
+    acks_lost: int
+    acks_duplicated: int
+    duplicate_executions: int
+    serializability_violations: List[str]
+    prefix_violations: Dict[int, List[str]]
+    locks_left: int
+    redirects: int
+    filtered: int
+    leaders: Dict[int, str]
+    events_processed: int
+
+    @property
+    def strict_serializable(self) -> bool:
+        return not self.serializability_violations
+
+    @property
+    def safe(self) -> bool:
+        return (self.strict_serializable
+                and all(not v for v in self.prefix_violations.values())
+                and self.acks_lost == 0 and self.acks_duplicated == 0
+                and self.duplicate_executions == 0)
+
+
+class TxnWorkloadClient(ShardRoutedClient):
+    """A closed-loop client whose every iteration is one transaction.
+
+    With probability `cross_shard_ratio` the keys are drawn from two
+    different shards (2PC through the coordinator); otherwise from one
+    (the single-command fast path).  Per-shard key pools make single-shard
+    key selection O(1) instead of rejection sampling the hash ring."""
+
+    def __init__(self, name, sim, network, site, router, workload, sites,
+                 rng, metrics, pools: Dict[int, List[str]], txn_size: int,
+                 cross_shard_ratio: float, coordinator: str,
+                 stop_at: Optional[int] = None) -> None:
+        self._pools = pools
+        self._pool_shards = sorted(pools)
+        self.txn_size = max(1, txn_size)
+        self.cross_shard_ratio = cross_shard_ratio
+        self._value_tag = 0
+        super().__init__(name, sim, network, site, router, workload, sites,
+                         rng, metrics, stop_at=stop_at, coordinator=coordinator)
+
+    def _issue_next(self) -> None:
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            return
+        self.transact(self._build_ops())
+
+    def _build_ops(self) -> List:
+        self._value_tag += 1
+        rng = self.rng
+        cross = (len(self._pool_shards) > 1 and self.txn_size > 1
+                 and rng.random() < self.cross_shard_ratio)
+        if cross:
+            first, second = rng.sample(self._pool_shards, 2)
+            shards = [first] + [second] * (self.txn_size - 1)
+        else:
+            # Weight the shard choice by pool size so single-shard load
+            # matches the uniform-key draw of plain sharded clients.
+            key = WorkloadConfig.key_name(rng.randrange(self.workload.records))
+            shard = self.router.shard_of(key)
+            if shard not in self._pools:
+                shard = self._pool_shards[0]
+            shards = [shard] * self.txn_size
+        ops: List = []
+        used = set()
+        for i, shard in enumerate(shards):
+            pool = self._pools[shard]
+            key = pool[rng.randrange(len(pool))]
+            tries = 0
+            while key in used and tries < 8:
+                key = pool[rng.randrange(len(pool))]
+                tries += 1
+            if key in used:
+                continue  # pool smaller than txn_size: drop the extra op
+            used.add(key)
+            if rng.random() < self.workload.read_fraction:
+                ops.append(("get", key, None))
+            else:
+                ops.append(("put", key, f"{self.name}:{self._value_tag}:{i}"))
+        return ops
+
+
+def spawn_txn_clients(sim, network, sites, router: ShardRouter,
+                      per_region: int, workload, rng_root, metrics,
+                      pools: Dict[int, List[str]], txn_size: int,
+                      cross_shard_ratio: float,
+                      stop_at: Optional[int] = None) -> List[TxnWorkloadClient]:
+    """`per_region` transactional clients per site, each bound to its
+    site-local coordinator (``txnco_<site>``)."""
+    clients = []
+    for site in sites:
+        for i in range(per_region):
+            name = f"c_{site}_{i}"
+            clients.append(TxnWorkloadClient(
+                name, sim, network, site, router, workload, sites,
+                rng_root.stream(f"client:{name}"), metrics, pools=pools,
+                txn_size=txn_size, cross_shard_ratio=cross_shard_ratio,
+                coordinator=f"txnco_{site}", stop_at=stop_at))
+    return clients
+
+
+class TxnCluster(ShardedCluster):
+    """A sharded deployment serving transactional load: one coordinator per
+    site plus closed-loop clients issuing `txn_size`-op transactions."""
+
+    spec: TxnSpec
+
+    def _spawn_clients(self) -> List:
+        spec = self.spec
+        self.coordinators = [
+            TxnCoordinator(f"txnco_{site}", self.sim, self.network, site,
+                           self.router, self.metrics,
+                           self.rng.stream(f"txnco:{site}"))
+            for site in self.topology.sites
+        ]
+        self.txn_events: List[TxnEvent] = []
+        # Per-shard key pools so single-shard transactions can draw all
+        # their keys from one group without rejection sampling.
+        pools: Dict[int, List[str]] = {shard: [] for shard in self.groups}
+        for key_id in range(spec.workload.records):
+            key = WorkloadConfig.key_name(key_id)
+            pools[self.partitioner.shard_of(key)].append(key)
+        self._pools = {shard: keys for shard, keys in pools.items() if keys}
+
+        def record_event(client, txn_id, ops, reads, start, end) -> None:
+            self.txn_events.append(TxnEvent(
+                txn_id=txn_id, start=start, end=end,
+                ops=tuple((op, key,
+                           value if op == "put" else reads.get(key))
+                          for op, key, value in ops)))
+
+        clients = spawn_txn_clients(
+            self.sim, self.network, self.topology.sites, self.router,
+            spec.clients_per_region, spec.workload, self.rng, self.metrics,
+            pools=self._pools, txn_size=spec.txn_size,
+            cross_shard_ratio=spec.cross_shard_ratio,
+            stop_at=sec(spec.duration_s))
+        for client in clients:
+            client.on_txn_complete_hooks.append(record_event)
+        return clients
+
+    # -- safety accounting ---------------------------------------------------
+
+    def write_orders(self) -> Dict[str, List[str]]:
+        """Per-key install order, taken from the most advanced replica of
+        the key's owner group (replicas are prefix-consistent, so the
+        longest log is the most complete)."""
+        orders: Dict[str, List[str]] = {}
+        for shard, replicas in self.groups.items():
+            keys = set()
+            for replica in replicas.values():
+                keys |= set(replica.store._write_log)
+            for key in keys:
+                if self.partitioner.shard_of(key) != shard:
+                    continue
+                best: List[str] = []
+                for replica in replicas.values():
+                    order = replica.store.write_order(key)
+                    if len(order) > len(best):
+                        best = order
+                orders[key] = best
+        return orders
+
+    def duplicate_execution_count(self) -> int:
+        """Acked writes that installed more than once: on every key's owner
+        group, the store's version count must equal the distinct
+        acknowledged transactional writes plus at most the ones still in
+        flight at the end of the run."""
+        acked: Dict[str, set] = {}
+        for event in self.txn_events:
+            for op, key, value in event.ops:
+                if op == "put":
+                    acked.setdefault(key, set()).add((event.txn_id, value))
+        allowance: Dict[str, int] = {}
+        for client in self.clients:
+            for op, key, _value in client.pending_ops():
+                if op == "put":
+                    allowance[key] = allowance.get(key, 0) + 1
+        duplicates = 0
+        for key, writes in acked.items():
+            shard = self.partitioner.shard_of(key)
+            version = max((replica.store.version(key)
+                           for replica in self.groups[shard].values()),
+                          default=0)
+            duplicates += max(0, version - len(writes)
+                              - allowance.get(key, 0))
+        return duplicates
+
+    def locks_left(self) -> int:
+        """Prepared locks still held when the run ends (bounded by the
+        in-flight transactions; an unbounded residue means orphan locks)."""
+        return max((len(replica.store.locked_keys())
+                    for replicas in self.groups.values()
+                    for replica in replicas.values()), default=0)
+
+    # -- running -------------------------------------------------------------
+
+    def run(self) -> TxnResult:  # type: ignore[override]
+        spec = self.spec
+        self.sim.run(until=sec(spec.duration_s))
+        window_start = sec(spec.warmup_s)
+        window_end = sec(spec.duration_s - spec.cooldown_s)
+        txn_throughput = self.metrics.throughput_ops(window_start, window_end)
+        acks_lost = sum(
+            c.txns_issued - c.txns_committed
+            - (1 if (c.txn_in_flight is not None or c.in_flight is not None)
+               else 0)
+            for c in self.clients)
+        acks_duplicated = (len(self.metrics.records)
+                           - sum(c.txns_committed for c in self.clients))
+        violations = check_strict_serializability(self.txn_events,
+                                                  self.write_orders())
+        prefix = {shard: checker.check_prefix_agreement()
+                  for shard, checker in sorted(self.checkers.items())}
+        return TxnResult(
+            spec=spec,
+            txn_throughput=txn_throughput,
+            ops_throughput=txn_throughput * spec.txn_size,
+            committed=len(self.metrics.window(window_start, window_end)),
+            committed_total=sum(c.txns_committed for c in self.clients),
+            latency_ms=self.metrics.latency_summary_ms(window_start, window_end),
+            single_shard=sum(c.single_shard_txns for c in self.clients),
+            cross_shard=sum(c.cross_shard_txns for c in self.clients),
+            commits_2pc=sum(c.commits for c in self.coordinators),
+            attempt_aborts=sum(c.attempt_aborts for c in self.coordinators),
+            waits=self.metrics.counters.get("txn_waits", 0),
+            recoveries=sum(c.recoveries for c in self.coordinators),
+            acks_lost=acks_lost,
+            acks_duplicated=acks_duplicated,
+            duplicate_executions=self.duplicate_execution_count(),
+            serializability_violations=violations,
+            prefix_violations=prefix,
+            locks_left=self.locks_left(),
+            redirects=sum(c.redirects for c in self.clients),
+            filtered=self.filtered_count(),
+            leaders=dict(self.leaders),
+            events_processed=self.sim.events_processed,
+        )
+
+
+def run_txn_experiment(spec: TxnSpec,
+                       nemesis: Optional[Callable] = None) -> TxnResult:
+    """Build a transactional cluster, optionally install a nemesis fault
+    schedule (`nemesis(cluster)` before the run starts), and run it."""
+    cluster = TxnCluster(spec)
+    if nemesis is not None:
+        nemesis(cluster)
+    return cluster.run()

@@ -86,3 +86,104 @@ def test_check_all_aggregates():
     checker.record_apply("a", 0, put("k", "v1"))
     checker.record_apply("b", 0, put("k", "OTHER"))
     assert len(checker.check_all()) >= 1
+
+
+# -- strict serializability of transactions (repro.shard.txn) -----------------
+
+
+from repro.kvstore.checker import TxnEvent, check_strict_serializability
+
+
+def txn(txn_id, start, end, *ops):
+    return TxnEvent(txn_id=txn_id, start=start, end=end, ops=tuple(ops))
+
+
+def test_serializable_clean_history_passes():
+    events = [
+        txn("t1", 0, 10, ("put", "x", "x1"), ("put", "y", "y1")),
+        txn("t2", 20, 30, ("get", "x", "x1"), ("get", "y", "y1")),
+        txn("t3", 40, 50, ("put", "x", "x3")),
+        txn("t4", 60, 70, ("get", "x", "x3")),
+    ]
+    orders = {"x": ["x1", "x3"], "y": ["y1"]}
+    assert check_strict_serializability(events, orders) == []
+
+
+def test_concurrent_txns_may_serialize_either_way():
+    # t2 and t3 overlap in real time; either order explains the reads.
+    events = [
+        txn("t1", 0, 10, ("put", "x", "x1")),
+        txn("t2", 20, 40, ("put", "x", "x2")),
+        txn("t3", 25, 45, ("get", "x", "x1")),  # reads BEFORE t2's write
+    ]
+    orders = {"x": ["x1", "x2"]}
+    assert check_strict_serializability(events, orders) == []
+
+
+def test_fractured_read_is_a_cycle():
+    """t3 saw t1's x but t2's y while t2 also overwrote x — no serial
+    order explains it: t3 < t2 via x (rw) and t2 < t3 via y (wr)... with
+    t2 writing both keys the read is torn."""
+    events = [
+        txn("t1", 0, 10, ("put", "x", "x1"), ("put", "y", "y1")),
+        txn("t2", 20, 30, ("put", "x", "x2"), ("put", "y", "y2")),
+        txn("t3", 40, 50, ("get", "x", "x1"), ("get", "y", "y2")),
+    ]
+    orders = {"x": ["x1", "x2"], "y": ["y1", "y2"]}
+    violations = check_strict_serializability(events, orders)
+    assert violations and "cycle" in violations[0]
+
+
+def test_stale_read_after_real_time_gap_is_a_violation():
+    """t2 finished before t3 started, yet t3 read the pre-t2 value:
+    serializable (t3 before t2) but NOT strictly serializable."""
+    events = [
+        txn("t1", 0, 10, ("put", "x", "x1")),
+        txn("t2", 20, 30, ("put", "x", "x2")),
+        txn("t3", 50, 60, ("get", "x", "x1")),
+    ]
+    orders = {"x": ["x1", "x2"]}
+    violations = check_strict_serializability(events, orders)
+    assert violations and "cycle" in violations[0]
+
+
+def test_double_install_flagged():
+    events = [txn("t1", 0, 10, ("put", "x", "x1"))]
+    orders = {"x": ["x1", "x1"]}  # an acked write executed twice
+    violations = check_strict_serializability(events, orders)
+    assert violations and "re-executed" in violations[0]
+
+
+def test_invented_read_flagged():
+    events = [txn("t1", 0, 10, ("get", "x", "ghost"))]
+    violations = check_strict_serializability(events, {"x": []})
+    assert violations and "no store ever installed" in violations[0]
+
+
+def test_read_of_missing_key_orders_before_first_writer():
+    # t2 read x as missing AFTER t1 (which wrote x) finished: t2 must
+    # precede t1 (rw) but real time says t1 precedes t2 — cycle.
+    events = [
+        txn("t1", 0, 10, ("put", "x", "x1")),
+        txn("t2", 20, 30, ("get", "x", None)),
+    ]
+    orders = {"x": ["x1"]}
+    violations = check_strict_serializability(events, orders)
+    assert violations and "cycle" in violations[0]
+    # ...but a CONCURRENT missing-read is fine (serializes before t1)
+    events2 = [
+        txn("t1", 0, 10, ("put", "x", "x1")),
+        txn("t2", 5, 30, ("get", "x", None)),
+    ]
+    assert check_strict_serializability(events2, orders) == []
+
+
+def test_unacknowledged_writers_constrain_nothing():
+    """A committed-but-unacked txn's value sits in the install order with
+    no event; readers of it and writers around it stay consistent."""
+    events = [
+        txn("t1", 0, 10, ("put", "x", "x1")),
+        txn("t3", 40, 50, ("get", "x", "ghostwrite")),  # value IS installed
+    ]
+    orders = {"x": ["x1", "ghostwrite"]}  # middle writer never acked
+    assert check_strict_serializability(events, orders) == []

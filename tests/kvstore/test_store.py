@@ -213,3 +213,177 @@ def test_replays_idempotent(seqs):
         twice.apply(put("k", f"v{seq}", seq=seq))
     assert once.snapshot() == twice.snapshot()
     assert once.version("k") == twice.version("k")
+
+
+# -- 2PC participant machinery (repro.shard.txn) ------------------------------
+
+
+def prepare(handle, ops, ts=100, seq=1, coord="co", inc=0,
+            participants=(0, 1), home=0):
+    value = json.dumps({"handle": handle, "txn": handle.split("#")[0],
+                        "coord": coord, "inc": inc, "ts": ts,
+                        "ops": [list(op) for op in ops],
+                        "participants": list(participants), "home": home})
+    return Command(op=OpType.TXN_PREPARE, key=f"txn:{handle}", value=value,
+                   client_id=f"__txn__:{handle}", seq=seq)
+
+
+def finish(handle, op, seq):
+    value = json.dumps({"handle": handle})
+    return Command(op=op, key=f"txn:{handle}", value=value,
+                   client_id=f"__txn__:{handle}", seq=seq)
+
+
+def vote_of(result):
+    return json.loads(result.value)["vote"]
+
+
+def test_prepare_locks_stages_reads_and_votes_yes():
+    store = KVStore()
+    store.apply(put("a", "old", seq=1))
+    result = store.apply(prepare("t:1#0.1",
+                                 [("put", "a", "new"), ("get", "b", None)]))
+    payload = json.loads(result.value)
+    assert payload["vote"] == "yes"
+    # reads happen at the serialization point, writes stay staged
+    assert payload["reads"] == {"b": None}
+    assert store.read_local("a") == "old"
+    assert store.locked_keys() == {"a": "t:1#0.1", "b": "t:1#0.1"}
+
+
+def test_commit_installs_staged_writes_and_releases_locks():
+    store = KVStore()
+    store.apply(prepare("t:1#0.1", [("put", "a", "v")]))
+    store.apply(finish("t:1#0.1", OpType.TXN_COMMIT, seq=2))
+    assert store.read_local("a") == "v"
+    assert store.version("a") == 1
+    assert store.locked_keys() == {}
+    # idempotent (dedup-suppressed duplicate and fresh-seq duplicate alike)
+    store.apply(finish("t:1#0.1", OpType.TXN_COMMIT, seq=3))
+    assert store.version("a") == 1
+
+
+def test_abort_drops_staged_writes_and_releases_locks():
+    store = KVStore()
+    store.apply(prepare("t:1#0.1", [("put", "a", "v")]))
+    store.apply(finish("t:1#0.1", OpType.TXN_ABORT, seq=2))
+    assert store.read_local("a") is None
+    assert store.version("a") == 0
+    assert store.locked_keys() == {}
+
+
+def test_wait_die_older_waits_younger_dies():
+    store = KVStore()
+    store.apply(prepare("t:1#0.1", [("put", "a", "v1")], ts=100))
+    # younger (larger ts) requester dies
+    young = store.apply(prepare("t:2#0.1", [("put", "a", "v2")], ts=200, seq=1))
+    assert vote_of(young) == "no"
+    # older (smaller ts) requester waits
+    old = store.apply(prepare("t:3#0.1", [("put", "a", "v3")], ts=50, seq=1))
+    assert vote_of(old) == "wait"
+    # neither left any lock residue for itself
+    assert store.locked_keys() == {"a": "t:1#0.1"}
+    # after the holder commits, the retried prepare (fresh seq) is granted
+    store.apply(finish("t:1#0.1", OpType.TXN_COMMIT, seq=2))
+    retry = store.apply(prepare("t:3#0.1", [("put", "a", "v3")], ts=50, seq=2))
+    assert vote_of(retry) == "yes"
+
+
+def test_re_prepare_of_granted_attempt_revotes_yes():
+    store = KVStore()
+    store.apply(put("b", "seen", seq=1))
+    first = store.apply(prepare("t:1#0.1", [("get", "b", None)], seq=1))
+    again = store.apply(prepare("t:1#0.1", [("get", "b", None)], seq=2))
+    assert vote_of(first) == vote_of(again) == "yes"
+    assert json.loads(again.value)["reads"] == {"b": "seen"}
+
+
+def test_fenced_incarnation_prepare_refused():
+    store = KVStore()
+    recover = Command(op=OpType.TXN_RECOVER, key="txnrec",
+                      value=json.dumps({"coord": "co", "inc": 2}),
+                      client_id="__txnrec__:co:2", seq=1)
+    store.apply(recover)
+    stale = store.apply(prepare("t:1#0.1", [("put", "a", "v")], inc=0))
+    assert vote_of(stale) == "no"
+    assert store.locked_keys() == {}
+    # the new incarnation's prepares pass the fence
+    fresh = store.apply(prepare("t:1#2.1", [("put", "a", "v")], inc=2, seq=2))
+    assert vote_of(fresh) == "yes"
+
+
+def test_decide_first_recorded_wins():
+    store = KVStore()
+
+    def decide(outcome, seq):
+        value = json.dumps({"handle": "t:1#0.1", "txn": "t:1", "coord": "co",
+                            "participants": [0, 1], "outcome": outcome,
+                            "reads": {}})
+        return Command(op=OpType.TXN_DECIDE, key="txn:t:1#0.1", value=value,
+                       client_id=f"__txnd__:{seq}", seq=1)
+
+    first = store.apply(decide("commit", 1))
+    second = store.apply(decide("abort", 2))
+    assert json.loads(first.value)["outcome"] == "commit"
+    # the losing decision is answered with the winner, not recorded
+    assert json.loads(second.value)["outcome"] == "commit"
+
+
+def test_recover_reports_prepared_and_decisions_for_coordinator():
+    store = KVStore()
+    store.apply(prepare("t:1#0.1", [("put", "a", "v")], coord="co", seq=1))
+    store.apply(prepare("u:9#0.4", [("put", "b", "w")], coord="other", seq=1))
+    recover = Command(op=OpType.TXN_RECOVER, key="txnrec",
+                      value=json.dumps({"coord": "co", "inc": 2}),
+                      client_id="__txnrec__:co:2", seq=1)
+    report = json.loads(store.apply(recover).value)
+    assert [meta["handle"] for meta in report["prepared"]] == ["t:1#0.1"]
+    assert report["decisions"] == []
+
+
+def test_plain_ops_conflict_against_prepared_locks_without_dedup():
+    store = KVStore()
+    store.apply(prepare("t:1#0.1", [("put", "a", "staged")]))
+    blocked = store.apply(put("a", "plain", client="c", seq=7))
+    assert not blocked.ok and blocked.conflict
+    blocked_read = store.apply(get("a", client="r", seq=3))
+    assert not blocked_read.ok and blocked_read.conflict
+    # the rejection did NOT consume the dedup slot: after the lock clears
+    # the SAME sequence number applies for real
+    store.apply(finish("t:1#0.1", OpType.TXN_ABORT, seq=2))
+    retry = store.apply(put("a", "plain", client="c", seq=7))
+    assert retry.ok
+    assert store.read_local("a") == "plain"
+
+
+def test_single_shard_txn_applies_atomically_and_respects_locks():
+    store = KVStore()
+    txn = Command(op=OpType.TXN, key="a",
+                  value=json.dumps({"ops": [["put", "a", "v1"],
+                                            ["get", "b", None]]}),
+                  client_id="c", seq=1)
+    result = store.apply(txn)
+    assert result.ok
+    assert json.loads(result.value)["reads"] == {"b": None}
+    assert store.read_local("a") == "v1"
+    # a lock on ANY touched key rejects the whole txn without dedup
+    store.apply(prepare("t:1#0.1", [("put", "b", "x")], seq=1))
+    txn2 = Command(op=OpType.TXN, key="a",
+                   value=json.dumps({"ops": [["put", "a", "v2"],
+                                             ["put", "b", "v3"]]}),
+                   client_id="c", seq=2)
+    blocked = store.apply(txn2)
+    assert not blocked.ok and blocked.conflict
+    assert store.read_local("a") == "v1"  # nothing partial
+    store.apply(finish("t:1#0.1", OpType.TXN_ABORT, seq=2))
+    assert store.apply(txn2).ok
+    assert (store.read_local("a"), store.read_local("b")) == ("v2", "v3")
+
+
+def test_write_order_records_install_order():
+    store = KVStore()
+    store.apply(put("k", "v1", seq=1))
+    store.apply(prepare("t:1#0.1", [("put", "k", "v2")], seq=1))
+    store.apply(finish("t:1#0.1", OpType.TXN_COMMIT, seq=2))
+    assert store.write_order("k") == ["v1", "v2"]
+    assert store.write_order("missing") == []

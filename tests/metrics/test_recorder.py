@@ -94,3 +94,50 @@ def test_merge_combines_groups():
     assert merged.throughput_ops(0, sec(1)) == 2.0
     # sources are untouched
     assert len(a.records) == 1 and len(b.records) == 1
+
+
+# -- named counters (redirects, txn events, ...) ------------------------------
+
+
+def test_incr_creates_and_accumulates():
+    metrics = MetricsRecorder()
+    assert metrics.counters == {}
+    metrics.incr("redirects")
+    metrics.incr("redirects")
+    metrics.incr("txn_waits", by=3)
+    assert metrics.counters == {"redirects": 2, "txn_waits": 3}
+
+
+def test_incr_negative_and_zero_steps():
+    metrics = MetricsRecorder()
+    metrics.incr("drift", by=0)
+    metrics.incr("drift", by=-2)
+    assert metrics.counters == {"drift": -2}
+
+
+def test_merge_sums_counters_across_groups():
+    a, b, c = MetricsRecorder(), MetricsRecorder(), MetricsRecorder()
+    a.incr("redirects", by=2)
+    b.incr("redirects", by=3)
+    b.incr("capped_redirects")
+    merged = MetricsRecorder.merge([a, b, c])
+    assert merged.counters == {"redirects": 5, "capped_redirects": 1}
+    # sources untouched
+    assert a.counters == {"redirects": 2}
+    assert b.counters == {"redirects": 3, "capped_redirects": 1}
+    assert c.counters == {}
+
+
+def test_merge_with_no_counters_still_empty():
+    merged = MetricsRecorder.merge([MetricsRecorder(), MetricsRecorder()])
+    assert merged.counters == {}
+
+
+def test_throughput_by_with_counters_untouched():
+    """throughput_by ignores counters entirely (they are not records)."""
+    metrics = MetricsRecorder()
+    metrics.incr("redirects", by=9)
+    metrics.add(rec(100, 200))
+    assert metrics.throughput_by(0, sec(1), key=lambda r: r.op.value) == \
+        {"put": 1.0}
+    assert metrics.counters == {"redirects": 9}

@@ -1,0 +1,150 @@
+"""Property-based tests for the partition algebra.
+
+`plan_transition` and the owned-range set algebra are the foundation every
+reshard (and therefore every migration-under-faults test) stands on; these
+properties pin them over random N->M cuts rather than the few hand-picked
+cases in `test_reshard.py`:
+
+* a transition plan's moves, applied to the old ownership, yield exactly
+  the new ownership — and at every intermediate point the per-shard ranges
+  tile the ring with no gap and no overlap;
+* the owned-range algebra is closed under add/subtract (sorted, disjoint,
+  half-open invariants preserved), and add/subtract are inverses on
+  disjoint inputs.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.shard.partition import (  # noqa: E402
+    HASH_SPACE,
+    HashRangePartitioner,
+    add_range,
+    plan_transition,
+    ranges_contain,
+    subtract_range,
+)
+
+shard_counts = st.integers(min_value=1, max_value=24)
+points = st.integers(min_value=0, max_value=HASH_SPACE - 1)
+
+
+def full_ownership(partitioner: HashRangePartitioner, total_shards: int):
+    ranges = {shard: [] for shard in range(total_shards)}
+    for shard in range(partitioner.num_shards):
+        span = partitioner.range_of(shard)
+        ranges[shard] = [(span.start, span.stop)]
+    return ranges
+
+
+def assert_tiles_ring(ranges_by_shard):
+    """The union of all shards' ranges is exactly [0, HASH_SPACE) with no
+    overlap: sorted segment starts meet exactly end-to-start."""
+    segments = sorted(segment for ranges in ranges_by_shard.values()
+                      for segment in ranges)
+    assert segments, "ownership vanished entirely"
+    assert segments[0][0] == 0
+    for (_, prev_end), (start, _) in zip(segments, segments[1:]):
+        assert start == prev_end, f"gap or overlap at {prev_end}->{start}"
+    assert segments[-1][1] == HASH_SPACE
+    for start, end in segments:
+        assert start < end
+
+
+@settings(max_examples=60, deadline=None)
+@given(old_n=shard_counts, new_n=shard_counts)
+def test_plan_moves_exactly_tile_the_ring(old_n, new_n):
+    old, new = HashRangePartitioner(old_n), HashRangePartitioner(new_n)
+    moves = plan_transition(old, new)
+    total = max(old_n, new_n)
+    ranges = full_ownership(old, total)
+    # after EVERY prefix of the plan the ring stays exactly tiled (the
+    # mid-transition invariant the redirect machinery relies on)
+    assert_tiles_ring(ranges)
+    for move in moves:
+        assert 0 <= move.start < move.end <= HASH_SPACE
+        assert move.donor != move.recipient
+        # the donor really owns what it is about to give away
+        assert ranges_contain(ranges[move.donor], move.start)
+        ranges[move.donor] = subtract_range(ranges[move.donor],
+                                            move.start, move.end)
+        ranges[move.recipient] = add_range(ranges[move.recipient],
+                                           move.start, move.end)
+        assert_tiles_ring(ranges)
+    # and the final ownership is exactly the new map's
+    for shard in range(total):
+        if shard < new_n:
+            span = new.range_of(shard)
+            assert ranges[shard] == [(span.start, span.stop)]
+        else:
+            assert ranges[shard] == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(old_n=shard_counts, new_n=shard_counts)
+def test_plan_is_minimal_and_directional(old_n, new_n):
+    """No move is ever wasted: each moved segment changes owner, adjacent
+    same-pair segments are coalesced, and N == N plans are empty."""
+    old, new = HashRangePartitioner(old_n), HashRangePartitioner(new_n)
+    moves = plan_transition(old, new)
+    if old_n == new_n:
+        assert moves == []
+    for move in moves:
+        assert old.shard_of_point(move.start) == move.donor
+        assert new.shard_of_point(move.start) == move.recipient
+        assert old.shard_of_point(move.end - 1) == move.donor
+        assert new.shard_of_point(move.end - 1) == move.recipient
+    for a, b in zip(moves, moves[1:]):
+        assert a.end <= b.start
+        if a.end == b.start:
+            assert (a.donor, a.recipient) != (b.donor, b.recipient)
+
+
+segment = st.tuples(points, points).map(sorted).filter(lambda ab: ab[0] < ab[1])
+
+
+def canonical(ranges):
+    """Sorted, disjoint, non-empty, half-open — the algebra's invariant."""
+    for (a, b) in ranges:
+        assert a < b
+    for (_, b1), (a2, _) in zip(ranges, ranges[1:]):
+        assert b1 < a2 or (b1 <= a2)  # sorted and non-overlapping
+        assert a2 >= b1
+    return ranges
+
+
+@settings(max_examples=80, deadline=None)
+@given(segments=st.lists(segment, max_size=8), lo_hi=segment,
+       probe=points)
+def test_range_algebra_membership_semantics(segments, lo_hi, probe):
+    """add/subtract behave exactly like set union/difference of point
+    sets, observed through `ranges_contain`, and keep the representation
+    canonical."""
+    lo, hi = lo_hi
+    base = []
+    for a, b in segments:
+        base = canonical(add_range(base, a, b))
+    member_base = ranges_contain(base, probe)
+
+    added = canonical(add_range(list(base), lo, hi))
+    assert ranges_contain(added, probe) == (member_base or lo <= probe < hi)
+
+    removed = canonical(subtract_range(list(base), lo, hi))
+    assert ranges_contain(removed, probe) == (member_base
+                                              and not lo <= probe < hi)
+
+
+@settings(max_examples=80, deadline=None)
+@given(segments=st.lists(segment, max_size=8), lo_hi=segment)
+def test_subtract_then_add_round_trips_owned_segments(segments, lo_hi):
+    """On a range the set fully owns, subtract then add restores it
+    exactly (the donor-crashes-and-the-move-retries path)."""
+    lo, hi = lo_hi
+    base = []
+    for a, b in segments:
+        base = add_range(base, a, b)
+    base = add_range(base, lo, hi)  # ensure [lo, hi) is owned
+    round_tripped = add_range(subtract_range(list(base), lo, hi), lo, hi)
+    assert round_tripped == base

@@ -201,6 +201,29 @@ def test_reshard_while_in_progress_rejected():
         cluster.reshard(8)
 
 
+def test_mencius_reshard_raises_unsupported_protocol():
+    """Leaderless groups cannot serve MIGRATE_OUT/IN (there is no leader
+    for the coordinator's retries to converge on, so the transition would
+    silently wedge) — pin the behavior: a clear error at reshard time,
+    both immediate and scheduled, and no coordinator is ever created."""
+    import pytest
+
+    from repro.shard.cluster import UnsupportedProtocolError
+
+    spec = reshard_spec(protocol="mencius", clients_per_region=1,
+                        duration_s=1.0)
+    cluster = ShardedCluster(spec)
+    with pytest.raises(UnsupportedProtocolError, match="mencius"):
+        cluster.reshard(4)
+    with pytest.raises(UnsupportedProtocolError, match="leaderless"):
+        cluster.reshard(4, at=sec(0.5))
+    assert cluster.coordinator is None
+    assert cluster.versioned.epoch == 0
+    # the group still serves plain traffic untouched by the failed request
+    cluster.sim.run(until=sec(1.0))
+    assert len(cluster.metrics.records) > 0
+
+
 # -- stale routing tables across an epoch boundary ---------------------------
 
 

@@ -1,0 +1,303 @@
+"""Cross-shard transactions: the 2PC layer end to end, including the fault
+windows that motivate prepare-through-the-log and the logged decision."""
+
+import pytest
+
+from repro.shard.cluster import ShardedCluster
+from repro.shard.router import ShardRoutedClient
+from repro.shard.txn import TxnCluster, TxnSpec, run_txn_experiment
+from repro.sim.units import ms, sec
+from repro.workload.ycsb import WorkloadConfig
+from tests.shard.nemesis import txn_nemesis
+
+WORKLOAD = WorkloadConfig(read_fraction=0.5, conflict_rate=0.0, records=500,
+                          value_size=64)
+
+
+def txn_spec(**overrides) -> TxnSpec:
+    defaults = dict(
+        protocol="raft", num_shards=2, placement="spread",
+        clients_per_region=2, workload=WORKLOAD,
+        duration_s=5.0, warmup_s=1.0, cooldown_s=0.5, seed=3,
+        check_history=True, txn_size=2, cross_shard_ratio=0.5,
+    )
+    defaults.update(overrides)
+    return TxnSpec(**defaults)
+
+
+def find_key(cluster, shard: int, start: int = 0) -> str:
+    for key_id in range(start, start + 10_000):
+        key = f"k{key_id}"
+        if cluster.partitioner.shard_of(key) == shard:
+            return key
+    raise AssertionError(f"no key for shard {shard}")
+
+
+def manual_client(cluster, name="c_manual", site="oregon") -> ShardRoutedClient:
+    """A client that only transacts when told to (stop_at=0 suppresses the
+    closed-loop generator)."""
+    return ShardRoutedClient(
+        name, cluster.sim, cluster.network, site, cluster.router,
+        WORKLOAD, cluster.topology.sites, cluster.rng.stream(f"client:{name}"),
+        cluster.metrics, stop_at=0, coordinator=f"txnco_{site}")
+
+
+def owner_version(cluster, key: str) -> int:
+    shard = cluster.partitioner.shard_of(key)
+    return max(replica.store.version(key)
+               for replica in cluster.groups[shard].values())
+
+
+# -- the closed-loop experiment, fault-free -----------------------------------
+
+
+def test_txn_experiment_commits_and_stays_safe():
+    result = run_txn_experiment(txn_spec())
+    assert result.committed_total > 50
+    assert result.single_shard > 0 and result.cross_shard > 0
+    assert result.commits_2pc > 0
+    assert result.acks_lost == 0
+    assert result.acks_duplicated == 0
+    assert result.duplicate_executions == 0
+    assert result.strict_serializable
+    assert all(not v for v in result.prefix_violations.values())
+    assert result.safe
+
+
+def test_zero_cross_ratio_never_touches_the_coordinator():
+    result = run_txn_experiment(txn_spec(cross_shard_ratio=0.0))
+    assert result.cross_shard == 0
+    assert result.commits_2pc == 0
+    assert result.committed_total > 50
+    assert result.safe
+
+
+def test_txn_layer_is_protocol_agnostic():
+    """The same 2PC layer over MultiPaxos groups — the paper's porting
+    claim at the composition layer."""
+    result = run_txn_experiment(txn_spec(protocol="multipaxos", duration_s=4.0))
+    assert result.committed_total > 30
+    assert result.cross_shard > 0
+    assert result.safe
+
+
+# -- transact(): the client API ----------------------------------------------
+
+
+def test_transact_single_shard_is_one_atomic_command():
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key_a = find_key(cluster, 0)
+    key_b = find_key(cluster, 0, start=int(key_a[1:]) + 1)
+    client = manual_client(cluster)
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", key_a, "va"), ("put", key_b, "vb")])
+    cluster.sim.run(until=sec(2.0))
+    assert client.txns_committed == 1
+    assert client.single_shard_txns == 1 and client.cross_shard_txns == 0
+    leader = cluster.leader_replica(0)
+    assert leader.store.read_local(key_a) == "va"
+    assert leader.store.read_local(key_b) == "vb"
+    # no 2PC ran
+    assert all(c.commits == 0 for c in cluster.coordinators)
+
+
+def test_transact_cross_shard_commits_atomically_with_reads():
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    client = manual_client(cluster)
+    observed = []
+    client.on_txn_complete_hooks.append(
+        lambda c, txn_id, ops, reads, start, end: observed.append(reads))
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", key0, "v0"), ("put", key1, "v1")])
+    cluster.sim.schedule_at(sec(2.0), client.transact,
+                            [("get", key0, None), ("get", key1, None)])
+    cluster.sim.run(until=sec(4.0))
+    assert client.txns_committed == 2
+    assert client.cross_shard_txns == 2
+    # The read transaction saw BOTH writes (atomicity across groups).
+    assert observed[1] == {key0: "v0", key1: "v1"}
+    # Writes landed on their owner groups and locks were released.
+    assert owner_version(cluster, key0) == 1
+    assert owner_version(cluster, key1) == 1
+    assert cluster.locks_left() == 0
+
+
+def test_transact_cross_shard_without_coordinator_raises():
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    client = manual_client(cluster)
+    client.coordinator = None
+    with pytest.raises(RuntimeError):
+        client.transact([("put", key0, "x"), ("put", key1, "y")])
+
+
+def test_conflicting_cross_txns_all_commit_exactly_once():
+    """Two clients race transactions over the SAME two keys in opposite
+    orders — the classic distributed deadlock.  Wait-die must let both
+    commit (in some order) with exactly one installed write per ack."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    alice = manual_client(cluster, "c_alice", "oregon")
+    bob = manual_client(cluster, "c_bob", "seoul")
+    cluster.sim.schedule(ms(10), alice.transact,
+                         [("put", key0, "a0"), ("put", key1, "a1")])
+    cluster.sim.schedule(ms(10), bob.transact,
+                         [("put", key1, "b1"), ("put", key0, "b0")])
+    cluster.sim.run(until=sec(8.0))
+    assert alice.txns_committed == 1
+    assert bob.txns_committed == 1
+    # Exactly two installs per key (one per committed txn), zero residue.
+    assert owner_version(cluster, key0) == 2
+    assert owner_version(cluster, key1) == 2
+    assert cluster.locks_left() == 0
+    # Atomic orders only: both keys end on the same transaction's values.
+    final0 = cluster.leader_replica(0).store.read_local(key0)
+    final1 = cluster.leader_replica(1).store.read_local(key1)
+    assert (final0, final1) in {("a0", "a1"), ("b0", "b1")}
+
+
+def test_plain_put_waits_out_a_prepared_lock():
+    """A non-transactional PUT on a key locked by a prepared transaction is
+    rejected (conflict) and succeeds via the ordinary backoff retry once
+    the lock clears — without consuming its dedup slot."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    txn_client = manual_client(cluster, "c_txn", "oregon")
+    put_client = manual_client(cluster, "c_put", "ohio")
+    cluster.sim.schedule(ms(10), txn_client.transact,
+                         [("put", key0, "t0"), ("put", key1, "t1")])
+    # Fire the plain PUT while the prepare lock is likely held (the 2PC
+    # needs a WAN round trip per phase, so ~350ms in is mid-transaction).
+    cluster.sim.schedule_at(ms(350), put_client.transact,
+                            [("put", key0, "p0")])
+    cluster.sim.run(until=sec(6.0))
+    assert txn_client.txns_committed == 1
+    assert put_client.txns_committed == 1
+    assert owner_version(cluster, key0) == 2
+    assert cluster.locks_left() == 0
+
+
+def test_wait_vote_does_not_unblock_commit_decision():
+    """Regression: a participant that voted 'wait' is between commands (no
+    entry in `pending`), but the transaction must NOT be treated as
+    all-prepared when the other participant's 'yes' arrives — that would
+    log a commit decision and commit non-atomically, dropping the waiting
+    shard's writes."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    coordinator = cluster.coordinators[0]
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    coordinator._start_attempt(
+        "c_x:1", None, [("put", key0, "v0"), ("put", key1, "v1")], ts=100)
+    state = coordinator._active["c_x:1"]
+    assert set(state.pending) == {0, 1}
+    # shard 1 says wait (an older txn blocked on a younger holder)...
+    coordinator._on_vote(state, 1, {"vote": "wait"})
+    assert 1 in state.waiting and 1 not in state.pending
+    # ...then shard 0's yes lands inside the re-prepare window
+    coordinator._on_vote(state, 0, {"vote": "yes", "reads": {}})
+    # the txn must still be preparing, with no decision logged
+    assert state.phase == "prepare"
+    assert not state.all_prepared
+    assert coordinator.commits == 0
+    # once the re-prepare fires and votes yes, the decision may proceed
+    cluster.sim.run(until=sec(1.0))
+    assert state.phase != "prepare" or state.waiting or state.pending
+
+
+# -- fault windows (nemesis-driven) -------------------------------------------
+
+
+def test_nemesis_leader_kill_mid_prepare_commits_exactly_once():
+    """Kill a participant leader right after the prepare lands: the new
+    leader must answer the coordinator's retry from the replicated lock
+    table / dedup cache, and the transaction commits exactly once."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    client = manual_client(cluster)
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", key0, "v0"), ("put", key1, "v1")])
+
+    def kill_leader():
+        leader = cluster.leader_replica(1)
+        if leader.alive:
+            leader.crash()
+            cluster.sim.schedule(sec(1.2), leader.recover)
+    # One WAN round trip (~100-250ms) puts the prepare in g1's log.
+    cluster.sim.schedule_at(ms(260), kill_leader)
+    cluster.sim.run(until=sec(8.0))
+    assert client.txns_committed == 1
+    assert owner_version(cluster, key0) == 1
+    assert owner_version(cluster, key1) == 1
+    assert cluster.locks_left() == 0
+
+
+def test_nemesis_coordinator_kill_mid_commit_recovers_from_decision_log():
+    """Crash the coordinator after it logged the commit decision but (in
+    general) before phase 2 finished: recovery must replay the decision
+    log, push the commit through, and answer the client's retry from the
+    rebuilt cache — exactly one installed write per key."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    client = manual_client(cluster)
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", key0, "v0"), ("put", key1, "v1")])
+    coordinator = cluster.coordinators[0]  # txnco_oregon, the client's
+
+    def kill():
+        if coordinator.alive:
+            coordinator.crash()
+            cluster.sim.schedule(sec(1.0), coordinator.recover)
+    # Prepare RTT + decide RTT: ~500ms in, the decision is logged and
+    # phase 2 is (at most) in flight.
+    cluster.sim.schedule_at(ms(520), kill)
+    cluster.sim.run(until=sec(12.0))
+    assert client.txns_committed == 1
+    assert coordinator.recoveries == 1
+    assert owner_version(cluster, key0) == 1
+    assert owner_version(cluster, key1) == 1
+    assert cluster.locks_left() == 0
+
+
+def test_nemesis_coordinator_kill_mid_prepare_releases_orphan_locks():
+    """Crash the coordinator BEFORE it decides: the prepared participant
+    holds locks for a transaction nobody will finish.  Recovery's fenced
+    TXN_RECOVER must presumed-abort it, releasing the locks, and the
+    client's retried transaction then commits exactly once."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0))
+    key0, key1 = find_key(cluster, 0), find_key(cluster, 1)
+    client = manual_client(cluster)
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", key0, "v0"), ("put", key1, "v1")])
+    coordinator = cluster.coordinators[0]
+
+    def kill():
+        if coordinator.alive:
+            coordinator.crash()
+            cluster.sim.schedule(sec(1.0), coordinator.recover)
+    # ~150ms in: prepares sent (and landing), no decision yet.
+    cluster.sim.schedule_at(ms(150), kill)
+    cluster.sim.run(until=sec(12.0))
+    assert client.txns_committed == 1
+    assert coordinator.recoveries == 1
+    # exactly-once despite the abort/retry cycle
+    assert owner_version(cluster, key0) == 1
+    assert owner_version(cluster, key1) == 1
+    assert cluster.locks_left() == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_nemesis_random_faults_keep_txns_safe(seed):
+    """Randomized leader kills/partitions plus a coordinator kill under
+    50% cross-shard load: every seed must keep the committed history
+    strictly serializable with zero lost/duplicated acks and zero
+    re-executed writes."""
+    spec = txn_spec(seed=seed, duration_s=8.0)
+    result = run_txn_experiment(
+        spec, nemesis=txn_nemesis(seed, window=(1.0, 5.0)))
+    assert result.committed_total > 20
+    assert result.acks_lost == 0
+    assert result.acks_duplicated == 0
+    assert result.duplicate_executions == 0
+    assert result.strict_serializable
+    assert all(not v for v in result.prefix_violations.values())

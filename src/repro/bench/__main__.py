@@ -6,6 +6,7 @@
     python -m repro.bench sharding --shards 1 4 --placement spread
     python -m repro.bench reshard --reshard-at 4.0 --reshard-to 8
     python -m repro.bench txn --txn-shards 1 2 4 --cross-ratio 0 0.5
+    python -m repro.bench coalesce --coalesce both --coalesce-shards 4 8
 
 Installed via setup.py this is also the `repro-bench` console script.
 """
@@ -34,6 +35,7 @@ FIGURES = {
     "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
     "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
     "txn": lambda scale, seed: ex.txn_figures(scale, seed),
+    "coalesce": lambda scale, seed: ex.coalesce_figure(scale, seed).render(),
 }
 
 
@@ -71,6 +73,14 @@ def main(argv=None) -> int:
                         default=[0.0, 0.1, 0.5], metavar="R",
                         help="cross-shard ratios for the txn figure "
                              "(default: 0 0.1 0.5)")
+    parser.add_argument("--coalesce", default="both",
+                        choices=["on", "off", "both"],
+                        help="coalesce figure: which transport modes to run "
+                             "(default: both — the A/B the figure is about)")
+    parser.add_argument("--coalesce-shards", type=int, nargs="+",
+                        default=[2, 4, 8], metavar="N",
+                        help="shard counts for the coalesce figure "
+                             "(default: 2 4 8)")
     args = parser.parse_args(argv)
     if any(count < 1 for count in args.shards):
         parser.error("--shards values must be >= 1")
@@ -80,9 +90,13 @@ def main(argv=None) -> int:
         parser.error("--txn-shards values must be >= 1")
     if any(not 0.0 <= ratio <= 1.0 for ratio in args.cross_ratio):
         parser.error("--cross-ratio values must be in [0, 1]")
+    if any(count < 1 for count in args.coalesce_shards):
+        parser.error("--coalesce-shards values must be >= 1")
 
     placements = (tuple(sorted(PLACEMENTS, reverse=True))
                   if args.placement == "both" else (args.placement,))
+    coalesce_modes = (("off", "on") if args.coalesce == "both"
+                      else (args.coalesce,))
     figures = dict(FIGURES)
     figures["sharding"] = lambda scale, seed: ex.sharding_scaling(
         scale, seed, shard_counts=tuple(args.shards),
@@ -93,6 +107,9 @@ def main(argv=None) -> int:
     figures["txn"] = lambda scale, seed: ex.txn_figures(
         scale, seed, shard_counts=tuple(args.txn_shards),
         cross_ratios=tuple(args.cross_ratio))
+    figures["coalesce"] = lambda scale, seed: ex.coalesce_figure(
+        scale, seed, shard_counts=tuple(args.coalesce_shards),
+        modes=coalesce_modes).render()
 
     for name in args.figures:
         start = time.time()

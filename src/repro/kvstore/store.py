@@ -86,6 +86,13 @@ class KVStore:
         self._txn_meta: Dict[str, Dict] = {}      # handle -> prepare metadata
         self._decisions: Dict[str, Dict] = {}     # handle -> decision record
         self._txn_fence: Dict[str, int] = {}      # coordinator -> min incarnation
+        # Hash ranges a refused MIGRATE_OUT is draining: new prepares for
+        # fenced keys die so the existing locks can clear and the export's
+        # retry can land (lifted when it does).  Plain reads/writes and
+        # atomic single-shard TXNs keep being served — they hold no locks
+        # across entries, so the snapshot at the export's log position
+        # includes them.
+        self._migrate_fences: set = set()         # {(lo, hi)}
         # Per-key install order of every write (PUT or committed txn
         # write), for the strict-serializability checker.
         self._write_log: Dict[str, List[str]] = {}
@@ -131,19 +138,13 @@ class KVStore:
             result = self._apply_txn_recover(command)
         elif command.op is OpType.TXN:
             result = self._apply_txn_single(command)
-            if result.wrong_shard or result.conflict:
-                # Neither counts against the dedup slot: the retry (after a
-                # re-route or a lock release) must actually apply.
-                return result
         elif not self.owns(command.key):
             self.filtered_count += 1
-            # Not recorded in the dedup tables: once the client re-routes
-            # (or this store later imports the range) the retry must apply.
-            return ApplyResult(ok=False, wrong_shard=True)
+            result = ApplyResult(ok=False, wrong_shard=True)
         elif command.key in self._locks:
             # A prepared transaction holds this key: plain reads/writes wait
             # it out via the client's ordinary backoff-retry machinery.
-            return ApplyResult(ok=False, conflict=True)
+            result = ApplyResult(ok=False, conflict=True)
         elif command.op is OpType.PUT:
             self._put_local(command.key, command.value if command.value is not None else "")
             result = ApplyResult(ok=True)
@@ -151,6 +152,13 @@ class KVStore:
             result = ApplyResult(ok=True, value=self._table.get(command.key))
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown op {command.op}")
+
+        if result.conflict or result.wrong_shard:
+            # Retryable refusals — a held lock, a draining migration, a
+            # misrouted or migrated-away key — NEVER burn the client's
+            # dedup slot: the retry with the same sequence number must
+            # actually apply once the lock clears or the client re-routes.
+            return result
 
         self.applied_count += 1
         if client:
@@ -213,6 +221,12 @@ class KVStore:
         if any(not self.owns(key) for key in keys):
             self.filtered_count += 1
             return self._vote("no", reason="wrong_shard")
+        if self._fenced(keys):
+            # The key's range is draining for a refused migration: voting
+            # no (die-and-retry) here is what lets the existing locks
+            # clear — otherwise a steady 2PC stream could re-lock the
+            # range forever and the export would never find its window.
+            return self._vote("no", reason="migrating")
         verdict = "yes"
         for key in keys:
             holder = self._locks.get(key)
@@ -299,6 +313,14 @@ class KVStore:
         moved = sorted(k for k in self._table if lo <= key_point(k) < hi)
         table = {k: self._table.pop(k) for k in moved}
         versions = {k: self._versions.pop(k) for k in moved if k in self._versions}
+        # The per-key install order travels too: the strict-serializability
+        # checker anchors on it, and a reshard must not amputate a key's
+        # history prefix.  (Keys can have a write log without a live table
+        # entry only transiently; sweep by hash range, not by `moved`.)
+        write_log = {}
+        for key in sorted(self._write_log):
+            if lo <= key_point(key) < hi:
+                write_log[key] = self._write_log.pop(key)
         sessions = {}
         for client in sorted(self._last_key):
             key = self._last_key[client]
@@ -307,13 +329,18 @@ class KVStore:
                 last = self._last_result.pop(client, ApplyResult(ok=True))
                 sessions[client] = [self._last_seq.pop(client, -1), key,
                                     last.ok, last.value]
-        return {"table": table, "versions": versions, "sessions": sessions}
+        return {"table": table, "versions": versions, "sessions": sessions,
+                "write_log": write_log}
 
     def import_range(self, payload: Dict) -> int:
         """Install an exported range: records, versions, and dedup state
         (newest seq wins if this store already has an entry)."""
         self._table.update(payload.get("table", {}))
         self._versions.update(payload.get("versions", {}))
+        for key, log in payload.get("write_log", {}).items():
+            # The imported history is the key's prefix: writes the importer
+            # somehow already has (none, under correct routing) stay after.
+            self._write_log[key] = list(log) + self._write_log.get(key, [])
         for client, (seq, key, ok, value) in payload.get("sessions", {}).items():
             if seq > self._last_seq.get(client, -1):
                 self._last_seq[client] = seq
@@ -323,8 +350,36 @@ class KVStore:
 
     def _apply_migrate_out(self, command: Command) -> ApplyResult:
         meta = json.loads(command.value or "{}")
-        export = self.export_range(meta["lo"], meta["hi"])
+        lo, hi = meta["lo"], meta["hi"]
+        if self._range_locked(lo, hi):
+            # A prepared (voted) 2PC transaction holds keys in the range.
+            # Exporting now would strand its staged writes on a group that
+            # no longer owns them — phase 2 would install ghost writes the
+            # new owner never sees.  Refuse, and fence the range against
+            # NEW prepares so the held locks drain (wait-die guarantees
+            # they clear); the coordinator's backoff-retry picks the
+            # export up again.  Deterministic: the lock table is
+            # replicated state, so every replica of the group refuses —
+            # and fences — at the same log position.
+            self._migrate_fences.add((lo, hi))
+            return ApplyResult(ok=False, conflict=True)
+        self._migrate_fences.discard((lo, hi))
+        export = self.export_range(lo, hi)
         return ApplyResult(ok=True, value=json.dumps(export, sort_keys=True))
+
+    def _range_locked(self, lo: int, hi: int) -> bool:
+        from repro.shard.partition import key_point  # lazy: kvstore sits below shard
+
+        return any(lo <= key_point(key) < hi for key in self._locks)
+
+    def _fenced(self, keys: List[str]) -> bool:
+        if not self._migrate_fences:
+            return False
+        from repro.shard.partition import key_point  # lazy: kvstore sits below shard
+
+        points = [key_point(key) for key in keys]
+        return any(lo <= point < hi
+                   for point in points for lo, hi in self._migrate_fences)
 
     def _apply_migrate_in(self, command: Command) -> ApplyResult:
         payload = json.loads(command.value or "{}")

@@ -11,14 +11,20 @@ The protocol zoo mirrors the paper's evaluation:
 - `leaderlease`  — Raft* + Leader Lease (the LL baseline of §5.1).
 - `mencius`      — Raft*-Mencius / Coordinated Raft* and Coordinated Paxos
                    (round-robin instance ownership + skips).
+- `mux`          — the host-multiplexed transport: many group replicas on
+                   one machine, cross-group message coalescing into
+                   per-destination-host envelopes, merged leader beacons.
 """
 
 from repro.protocols.config import ClusterConfig
+from repro.protocols.mux import GroupMux, MuxDirectory
 from repro.protocols.types import Ballot, Command, Entry, OpType
 
 __all__ = [
     "Ballot",
     "ClusterConfig",
+    "GroupMux",
+    "MuxDirectory",
     "Command",
     "Entry",
     "OpType",

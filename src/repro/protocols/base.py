@@ -33,6 +33,15 @@ RequestId = Tuple[str, int]
 class ReplicaBase(Node):
     """Base class for consensus replicas."""
 
+    # Host-mux beacon merging: protocols whose empty heartbeat carries no
+    # semantic payload beyond "reset your election timer, I lead term T"
+    # opt in by setting this True (Raft, MultiPaxos).  Protocols whose
+    # keepalive replies carry state the leader needs — lease liveness
+    # (Raft*-LL), lease-holder sets (PQL) — and leaderless protocols
+    # (Mencius: no leader, skip/commit announcements already piggyback on
+    # its coalesced messages) stay False and keep their real keepalives.
+    beacon_mergeable = False
+
     def __init__(self, name, sim, network, config: ClusterConfig, trace=None) -> None:
         super().__init__(
             name,
@@ -41,6 +50,7 @@ class ReplicaBase(Node):
             site=config.site_of(name),
             costs=config.costs,
             trace=trace,
+            host=config.host_of(name),
         )
         self.config = config
         self.peers = config.peers_of(name)
@@ -51,6 +61,9 @@ class ReplicaBase(Node):
         self._relays: Dict[RequestId, str] = {}
         self._forward_buffer: List[Command] = []
         self._forward_timer = self.timer("forward-flush")
+
+        # host-mux beacon merging (see beacon_refresh_due)
+        self._beacon_ticks = 0
 
         # apply pipeline
         self.last_applied = -1
@@ -115,6 +128,34 @@ class ReplicaBase(Node):
     def leader_hint(self) -> Optional[str]:
         """Best current guess of the leader's name (None if unknown)."""
         raise NotImplementedError
+
+    # -- host-mux beacon merging ----------------------------------------------
+
+    def beacon_info(self) -> Optional[Tuple[str, int]]:
+        """(leader name, term/round) when this replica currently leads a
+        beacon-mergeable group; None otherwise.  The host mux polls this
+        every beacon interval to build the merged `HostBeacon`."""
+        return None
+
+    def on_host_beacon(self, leader: str, term: int) -> None:
+        """A merged host beacon carried a beat for this replica's group:
+        protocols that suppress empty heartbeats reset their election
+        machinery here."""
+
+    def beacon_covered(self, peer: str) -> bool:
+        """Whether the host beacon replaces this leader's empty heartbeat
+        to `peer` (so the send may be suppressed)."""
+        return (self.beacon_mergeable and self.mux is not None
+                and self.mux.beacon_covers(self.name, peer))
+
+    def beacon_refresh_due(self) -> bool:
+        """Advance the heartbeat tick counter; every
+        `config.beacon_refresh_ticks`-th tick the leader sends REAL empty
+        keepalives even to beacon-covered peers — the beacon replaces the
+        timer reset but not the commit-frontier self-healing a dropped
+        frontier broadcast needs.  Call once per heartbeat tick."""
+        self._beacon_ticks += 1
+        return self._beacon_ticks % max(1, self.config.beacon_refresh_ticks) == 0
 
     def complete(self, command: Command, ok: bool, value: Optional[str],
                  local_read: bool = False, shard_hint: Optional[int] = None) -> None:
@@ -196,8 +237,15 @@ class ReplicaBase(Node):
         command = entry.command
         result = self.store.apply(command)
         self.last_applied = max(self.last_applied, index)
-        for hook in self.on_apply_hooks:
-            hook(self.name, index, command)
+        if not result.conflict:
+            # Lock-conflict refusals mutate nothing and will be retried as
+            # a NEW log entry, so apply observers must not see them — in
+            # particular a refused MIGRATE_OUT (prepared locks in range)
+            # must not advance `ShardOwnership`, or the donor would turn
+            # away a range it still holds.  Deterministic: the lock table
+            # is replicated state, so every replica skips the same entry.
+            for hook in self.on_apply_hooks:
+                hook(self.name, index, command)
         if command.is_nop:
             return
         if command.request_id in self._clients or command.request_id in self._relays:

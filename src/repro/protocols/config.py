@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.sim.node import NodeCosts
+from repro.sim.node import Host, NodeCosts
 from repro.sim.units import ms, sec
 
 
@@ -40,6 +40,28 @@ class ClusterConfig:
     skip_interval: int = ms(20)
     revoke_timeout: int = sec(1)
 
+    # Host-multiplexed deployments: cross-group coalescing of messages to
+    # the same destination host (`repro.protocols.mux.GroupMux`).  The
+    # flush interval is the batching horizon for one envelope; coalescing
+    # is off by default — the single-group figures run the original
+    # one-message-one-send transport.
+    coalesce_enabled: bool = False
+    coalesce_flush_interval: int = ms(0.5)
+    # Every Nth heartbeat tick a leader sends REAL empty keepalives even to
+    # beacon-covered peers.  The beacon replaces the keepalive's timer
+    # reset but not its self-healing: an empty append/Accept also carries
+    # the commit frontier, and if the one message that advertised a new
+    # frontier was dropped (loss, a partition window), suppression would
+    # otherwise leave an idle follower behind forever.  The refresh bounds
+    # that staleness to beacon_refresh_ticks heartbeat intervals while
+    # keeping ~90% of the header amortization.
+    beacon_refresh_ticks: int = 10
+
+    # Machine placement: replica name -> the `Host` it runs on.  `None`
+    # (the default) gives every replica a private host, the paper's
+    # one-process-per-machine deployment.
+    hosts: Optional[Dict[str, Host]] = None
+
     costs: NodeCosts = field(default_factory=NodeCosts)
 
     def __post_init__(self) -> None:
@@ -69,6 +91,12 @@ class ClusterConfig:
 
     def site_of(self, name: str) -> str:
         return self.replicas[name]
+
+    def host_of(self, name: str) -> Optional[Host]:
+        """The shared host `name` runs on (None = private host)."""
+        if self.hosts is None:
+            return None
+        return self.hosts.get(name)
 
     def owner_of(self, index: int) -> str:
         """Mencius round-robin instance ownership."""

@@ -23,6 +23,12 @@ from repro.protocols.types import Command
 class LeaderLeaseReplica(RaftStarReplica):
     """Raft* + leader-only read lease."""
 
+    # The lease is heartbeat-majority: the leader holds it only while a
+    # majority keeps ACKING its appends.  A merged host beacon is unacked,
+    # so suppressing empty heartbeats would silently expire the lease on
+    # an idle leader — keep the real keepalives.
+    beacon_mergeable = False
+
     def __init__(self, name, sim, network, config, trace=None) -> None:
         self._last_heard: Dict[str, int] = {}
         super().__init__(name, sim, network, config, trace=trace)

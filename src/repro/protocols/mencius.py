@@ -53,6 +53,14 @@ STATUS_SKIPPED = "skipped"
 class MenciusReplica(ReplicaBase):
     """A Mencius replica (default-leader + acceptor + learner in one)."""
 
+    # Leaderless: there is no leader keepalive to merge into a host
+    # beacon.  Skip/commit announcements already piggyback on the
+    # protocol's own messages, which the host mux coalesces like any other
+    # traffic — so Mencius groups are explicitly EXEMPT from beacon
+    # merging (pinned by tests/protocols/test_mux.py), mirroring the
+    # UnsupportedProtocolError precedent for leaderless resharding.
+    beacon_mergeable = False
+
     #: execution mode: "ordered" or "commutative"
     execution_mode = "ordered"
 

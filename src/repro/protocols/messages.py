@@ -8,9 +8,14 @@ the nodes' CPU model see realistic payload sizes (4 KB entries really cost
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.protocols.types import Ballot, Command, Entry
+# The envelope charges through the cost model's own canonical fallbacks
+# (64 B / 0 commands for messages implementing neither hook), so a batch
+# costs exactly the command/byte work its parts would — what batching
+# amortizes is the per-message CPU cost, paid once per envelope.
+from repro.sim.node import payload_command_count, payload_size_bytes
 
 HEADER_BYTES = 48
 
@@ -456,3 +461,70 @@ class MenciusPromise:
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + _entries_size(list(self.accepted.values()))
+
+
+# --------------------------------------------------------------------------
+# Host-multiplexed transport (repro.protocols.mux)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class MuxedMessage:
+    """One protocol message in flight through a host mux: the real replica
+    endpoints plus the group tag the receiving mux demultiplexes on."""
+
+    src: str
+    dst: str
+    group: int
+    payload: Any
+
+
+@dataclass
+class HostBeacon:
+    """The merged keepalive of every colocated leader on one host.
+
+    `beats` maps group id -> (leader name, term/ballot round).  One beacon
+    per destination host per heartbeat interval replaces one empty
+    heartbeat per (leader, follower) pair; the receiving mux fans it out to
+    the per-group follower timers (`ReplicaBase.on_host_beacon`)."""
+
+    src_host: str
+    beats: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES + 12 * len(self.beats)
+
+
+@dataclass
+class HostEnvelope:
+    """Everything one host sends another in one coalescing flush tick.
+
+    The cost is the sum of the inner payloads plus ONE envelope header:
+    the destination host pays `NodeCosts.per_message` once per envelope
+    instead of once per inner message, which is the multi-raft CPU
+    amortization the `coalesce` figure measures.  Wire bytes are NOT
+    amortized: each inner message keeps its own framing (`size_bytes()`
+    as it would cost unmuxed — length/type/group tags don't vanish when
+    batched), and the envelope adds its one header on top.  Inner
+    messages without their own `size_bytes` / `command_count` contribute
+    the cost model's fallbacks (64 B, 0 commands) rather than silently
+    vanishing from the bill.
+    """
+
+    src_host: str
+    dst_host: str
+    items: List[MuxedMessage] = field(default_factory=list)
+    beacon: Optional[HostBeacon] = None
+
+    def size_bytes(self) -> int:
+        inner = sum(payload_size_bytes(m.payload) for m in self.items)
+        if self.beacon is not None:
+            inner += self.beacon.size_bytes()
+        return HEADER_BYTES + inner
+
+    def command_count(self) -> float:
+        return sum(payload_command_count(m.payload) for m in self.items)
+
+    def message_count(self) -> int:
+        """Protocol messages this envelope replaces (beacon included)."""
+        return len(self.items) + (1 if self.beacon is not None else 0)

@@ -30,11 +30,23 @@ MAX_ACCEPT_BATCH = 256
 class MultiPaxosReplica(ReplicaBase):
     """A MultiPaxos server (proposer + acceptor + learner)."""
 
+    # An idle leader's empty Accept only resets follower prepare timers
+    # and re-advertises an unchanged commit frontier, so the host mux may
+    # merge it into the host beacon.  PQL-on-Paxos overrides to False
+    # (its Accepted replies carry lease-holder sets).
+    beacon_mergeable = True
+
     def __init__(self, name, sim, network, config: ClusterConfig, trace=None) -> None:
         super().__init__(name, sim, network, config, trace=trace)
         self.ballot = Ballot(0, "")
         self.phase1_succeeded = False
         self.leader_id: Optional[str] = None
+        # Commit frontier last advertised by an (empty) heartbeat: beacon
+        # suppression only applies while it is unchanged.  Refresh ticks
+        # (`beacon_refresh_due`) still send real empty Accepts so a
+        # follower that missed the one frontier-news broadcast (loss, a
+        # partition window) is healed within a bounded number of beats.
+        self._last_idle_commit = -1
         self.instances: Dict[int, Entry] = {}  # accepted values
         self.chosen: Dict[int, Command] = {}
         self.commit_index = -1  # chosen-and-contiguous frontier
@@ -82,6 +94,18 @@ class MultiPaxosReplica(ReplicaBase):
 
     def leader_hint(self) -> Optional[str]:
         return self.leader_id
+
+    def beacon_info(self):
+        if self.beacon_mergeable and self.phase1_succeeded:
+            return (self.name, self.ballot.round)
+        return None
+
+    def on_host_beacon(self, leader: str, term: int) -> None:
+        # Only a beat matching the ballot we already follow counts; ballot
+        # changes travel through real Prepare/Accept traffic.
+        if (not self.phase1_succeeded and self.leader_id == leader
+                and self.ballot.round == term):
+            self._reset_prepare_timer()
 
     def first_unchosen(self) -> int:
         index = self.commit_index + 1
@@ -214,6 +238,7 @@ class MultiPaxosReplica(ReplicaBase):
     def _on_heartbeat(self) -> None:
         if not self.phase1_succeeded:
             return
+        refresh = self.beacon_refresh_due()
         if self._accept_buffer:
             self._flush_accepts()
         else:
@@ -221,8 +246,18 @@ class MultiPaxosReplica(ReplicaBase):
                 ballot=self.ballot, proposer=self.name, instances={},
                 commit_index=self.commit_index,
             )
+            frontier_news = self.commit_index != self._last_idle_commit
+            sent_any = False
             for peer in self.peers:
-                self.send(peer, empty)
+                # Beacon-covered peers skip the empty Accept unless the
+                # commit frontier moved since the last idle broadcast — or
+                # this is a refresh tick re-advertising it in case that
+                # one broadcast was dropped on the way to this peer.
+                if frontier_news or refresh or not self.beacon_covered(peer):
+                    self.send(peer, empty)
+                    sent_any = True
+            if sent_any:
+                self._last_idle_commit = self.commit_index
         self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
 
     def _accept_locally(self, msg: Accept) -> None:

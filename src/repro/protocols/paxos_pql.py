@@ -25,6 +25,10 @@ from repro.sim.units import ms
 class PaxosPQLReplica(MultiPaxosReplica):
     """MultiPaxos with Paxos Quorum Leases."""
 
+    # Accepted replies report lease holders; the commit wait needs them,
+    # so keepalives stay real (see RaftStarPQLReplica).
+    beacon_mergeable = False
+
     def __init__(self, name, sim, network, config, trace=None) -> None:
         self._last_modified: Dict[str, int] = {}
         self._pending_reads: List[Command] = []

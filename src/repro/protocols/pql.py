@@ -34,6 +34,12 @@ from repro.sim.units import ms
 class RaftStarPQLReplica(RaftStarReplica):
     """Raft* with Paxos Quorum Leases."""
 
+    # PQL appendOK replies report the lease holders each follower granted
+    # (Figure 8 line 13) — the leader's commit wait depends on hearing
+    # them, so empty heartbeats stay real instead of merging into the
+    # host beacon.
+    beacon_mergeable = False
+
     def __init__(self, name, sim, network, config, trace=None) -> None:
         self._last_modified: Dict[str, int] = {}
         self._pending_reads: List[Command] = []

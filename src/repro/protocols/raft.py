@@ -42,6 +42,12 @@ class Role(enum.Enum):
 class RaftReplica(ReplicaBase):
     """A Raft replica."""
 
+    # An empty Raft heartbeat (no entries, no commit news) only resets the
+    # follower's election timer, so the host mux may merge it into the
+    # host-level beacon.  Subclasses whose heartbeat replies carry state
+    # (lease liveness, lease-holder sets) override this back to False.
+    beacon_mergeable = True
+
     def __init__(self, name, sim, network, config: ClusterConfig, trace=None) -> None:
         super().__init__(name, sim, network, config, trace=trace)
         self.current_term = 0
@@ -110,6 +116,18 @@ class RaftReplica(ReplicaBase):
     @property
     def is_leader(self) -> bool:
         return self.role is Role.LEADER
+
+    def beacon_info(self):
+        if self.beacon_mergeable and self.role is Role.LEADER:
+            return (self.name, self.current_term)
+        return None
+
+    def on_host_beacon(self, leader: str, term: int) -> None:
+        # Conservative: only a beat for the current term resets the timer
+        # (term changes travel through real AppendEntries, as before).
+        if term == self.current_term and self.role is Role.FOLLOWER:
+            self.leader_id = leader
+            self._reset_election_timer()
 
     def _reset_election_timer(self) -> None:
         timeout = self._rng.randint(
@@ -218,6 +236,7 @@ class RaftReplica(ReplicaBase):
     def _on_heartbeat(self) -> None:
         if self.role is not Role.LEADER:
             return
+        refresh = self.beacon_refresh_due()
         stall_threshold = max(6 * self.config.heartbeat_interval, 600_000)
         for peer in self.peers:
             # Loss recovery: rewind the pipeline only after a *long* stall
@@ -236,7 +255,13 @@ class RaftReplica(ReplicaBase):
                     )
                     self._last_progress[peer] = self.sim.now
             self._hb_match[peer] = match
-            self._send_append(peer, heartbeat=True)
+            # A peer covered by the merged host beacon needs no empty
+            # heartbeat: send only if there are entries or commit news —
+            # except on refresh ticks, whose real keepalive re-advertises
+            # the commit frontier in case the append that first carried it
+            # was dropped (`_sent_commit` advances at send, not delivery).
+            covered = (not refresh) and self.beacon_covered(peer)
+            self._send_append(peer, heartbeat=not covered)
         self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
 
     # -- client path -----------------------------------------------------------------

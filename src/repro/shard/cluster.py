@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.kvstore.checker import HistoryChecker
 from repro.metrics.recorder import MetricsRecorder
 from repro.protocols.config import geo_cluster
+from repro.protocols.mux import GroupMux, MuxDirectory
 from repro.protocols.types import OpType
 from repro.shard.partition import VersionedPartitioner
 from repro.shard.placement import leader_sites
@@ -44,8 +45,9 @@ from repro.shard.reshard import ReshardCoordinator, ShardOwnership
 from repro.shard.router import ShardRouter, checker_hook, spawn_sharded_clients
 from repro.sim.events import Simulator
 from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Host
 from repro.sim.rng import SplitRng
-from repro.sim.topology import Topology, ec2_five_regions
+from repro.sim.topology import HostPlan, Topology, ec2_five_regions
 from repro.sim.units import sec
 from repro.workload.ycsb import WorkloadConfig
 
@@ -79,9 +81,26 @@ class ShardedSpec:
     # Shared per-site WAN uplink, as a multiple of one node's NIC rate
     # (None disables the shared link entirely).
     site_uplink_factor: Optional[float] = 2.0
+    # Host multiplexing: how many machines each site runs (replica of group
+    # g lives on host g % hosts_per_site).  None keeps the legacy
+    # one-private-host-per-replica model.  With shared hosts, colocated
+    # replicas contend on one CPU/NIC and crash as one machine.
+    hosts_per_site: Optional[int] = None
+    # Cross-group coalescing (`repro.protocols.mux.GroupMux`): batch all
+    # messages to the same destination host into one envelope per flush
+    # tick and merge colocated leaders' heartbeats into host beacons.
+    # Implies hosts_per_site=1 when no host layout is given.
+    coalesce: bool = False
+    coalesce_flush_interval: Optional[int] = None
 
     def with_(self, **changes) -> "ShardedSpec":
         return replace(self, **changes)
+
+    @property
+    def effective_hosts_per_site(self) -> Optional[int]:
+        if self.hosts_per_site is None and self.coalesce:
+            return 1
+        return self.hosts_per_site
 
 
 @dataclass
@@ -98,10 +117,24 @@ class ShardedResult:
     leaders: Dict[int, str]
     events_processed: int
     capped_redirects: int = 0
+    # Named event counters (coalesce_envelopes, coalesce_messages,
+    # coalesce_beacons, ... — see MetricsRecorder.counters).
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def linearizable(self) -> bool:
         return all(not v for v in self.violations.values())
+
+    @property
+    def messages_per_envelope(self) -> float:
+        """Header-amortization factor of the coalescing transport: protocol
+        messages (beacon beats included) carried per envelope sent."""
+        envelopes = self.counters.get("coalesce_envelopes", 0)
+        if not envelopes:
+            return 0.0
+        carried = (self.counters.get("coalesce_messages", 0)
+                   + self.counters.get("coalesce_beacon_beats", 0))
+        return carried / envelopes
 
 
 class ShardedCluster:
@@ -123,6 +156,16 @@ class ShardedCluster:
         self.partitioner = self.versioned  # the cluster's current map
         self.leaders = leader_sites(spec.placement, spec.num_shards,
                                     self.topology.sites, home=spec.colocated_site)
+
+        # Host multiplexing: shared machines (and, with coalescing, the
+        # per-host GroupMux transports) that group replicas are placed on.
+        self.hosts_per_site = spec.effective_hosts_per_site
+        self.host_plan = (None if self.hosts_per_site is None
+                          else HostPlan(tuple(self.topology.sites),
+                                        self.hosts_per_site))
+        self.hosts: Dict[str, Host] = {}
+        self.directory = MuxDirectory() if spec.coalesce else None
+        self.muxes: Dict[str, GroupMux] = {}
 
         self.groups: Dict[int, Dict[str, object]] = {}
         self.configs = {}
@@ -174,12 +217,26 @@ class ShardedCluster:
         prefix = f"g{shard}_r"
         leader = (None if spec.protocol in LEADERLESS
                   else f"{prefix}_{leader_site}")
+        extra = {}
+        if self.host_plan is not None:
+            extra["hosts"] = {
+                f"{prefix}_{site}":
+                    self._host(self.host_plan.host_for_group(site, shard), site)
+                for site in self.topology.sites
+            }
+            if spec.coalesce:
+                extra["coalesce_enabled"] = True
+                if spec.coalesce_flush_interval is not None:
+                    extra["coalesce_flush_interval"] = spec.coalesce_flush_interval
         config = geo_cluster(self.topology.sites, prefix=prefix,
-                             initial_leader=leader)
+                             initial_leader=leader, **extra)
         replicas = {
             name: replica_cls(name, self.sim, self.network, config)
             for name in config.names
         }
+        if spec.coalesce:
+            for name, replica in replicas.items():
+                self._mux_for(replica.host, config).register(replica, shard)
         for replica in replicas.values():
             ownership = ShardOwnership(shard, versioned, owned=owned)
             replica.store.set_key_filter(ownership.owns_key)
@@ -194,6 +251,25 @@ class ShardedCluster:
             for replica in replicas.values():
                 replica.on_apply_hooks.append(checker.record_apply)
             self.checkers[shard] = checker
+
+    def _host(self, host_name: str, site: str) -> Host:
+        """Get-or-create a shared machine."""
+        host = self.hosts.get(host_name)
+        if host is None:
+            host = Host(host_name, self.sim, site=site)
+            self.hosts[host_name] = host
+        return host
+
+    def _mux_for(self, host: Host, config) -> GroupMux:
+        """Get-or-create the coalescing transport of a shared machine."""
+        mux = self.muxes.get(host.name)
+        if mux is None:
+            mux = GroupMux(host, self.sim, self.network, self.directory,
+                           flush_interval=config.coalesce_flush_interval,
+                           beacon_interval=config.heartbeat_interval,
+                           costs=config.costs, metrics=self.metrics)
+            self.muxes[host.name] = mux
+        return mux
 
     # -- live resharding -----------------------------------------------------
 
@@ -286,6 +362,7 @@ class ShardedCluster:
             events_processed=self.sim.events_processed,
             capped_redirects=sum(client.capped_redirects
                                  for client in self.clients),
+            counters=dict(self.metrics.counters),
         )
 
 

@@ -12,7 +12,12 @@ against a built (not yet run) `ShardedCluster`/`TxnCluster`:
   commit), then heal exactly those links;
 * **coordinator_kill** — crash a transaction coordinator mid-2PC and
   recover it, forcing the fenced decision-log replay in
-  `repro.shard.txn.TxnCoordinator.on_recover`.
+  `repro.shard.txn.TxnCoordinator.on_recover`;
+* **host_kill** — host-multiplexed clusters only: crash a whole machine,
+  taking every colocated group replica (and the host's mux, with whatever
+  it had buffered for the next coalescing flush) down together, then
+  recover them all.  With shared hosts the machine is the real crash
+  unit — one box failing degrades every group it hosted at once.
 
 Everything is driven by a named stream off the experiment seed, so a
 failing schedule replays exactly.  `tests/shard/nemesis.py` provides the
@@ -27,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.sim.rng import SplitRng
 from repro.sim.units import sec
 
-KINDS = ("leader_kill", "leader_partition", "coordinator_kill")
+KINDS = ("leader_kill", "leader_partition", "coordinator_kill", "host_kill")
 
 
 class Nemesis:
@@ -36,16 +41,19 @@ class Nemesis:
     def __init__(self, cluster, seed: int = 0,
                  leader_down_s: float = 1.2,
                  partition_s: float = 1.2,
-                 coordinator_down_s: float = 1.0) -> None:
+                 coordinator_down_s: float = 1.0,
+                 host_down_s: float = 1.2) -> None:
         self.cluster = cluster
         self.rng = SplitRng(0xFA11 + seed).stream("nemesis")
         self.leader_down_s = leader_down_s
         self.partition_s = partition_s
         self.coordinator_down_s = coordinator_down_s
+        self.host_down_s = host_down_s
         self.log: List[Tuple[float, str]] = []
         self.kills = 0
         self.partitions = 0
         self.coordinator_kills = 0
+        self.host_kills = 0
 
     # -- scheduling ----------------------------------------------------------
 
@@ -60,6 +68,9 @@ class Nemesis:
                             index: Optional[int] = None) -> None:
         self.cluster.sim.schedule_at(sec(at_s), self._coordinator_kill, index)
 
+    def host_kill_at(self, at_s: float, host: Optional[str] = None) -> None:
+        self.cluster.sim.schedule_at(sec(at_s), self._host_kill, host)
+
     def random_schedule(self, events: int, start_s: float, end_s: float,
                         kinds: Sequence[str] = ("leader_kill",
                                                 "leader_partition")) -> None:
@@ -73,6 +84,8 @@ class Nemesis:
                 self.leader_partition_at(at_s)
             elif kind == "coordinator_kill":
                 self.coordinator_kill_at(at_s)
+            elif kind == "host_kill":
+                self.host_kill_at(at_s)
             else:  # pragma: no cover - caller typo
                 raise ValueError(f"unknown nemesis kind {kind!r}")
 
@@ -127,6 +140,33 @@ class Nemesis:
                 network.unblock(victim.name, peer)
             self._note(f"leader_partition g{shard}: healed {victim.name}")
         self.cluster.sim.schedule(sec(self.partition_s), heal)
+
+    def _host_kill(self, host_name: Optional[str]) -> None:
+        hosts = getattr(self.cluster, "hosts", {})
+        alive = sorted(name for name, host in hosts.items() if host.alive)
+        if not alive:
+            self._note("host_kill: no shared host alive, skipped")
+            return
+        if host_name is None:
+            host_name = self.rng.choice(alive)
+        host = hosts[host_name]
+        victims = [node for node in host.nodes if node.alive]
+        host.crash()
+        self.host_kills += 1
+        self._note(f"host_kill: crashed {host_name} "
+                   f"({len(victims)} colocated nodes)")
+
+        def recover() -> None:
+            # Revive the specific nodes THIS kill took down, not whatever
+            # Host.alive derives: an interleaved leader_kill recovering
+            # one cohabitant early must not cancel the machine's restart
+            # for everyone else.
+            revived = [node for node in victims if not node.alive]
+            for node in revived:
+                node.recover()
+            if revived:
+                self._note(f"host_kill: recovered {host_name}")
+        self.cluster.sim.schedule(sec(self.host_down_s), recover)
 
     def _coordinator_kill(self, index: Optional[int]) -> None:
         coordinators = getattr(self.cluster, "coordinators", [])

@@ -2,12 +2,15 @@
 
 Message delivery time from node A to node B is::
 
-    depart  = max(now, egress_free[A]) + size / bandwidth
+    depart  = max(now, egress_free[host(A)]) + size / bandwidth
     arrive  = depart + one_way_latency(site(A), site(B)) * (1 + jitter)
 
 The egress queue (`egress_free`) is what makes a leader's NIC a bottleneck
 when it must replicate 4 KB entries to four followers (Figure 10b); the
-latency term is the WAN cost (Figures 9a/9b/10c/10d).
+latency term is the WAN cost (Figures 9a/9b/10c/10d).  The NIC belongs to
+the *host* (`repro.sim.node.Host`): nodes sharing a host share its egress
+queue.  With the default one-private-host-per-node placement this is the
+original per-node NIC.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.sim.errors import UnknownNodeError
+from repro.sim.node import payload_size_bytes
 from repro.sim.rng import SplitRng
 from repro.sim.topology import Topology
 
@@ -71,6 +75,7 @@ class Network:
         self.rng = self.rng_root.stream("network")
         self._nodes: Dict[str, "Node"] = {}
         self._egress_free: Dict[str, int] = {}
+        self._egress_key: Dict[str, str] = {}  # node name -> host NIC key
         self._site_egress_free: Dict[str, int] = {}
         self._last_arrival: Dict[Tuple[str, str], int] = {}
         self._blocked: Set[Tuple[str, str]] = set()
@@ -82,7 +87,10 @@ class Network:
 
     def register(self, node: "Node") -> None:
         self._nodes[node.name] = node
-        self._egress_free[node.name] = 0
+        host = getattr(node, "host", None)
+        key = host.name if host is not None else node.name
+        self._egress_key[node.name] = key
+        self._egress_free.setdefault(key, 0)
 
     def node(self, name: str) -> "Node":
         try:
@@ -153,8 +161,9 @@ class Network:
 
         now = self.sim.now
         serialization = int(size / self.config.bandwidth_bytes_per_sec * 1_000_000)
-        depart = max(now, self._egress_free.get(src, 0)) + serialization
-        self._egress_free[src] = depart
+        nic = self._egress_key.get(src, src)
+        depart = max(now, self._egress_free.get(nic, 0)) + serialization
+        self._egress_free[nic] = depart
         if self.config.site_bandwidth_bytes_per_sec is not None and src_site != dst_site:
             # The message also serializes through the site's shared uplink,
             # after it leaves the node's NIC.
@@ -181,8 +190,16 @@ class Network:
         node._receive(src, message)
 
     def egress_backlog_us(self, name: str) -> int:
-        """How far in the future the node's NIC is already committed."""
-        return max(0, self._egress_free.get(name, 0) - self.sim.now)
+        """How far in the future the node's (host's) NIC is committed.
+        Accepts a node name or a host name."""
+        nic = self._egress_key.get(name, name)
+        return max(0, self._egress_free.get(nic, 0) - self.sim.now)
+
+    def link_blocked(self, src: str, dst: str) -> bool:
+        """Whether traffic src -> dst is currently cut (partition/block).
+        The mux consults this per inner message so coalescing preserves
+        per-replica partition semantics."""
+        return (src, dst) in self._blocked
 
     def site_egress_backlog_us(self, site: str) -> int:
         """How far in the future the site's shared uplink is committed."""
@@ -193,10 +210,8 @@ def _estimate_size(message) -> int:
     """Default wire-size estimate for a message object.
 
     Messages may define `size_bytes()`; otherwise a small constant header is
-    assumed.  Protocol messages in `repro.protocols.messages` all implement
-    `size_bytes` so the bandwidth model sees payload sizes.
+    assumed (the CPU model's canonical fallback).  Protocol messages in
+    `repro.protocols.messages` all implement `size_bytes` so the bandwidth
+    model sees payload sizes.
     """
-    size_fn = getattr(message, "size_bytes", None)
-    if callable(size_fn):
-        return int(size_fn())
-    return 64
+    return payload_size_bytes(message)

@@ -1,9 +1,19 @@
 """Process model.
 
-A `Node` is a single-core process: every received message is handled by
-`on_message`, and handling costs CPU time (`NodeCosts`).  Messages queue
-behind each other on the node's CPU, which is exactly how a consensus leader
-saturates in the paper's Figure 9c / Figure 10a experiments.
+A `Host` is a single-core machine: one CPU queue and one NIC.  A `Node` is
+a process placed on a host — every received message is handled by
+`on_message`, and handling costs CPU time (`NodeCosts`) charged to the
+host's queue.  Messages queue behind each other on the host's CPU, which is
+exactly how a consensus leader saturates in the paper's Figure 9c /
+Figure 10a experiments.
+
+By default every node gets a private host (one process per machine — the
+paper's deployment), so the single-group model is unchanged.  Multiplexed
+deployments (`repro.protocols.mux`, `repro.shard`) place many group
+replicas on one shared host: they then contend for one CPU and one NIC,
+and the machine — not the process — becomes the crash unit (`Host.crash`
+fails every node on it together, the way a real box takes all its raft
+groups down at once).
 
 Nodes can crash (lose volatile state, stop timers, drop in-flight work) and
 recover (restart from stable storage).  Timers are cancellable handles that
@@ -13,7 +23,7 @@ never fire on a crashed node or across an incarnation boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.sim.errors import NodeStateError
 from repro.sim.trace import TraceLog
@@ -21,6 +31,21 @@ from repro.sim.trace import TraceLog
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.events import Event, Simulator
     from repro.sim.network import Network
+
+
+def payload_size_bytes(message: Any) -> int:
+    """Wire size of an arbitrary message: its `size_bytes()` if it has
+    one, else a small constant header.  THE canonical fallback — the CPU
+    model, the network's size estimate, and the mux envelope all charge
+    through here so a batch costs exactly what its parts would."""
+    size_fn = getattr(message, "size_bytes", None)
+    return int(size_fn()) if callable(size_fn) else 64
+
+
+def payload_command_count(message: Any) -> float:
+    """Command-work units a message carries (`command_count()`, else 0)."""
+    count_fn = getattr(message, "command_count", None)
+    return float(count_fn()) if callable(count_fn) else 0.0
 
 
 @dataclass
@@ -45,11 +70,70 @@ class NodeCosts:
     per_byte: float = 0.01
 
     def cost(self, message: Any) -> int:
-        size_fn = getattr(message, "size_bytes", None)
-        size = int(size_fn()) if callable(size_fn) else 64
-        count_fn = getattr(message, "command_count", None)
-        count = float(count_fn()) if callable(count_fn) else 0.0
+        size = payload_size_bytes(message)
+        count = payload_command_count(message)
         return int(self.per_message + self.per_command * count + self.per_byte * size)
+
+
+class Host:
+    """A single-core machine: the CPU queue (and NIC identity) shared by
+    every node placed on it.
+
+    The network serializes egress per host (`Host.name` is the NIC key), so
+    eight colocated shard leaders on one host share one uplink the way
+    eight raft groups in one TiKV/Cockroach store share one machine.
+    """
+
+    def __init__(self, name: str, sim: "Simulator", site: Optional[str] = None) -> None:
+        self.name = name
+        self.sim = sim
+        self.site = site if site is not None else name
+        self.nodes: List["Node"] = []
+        self._cpu_free = 0
+        self.cpu_busy_us = 0
+
+    def attach(self, node: "Node") -> None:
+        self.nodes.append(node)
+
+    def run_for(self, cost: int) -> int:
+        """Queue `cost` microseconds of CPU work; returns completion time."""
+        start = max(self.sim.now, self._cpu_free)
+        done = start + cost
+        self._cpu_free = done
+        self.cpu_busy_us += cost
+        return done
+
+    def cpu_backlog_us(self) -> int:
+        """How much queued CPU work the host has right now."""
+        return max(0, self._cpu_free - self.sim.now)
+
+    def node_recovered(self, node: "Node") -> None:
+        """A node restarted: its queued work was dropped on crash, so free
+        the CPU it would have consumed — unless other live nodes share the
+        host and their queued work is still pending."""
+        if all(n is node or not n.alive for n in self.nodes):
+            self._cpu_free = self.sim.now
+
+    # -- machine-granularity failures ---------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return any(node.alive for node in self.nodes)
+
+    def crash(self) -> None:
+        """Fail-stop the machine: every node on it crashes together."""
+        for node in self.nodes:
+            if node.alive:
+                node.crash()
+
+    def recover(self) -> None:
+        """Restart the machine: every crashed node on it recovers."""
+        for node in self.nodes:
+            if not node.alive:
+                node.recover()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name}@{self.site}, {len(self.nodes)} nodes)"
 
 
 class Timer:
@@ -94,6 +178,7 @@ class Node:
         site: Optional[str] = None,
         costs: Optional[NodeCosts] = None,
         trace: Optional[TraceLog] = None,
+        host: Optional[Host] = None,
     ) -> None:
         self.name = name
         self.sim = sim
@@ -104,9 +189,13 @@ class Node:
         self.alive = True
         self.incarnation = 0
         self.stable: Dict[str, Any] = {}  # survives crashes
-        self._cpu_free = 0
+        self.host = host if host is not None else Host(name, sim, site=self.site)
+        self.host.attach(self)
         self.cpu_busy_us = 0
         self.messages_handled = 0
+        # Multiplexed deployments: a `GroupMux` transport that intercepts
+        # sends to replicas it covers (None = talk to the network directly).
+        self.mux = None
         network.register(self)
 
     # -- messaging -----------------------------------------------------------
@@ -116,6 +205,9 @@ class Node:
         if not self.alive:
             return
         self.trace.record(self.sim.now, self.name, "send", dst=dst, msg=type(message).__name__)
+        if self.mux is not None and self.mux.covers(dst):
+            self.mux.enqueue(self.name, dst, message)
+            return
         self.network.send(self.name, dst, message)
 
     def _receive(self, src: str, message: Any) -> None:
@@ -123,15 +215,22 @@ class Node:
         if not self.alive:
             return
         cost = self.costs.cost(message)
-        start = max(self.sim.now, self._cpu_free)
-        done = start + cost
-        self._cpu_free = done
+        done = self.host.run_for(cost)
         self.cpu_busy_us += cost
         incarnation = self.incarnation
         self.sim.schedule(done - self.sim.now, self._handle, src, message, incarnation)
 
     def _handle(self, src: str, message: Any, incarnation: int) -> None:
         if not self.alive or self.incarnation != incarnation:
+            return
+        self.messages_handled += 1
+        self.trace.record(self.sim.now, self.name, "recv", src=src, msg=type(message).__name__)
+        self.on_message(src, message)
+
+    def deliver_direct(self, src: str, message: Any) -> None:
+        """Deliver a message whose CPU cost was already charged to the host
+        (the mux charges one envelope for many inner messages)."""
+        if not self.alive:
             return
         self.messages_handled += 1
         self.trace.record(self.sim.now, self.name, "recv", src=src, msg=type(message).__name__)
@@ -169,7 +268,7 @@ class Node:
             raise NodeStateError(f"{self.name} is not crashed")
         self.alive = True
         self.incarnation += 1
-        self._cpu_free = self.sim.now
+        self.host.node_recovered(self)
         self.trace.record(self.sim.now, self.name, "recover")
         self.on_recover()
 
@@ -182,8 +281,8 @@ class Node:
     # -- introspection ------------------------------------------------------------
 
     def cpu_backlog_us(self) -> int:
-        """How much queued CPU work the node has right now."""
-        return max(0, self._cpu_free - self.sim.now)
+        """How much queued CPU work the node's host has right now."""
+        return self.host.cpu_backlog_us()
 
     def utilization(self, elapsed_us: int) -> float:
         """Fraction of `elapsed_us` spent busy (diagnostic)."""

@@ -95,3 +95,38 @@ def symmetric_lan(n: int, rtt_ms_value: float = 0.5) -> Topology:
     """An n-site LAN (sub-millisecond RTTs), for unit tests."""
     sites = [f"s{i}" for i in range(n)]
     return uniform_topology(sites, rtt_ms_value, jitter_fraction=0.0)
+
+
+@dataclass(frozen=True)
+class HostPlan:
+    """Machine layout for host-multiplexed deployments.
+
+    Each site runs `hosts_per_site` hosts; replica group `g`'s member in a
+    site lives on host ``h{g % hosts_per_site}.{site}``.  With one host per
+    site every group's replica in a region shares that region's machine —
+    the multi-raft store layout (TiKV/Cockroach) where colocated placement
+    contends on one CPU and one NIC.
+    """
+
+    sites: Tuple[str, ...]
+    hosts_per_site: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hosts_per_site < 1:
+            raise ValueError("hosts_per_site must be >= 1")
+
+    def host_name(self, site: str, index: int) -> str:
+        return f"h{index % self.hosts_per_site}.{site}"
+
+    def host_for_group(self, site: str, group: int) -> str:
+        """The host running group `group`'s replica in `site`."""
+        return self.host_name(site, group)
+
+    def host_names(self) -> List[str]:
+        return [self.host_name(site, index)
+                for site in self.sites
+                for index in range(self.hosts_per_site)]
+
+    @staticmethod
+    def site_of_host(host_name: str) -> str:
+        return host_name.split(".", 1)[1]

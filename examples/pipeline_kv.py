@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The session API: pipelined requests, consistency levels, open-loop load.
+
+Three short demos on the tight-majority 3-site deployment (Oregon leads):
+
+1. the explicit `Session` API — get/put/batch with per-operation
+   consistency, completions out of order through a depth-8 window;
+2. the depth sweep — the SAME six closed-loop clients, once with one
+   outstanding request each (the paper's client) and once with depth-8
+   sessions: in-flight requests, not client count, set throughput;
+3. open-loop load — Poisson arrivals at a rate the leader cannot serve,
+   showing the latency knee a closed loop can never produce.
+
+Run:  PYTHONPATH=src python examples/pipeline_kv.py
+"""
+
+from repro.bench.harness import Cluster, ExperimentSpec
+from repro.metrics.recorder import MetricsRecorder
+from repro.protocols.types import Consistency
+from repro.sim.topology import ec2_three_regions
+from repro.sim.units import sec
+from repro.workload.session import Session
+from repro.workload.ycsb import WorkloadConfig
+
+
+def spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        protocol="raft", leader_site="oregon", topology=ec2_three_regions(),
+        clients_per_region=2, duration_s=5.0, warmup_s=1.5, cooldown_s=0.5,
+        workload=WorkloadConfig(read_fraction=0.5, conflict_rate=0.05),
+        seed=7, check_history=True, full_check=True,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def demo_session_api() -> None:
+    print("== the Session API: explicit ops through a depth-8 window ==")
+    cluster = Cluster(spec(clients_per_region=0))
+    session = Session(
+        "app", cluster.sim, cluster.network, "oregon", "r_oregon",
+        cluster.spec.workload, cluster.topology.sites,
+        cluster.rng.stream("client:app"), MetricsRecorder(), depth=8)
+    done = []
+    session.on_complete_hooks.append(
+        lambda command, reply, start, end: done.append(
+            (command.op.value, command.key, reply.value,
+             reply.local_read, (end - start) / 1000.0)))
+    session.put("user:42", "alice")
+    session.batch([("put", f"cart:{i}", f"item-{i}") for i in range(5)])
+    session.get("user:42")
+    session.get("user:42", consistency=Consistency.LINEARIZABLE)
+    cluster.sim.run(until=sec(2.0))
+    for op, key, value, local, latency_ms in done:
+        print(f"    {op:>3} {key:<8} -> {value!r:<10} "
+              f"({latency_ms:5.1f} ms{', lease-local' if local else ''})")
+    print(f"    {session.completed} ops, window depth 8, "
+          f"one (client_id, seq) namespace\n")
+
+
+def run(depth=1, offered_load=None):
+    return Cluster(spec(pipeline_depth=depth,
+                        offered_load=offered_load)).run()
+
+
+def demo_depth_sweep() -> None:
+    print("== same 6 clients, deeper sessions ==")
+    for depth in (1, 2, 4, 8):
+        result = run(depth=depth)
+        safe = "linearizable" if not result.violations else "VIOLATIONS"
+        print(f"    depth {depth}: {result.throughput_ops:7.1f} ops/s "
+              f"(mean {result.overall_latency['mean']:5.1f} ms, {safe})")
+    print("    -> pipelined sessions saturate the leader with a fleet an")
+    print("       order of magnitude smaller than the closed-loop sweeps\n")
+
+
+def demo_open_loop() -> None:
+    print("== open-loop (Poisson) arrivals: the latency knee ==")
+    for load in (200, 600, 1800):
+        result = run(depth=8, offered_load=float(load))
+        print(f"    offered {load:>5} ops/s: served "
+              f"{result.completion_throughput_ops:7.1f} ops/s, "
+              f"mean latency {result.overall_latency['mean']:7.1f} ms "
+              f"(p99 {result.overall_latency['p99']:7.1f})")
+    print("    -> past the knee the server still runs at capacity, but")
+    print("       queueing delay — invisible to closed-loop clients — "
+          "dominates latency")
+
+
+def main() -> None:
+    demo_session_api()
+    demo_depth_sweep()
+    demo_open_loop()
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ FIGURES = {
     "fig10b": lambda scale, seed: ex.fig10b_throughput_4kb(scale, seed).render(),
     "fig10c": lambda scale, seed: ex.fig10c_latency_8b(scale, seed).render(),
     "fig10d": lambda scale, seed: ex.fig10d_latency_4kb(scale, seed).render(),
+    "pipeline": lambda scale, seed: ex.pipeline_figures(scale, seed),
     "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
     "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
     "txn": lambda scale, seed: ex.txn_figures(scale, seed),
@@ -49,6 +50,16 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=0.6,
                         help="client/duration scale (1.0 = EXPERIMENTS.md)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--pipeline-depth", type=int, nargs="+",
+                        default=[1, 2, 4, 8], metavar="N",
+                        help="session pipeline depths for the pipeline "
+                             "figure's closed-loop sweep (default: 1 2 4 8)")
+    parser.add_argument("--offered-load", type=float, nargs="+",
+                        default=[200, 400, 800, 1600], metavar="R",
+                        help="aggregate open-loop arrival rates (ops/s) for "
+                             "the pipeline figure's latency-vs-load curve "
+                             "(default: 200 400 800 1600; NOT scaled by "
+                             "--scale — the knee is the point)")
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8],
                         metavar="N",
                         help="shard counts for the sharding figure "
@@ -82,6 +93,10 @@ def main(argv=None) -> int:
                         help="shard counts for the coalesce figure "
                              "(default: 2 4 8)")
     args = parser.parse_args(argv)
+    if any(depth < 1 for depth in args.pipeline_depth):
+        parser.error("--pipeline-depth values must be >= 1")
+    if any(rate <= 0 for rate in args.offered_load):
+        parser.error("--offered-load values must be positive")
     if any(count < 1 for count in args.shards):
         parser.error("--shards values must be >= 1")
     if args.reshard_from < 1 or args.reshard_to < 1:
@@ -98,6 +113,9 @@ def main(argv=None) -> int:
     coalesce_modes = (("off", "on") if args.coalesce == "both"
                       else (args.coalesce,))
     figures = dict(FIGURES)
+    figures["pipeline"] = lambda scale, seed: ex.pipeline_figures(
+        scale, seed, depths=tuple(args.pipeline_depth),
+        loads=tuple(args.offered_load))
     figures["sharding"] = lambda scale, seed: ex.sharding_scaling(
         scale, seed, shard_counts=tuple(args.shards),
         placements=placements).render()

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
-from repro.kvstore.checker import HistoryChecker
+from repro.kvstore.checker import HistoryChecker, HistoryEvent
 from repro.metrics.recorder import MetricsRecorder
 from repro.protocols.config import ClusterConfig, geo_cluster
 from repro.protocols.leaderlease import LeaderLeaseReplica
@@ -34,7 +34,11 @@ from repro.sim.rng import SplitRng
 from repro.sim.topology import Topology, ec2_five_regions
 from repro.sim.units import sec, to_sec
 from repro.workload.clients import spawn_clients
+from repro.workload.plan import ClientPlan
+from repro.workload.session import RetryPolicy
 from repro.workload.ycsb import WorkloadConfig
+
+from repro.protocols.types import Consistency
 
 PROTOCOLS: Dict[str, type] = {
     "raft": RaftReplica,
@@ -66,9 +70,34 @@ class ExperimentSpec:
     topology: Optional[Topology] = None
     execution_mode: Optional[str] = None  # Mencius: "ordered"/"commutative"
     check_history: bool = False
+    # Run the FULL history check (prefix agreement + monotonic reads +
+    # lease-read freshness over client-observed events) instead of prefix
+    # agreement only — the pipelined figures assert this.
+    full_check: bool = False
+    # -- client fleet (see `workload.plan.ClientPlan`) ----------------------
+    # Session pipeline window per client (1 = the legacy closed loop).
+    pipeline_depth: int = 1
+    # Aggregate open-loop arrival rate in ops/s (None = closed loop).
+    offered_load: Optional[float] = None
+    # Per-spec retry/backoff schedule for every client session.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    # Default consistency level for the fleet's reads.
+    read_consistency: Consistency = Consistency.DEFAULT
+    # Share sim Hosts among each site's clients (None = private hosts).
+    client_hosts_per_site: Optional[int] = None
 
     def with_(self, **changes) -> "ExperimentSpec":
         return replace(self, **changes)
+
+    def client_plan(self) -> ClientPlan:
+        return ClientPlan(
+            per_region=self.clients_per_region,
+            depth=self.pipeline_depth,
+            retry=self.retry,
+            read_consistency=self.read_consistency,
+            offered_load=self.offered_load,
+            hosts_per_site=self.client_hosts_per_site,
+        )
 
 
 @dataclass
@@ -81,6 +110,13 @@ class ExperimentResult:
     completed: int
     violations: List[str]
     events_processed: int
+    # Latency over ALL completions acked inside the window (reads +
+    # writes, every site), submission-to-ack: open-loop queueing delay is
+    # included, and long-queued requests are not excluded at saturation.
+    overall_latency: Dict[str, float] = field(default_factory=dict)
+    # Acks landing in the window per second, whatever their submission
+    # time — the saturated-open-loop throughput measure.
+    completion_throughput_ops: float = 0.0
 
     def latency_ms(self, group: str, op: str, pct: str = "p90") -> float:
         table = self.read_latency if op == "read" else self.write_latency
@@ -119,8 +155,21 @@ class Cluster:
         self.clients = spawn_clients(
             self.sim, self.network, self.topology.sites, server_of_site,
             spec.clients_per_region, spec.workload, self.rng, self.metrics,
-            stop_at=stop_at,
+            stop_at=stop_at, plan=spec.client_plan(),
         )
+        if self.checker is not None and spec.full_check:
+            # Client-observed events feed the monotonic-read and lease-
+            # freshness checks (the pipelined figures assert check_all).
+            for client in self.clients:
+                client.on_complete_hooks.append(self._record_event)
+
+    def _record_event(self, command, reply, start, end) -> None:
+        value = command.value if command.op is OpType.PUT else reply.value
+        self.checker.record_event(HistoryEvent(
+            client=command.client_id, seq=command.seq, op=command.op,
+            key=command.key, value=value, start=start, end=end,
+            server=reply.server, local_read=reply.local_read,
+        ))
 
     @property
     def leader_replica(self):
@@ -133,7 +182,8 @@ class Cluster:
         window_end = sec(spec.duration_s - spec.cooldown_s)
         violations: List[str] = []
         if self.checker is not None:
-            violations = self.checker.check_prefix_agreement()
+            violations = (self.checker.check_all() if spec.full_check
+                          else self.checker.check_prefix_agreement())
         return ExperimentResult(
             spec=spec,
             throughput_ops=self.metrics.throughput_ops(window_start, window_end),
@@ -145,6 +195,10 @@ class Cluster:
             completed=len(self.metrics.window(window_start, window_end)),
             violations=violations,
             events_processed=self.sim.events_processed,
+            overall_latency=self.metrics.completion_latency_summary_ms(
+                window_start, window_end),
+            completion_throughput_ops=self.metrics.completion_throughput(
+                window_start, window_end),
         )
 
 

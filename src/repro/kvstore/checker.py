@@ -17,6 +17,7 @@ histories and verifies the invariants the protocols promise:
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -84,8 +85,16 @@ class HistoryChecker:
 
     def check_monotonic_reads(self) -> List[str]:
         """Per client per key, observed written values never regress to an
-        older version, assuming distinct values per write (the workload
-        generator guarantees unique values)."""
+        older version across NON-OVERLAPPING reads, assuming distinct
+        values per write (the workload generator guarantees unique values).
+
+        Only reads ordered in real time constrain each other: a pipelined
+        session keeps several reads of one key in flight at once, and two
+        *concurrent* reads may legitimately linearize in either order — so
+        a read is compared against the newest version observed by reads
+        that COMPLETED before it STARTED.  (Depth-1 clients never overlap
+        their own operations, so for them this is the old check exactly.)
+        """
         violations = []
         write_order: Dict[str, Dict[str, int]] = {}
         for replica_applies in self.applied.values():
@@ -97,7 +106,10 @@ class HistoryChecker:
                         order[value] = len(order)
             break  # one replica's order suffices given prefix agreement
 
-        seen: Dict[Tuple[str, str], int] = {}
+        # Per (client, key): completed reads as (end, running-max rank),
+        # appended in end order so a bisect by start gives the newest
+        # version any real-time-earlier read observed.
+        seen: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
         for event in sorted(self.events, key=lambda e: (e.client, e.end)):
             if event.op is not OpType.GET or event.value is None:
                 continue
@@ -106,12 +118,15 @@ class HistoryChecker:
                 continue
             rank = order[event.value]
             key = (event.client, event.key)
-            if key in seen and rank < seen[key]:
+            history = seen.setdefault(key, [])
+            index = bisect.bisect_right(history, (event.start, float("inf")))
+            if index > 0 and rank < history[index - 1][1]:
                 violations.append(
                     f"client {event.client} read {event.key} going backwards: "
-                    f"rank {rank} after {seen[key]}"
+                    f"rank {rank} after {history[index - 1][1]}"
                 )
-            seen[key] = max(seen.get(key, -1), rank)
+            running = max(rank, history[-1][1] if history else -1)
+            history.append((event.end, running))
         return violations
 
     def check_lease_read_freshness(self) -> List[str]:

@@ -2,7 +2,15 @@
 
 Exactly the paper's workload target: `Put(k, v)` / `Get(k)` over ~100 K
 records.  Commands are applied exactly once per (client, seq) pair so that
-retries and replays during leader changes stay idempotent.
+retries and replays during leader changes stay idempotent.  Pipelined
+sessions keep up to `depth` commands in flight per client, so the
+at-most-once state is a **sliding window** per client (`DedupSession`):
+a window of cached results keyed by seq, plus a low-water mark — stamped
+by the client into every command (`Command.acked_low_water`) — below
+which slots are acked and safe to evict.  Eviction is NOT by distance
+from the newest seq: a dropped reply can leave the oldest in-flight seq
+retrying long after far newer seqs applied, and its slot must survive
+until the client itself acks it (see DESIGN.md §8).
 
 Sharded deployments add two concerns:
 
@@ -10,9 +18,10 @@ Sharded deployments add two concerns:
   safety net behind the router and the replica ownership guard);
 * **range migration** (`MIGRATE_OUT` / `MIGRATE_IN` commands) for live
   resharding: a donor exports a hash range — the records *and* the
-  at-most-once dedup state of clients whose last command touched it — and
-  a recipient imports it, both through the committed log so every replica
-  of a group transitions at the same log position.
+  dedup-window slots whose key lies in the range — and a recipient
+  imports it (slots union, low-water marks join by max), both through the
+  committed log so every replica of a group transitions at the same log
+  position.
 
 Cross-shard transactions (`repro.shard.txn`) add a third: the store is one
 **participant** in two-phase commit, and every 2PC step is itself a
@@ -65,17 +74,97 @@ class ApplyResult:
     conflict: bool = False
 
 
+class DedupSession:
+    """One client's at-most-once window: a sliding set of cached results.
+
+    Pipelined sessions keep up to `depth` commands in flight, and a
+    dropped reply can leave the *oldest* of them retrying long after much
+    newer sequence numbers applied — so eviction cannot be by distance
+    from the newest seq.  Instead the client stamps every command with its
+    **acked low-water mark** (`Command.acked_low_water`): the largest L
+    such that every seq <= L has been acknowledged client-side.  Slots at
+    or below L can never be retried (only stale retransmits of already
+    answered requests can still arrive, and their replies are discarded by
+    request-id matching), so they are safe to evict; everything above L
+    stays cached.  The window therefore holds at most the client's
+    pipeline depth of un-acked slots plus the acked ones the next command
+    has not yet swept.
+
+    `entries` maps seq -> (key, result); the key decides which slots
+    travel with a migrated hash range (None for non-data commands, whose
+    dedup must stay with the group the client talked to).
+    """
+
+    __slots__ = ("low_water", "entries")
+
+    def __init__(self, low_water: int = -1,
+                 entries: Optional[Dict[int, Tuple[Optional[str], ApplyResult]]] = None,
+                 ) -> None:
+        self.low_water = low_water
+        self.entries: Dict[int, Tuple[Optional[str], ApplyResult]] = entries or {}
+
+    def lookup(self, seq: int) -> Optional[ApplyResult]:
+        """The cached duplicate answer for `seq`, or None if it is new.
+        Evicted seqs (<= low_water) were acked: the bare ok marker is
+        enough, the client discards the reply anyway."""
+        if seq <= self.low_water:
+            return ApplyResult(ok=True)
+        entry = self.entries.get(seq)
+        return entry[1] if entry is not None else None
+
+    def record(self, seq: int, key: Optional[str], result: ApplyResult) -> None:
+        self.entries[seq] = (key, result)
+
+    def evict_upto(self, low_water: int) -> None:
+        """Advance the floor (monotonic) and drop the acked slots."""
+        if low_water <= self.low_water:
+            return
+        self.low_water = low_water
+        self.entries = {seq: entry for seq, entry in self.entries.items()
+                        if seq > low_water}
+
+    # -- migration wire format ----------------------------------------------
+
+    def export_payload(self, entries: Dict[int, Tuple[Optional[str], ApplyResult]],
+                       ) -> Dict:
+        return {"low_water": self.low_water,
+                "entries": {seq: [key, result.ok, result.value]
+                            for seq, (key, result) in entries.items()}}
+
+    @staticmethod
+    def from_payload(payload) -> "DedupSession":
+        """Parse an exported session.  Accepts the current windowed format
+        and the legacy single-slot ``[seq, key, ok, value]`` list (treated
+        as a one-entry window with the floor just below it)."""
+        if isinstance(payload, (list, tuple)):
+            seq, key, ok, value = payload
+            return DedupSession(low_water=seq - 1, entries={
+                int(seq): (key, ApplyResult(ok=ok, value=value))})
+        entries = {
+            int(seq): (key, ApplyResult(ok=ok, value=value))
+            for seq, (key, ok, value) in payload.get("entries", {}).items()
+        }
+        return DedupSession(low_water=payload.get("low_water", -1),
+                            entries=entries)
+
+    def merge(self, other: "DedupSession") -> None:
+        """Fold an imported window in: floors join by max (never regress),
+        slots union (existing entries win — duplicates are identical)."""
+        for seq, entry in other.entries.items():
+            self.entries.setdefault(seq, entry)
+        self.evict_upto(other.low_water)
+
+
 class KVStore:
     """Deterministic state machine with at-most-once apply semantics."""
 
     def __init__(self, key_filter: Optional[Callable[[str], bool]] = None) -> None:
         self._table: Dict[str, str] = {}
         self._versions: Dict[str, int] = {}
-        self._last_seq: Dict[str, int] = {}
-        self._last_result: Dict[str, ApplyResult] = {}
-        # The key of each client's last applied data command: decides which
-        # dedup entries travel with a migrated range.
-        self._last_key: Dict[str, str] = {}
+        # At-most-once state, one sliding window per client (see
+        # `DedupSession`): retries of any in-window seq return the cached
+        # result; the client-stamped low-water mark drives eviction.
+        self._sessions: Dict[str, DedupSession] = {}
         self.applied_count = 0
         self.key_filter = key_filter
         self.filtered_count = 0
@@ -119,8 +208,12 @@ class KVStore:
         # to another shard after the original applied still gets its cached
         # result (the ownership check would wrongly fail it and trigger a
         # re-execution on the new owner once the client re-routes).
-        if client and command.seq <= self._last_seq.get(client, -1):
-            return self._last_result.get(client, ApplyResult(ok=True))
+        if client:
+            session = self._sessions.get(client)
+            if session is not None:
+                cached = session.lookup(command.seq)
+                if cached is not None:
+                    return cached
 
         if command.op is OpType.MIGRATE_OUT:
             result = self._apply_migrate_out(command)
@@ -162,12 +255,12 @@ class KVStore:
 
         self.applied_count += 1
         if client:
-            self._last_seq[client] = command.seq
-            self._last_result[client] = result
-            if command.is_data:
-                # Migration commands keep no _last_key: the coordinator's
-                # own dedup state must stay on the group it talked to.
-                self._last_key[client] = command.key
+            session = self._sessions.setdefault(client, DedupSession())
+            # Non-data commands (migration, 2PC steps) record no key: the
+            # coordinator's dedup state stays on the group it talked to.
+            session.record(command.seq,
+                           command.key if command.is_data else None, result)
+            session.evict_upto(command.acked_low_water)
         return result
 
     def _put_local(self, key: str, value: str) -> None:
@@ -305,9 +398,11 @@ class KVStore:
 
     def export_range(self, lo: int, hi: int) -> Dict:
         """Remove and return everything owned in hash range [lo, hi): the
-        records, their versions, and the dedup state of every client whose
-        last applied command touched a key in the range.  Deterministic:
-        replicas applying the same log prefix export identical snapshots."""
+        records, their versions, and every client's dedup-window slots
+        whose key lies in the range (the low-water mark is copied, not
+        moved — both sides keep the floor, which only ever rises).
+        Deterministic: replicas applying the same log prefix export
+        identical snapshots."""
         from repro.shard.partition import key_point  # lazy: kvstore sits below shard
 
         moved = sorted(k for k in self._table if lo <= key_point(k) < hi)
@@ -322,30 +417,31 @@ class KVStore:
             if lo <= key_point(key) < hi:
                 write_log[key] = self._write_log.pop(key)
         sessions = {}
-        for client in sorted(self._last_key):
-            key = self._last_key[client]
-            if lo <= key_point(key) < hi:
-                del self._last_key[client]
-                last = self._last_result.pop(client, ApplyResult(ok=True))
-                sessions[client] = [self._last_seq.pop(client, -1), key,
-                                    last.ok, last.value]
+        for client in sorted(self._sessions):
+            session = self._sessions[client]
+            taken = {seq: entry for seq, entry in session.entries.items()
+                     if entry[0] is not None and lo <= key_point(entry[0]) < hi}
+            if not taken:
+                continue
+            for seq in taken:
+                del session.entries[seq]
+            sessions[client] = session.export_payload(taken)
         return {"table": table, "versions": versions, "sessions": sessions,
                 "write_log": write_log}
 
     def import_range(self, payload: Dict) -> int:
-        """Install an exported range: records, versions, and dedup state
-        (newest seq wins if this store already has an entry)."""
+        """Install an exported range: records, versions, and dedup windows
+        (slots union, floors join by max — an already-present slot or a
+        higher floor never regresses)."""
         self._table.update(payload.get("table", {}))
         self._versions.update(payload.get("versions", {}))
         for key, log in payload.get("write_log", {}).items():
             # The imported history is the key's prefix: writes the importer
             # somehow already has (none, under correct routing) stay after.
             self._write_log[key] = list(log) + self._write_log.get(key, [])
-        for client, (seq, key, ok, value) in payload.get("sessions", {}).items():
-            if seq > self._last_seq.get(client, -1):
-                self._last_seq[client] = seq
-                self._last_result[client] = ApplyResult(ok=ok, value=value)
-                self._last_key[client] = key
+        for client, exported in payload.get("sessions", {}).items():
+            session = self._sessions.setdefault(client, DedupSession())
+            session.merge(DedupSession.from_payload(exported))
         return len(payload.get("table", {}))
 
     def _apply_migrate_out(self, command: Command) -> ApplyResult:

@@ -76,6 +76,29 @@ class MetricsRecorder:
             selected = [r for r in selected if predicate(r)]
         return summarize([r.latency_ms for r in selected])
 
+    def completion_throughput(self, start_us: int, end_us: int) -> float:
+        """Completions per second whose ACK landed in the window, whatever
+        their submission time.  The open-loop achieved-throughput measure:
+        past the saturation knee a request's latency can exceed the
+        steady window, and requiring start AND end inside (like
+        `throughput_ops`) would undercount a server that is in fact
+        completing work at capacity."""
+        span = to_sec(end_us - start_us)
+        if span <= 0:
+            return 0.0
+        return sum(1 for r in self.records
+                   if start_us <= r.end <= end_us) / span
+
+    def completion_latency_summary_ms(self, start_us: int, end_us: int,
+                                      ) -> Dict[str, float]:
+        """Latency summary over completions whose ACK landed in the
+        window, whatever their submission time — pairs with
+        `completion_throughput`: requiring submission inside the window
+        too would exclude precisely the most-delayed (long-queued)
+        requests at saturation and understate the knee."""
+        return summarize([r.latency_ms for r in self.records
+                          if start_us <= r.end <= end_us])
+
     def split_by_site(self, start_us: int, end_us: int, leader_site: str,
                       op: Optional[OpType] = None) -> Dict[str, Dict[str, float]]:
         """The paper's Leader/Followers split for latency figures."""

@@ -47,7 +47,10 @@ class LeaderLeaseReplica(RaftStarReplica):
         return fresh >= self.config.f
 
     def submit_command(self, command: Command) -> None:
-        if command.is_read and self.has_leader_lease():
+        # LINEARIZABLE reads opt out of the lease path and go through
+        # the log (`Command.allows_local_read`).
+        if (command.is_read and command.allows_local_read
+                and self.has_leader_lease()):
             self.local_reads_served += 1
             self.serve_local_read(command)
             return

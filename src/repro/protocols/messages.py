@@ -101,6 +101,10 @@ class TxnRequest:
     ts: int
     ops: List[Tuple[str, str, Optional[str]]]
     epoch: Optional[int] = None
+    # Pipelined sessions: every txn_seq <= this is acknowledged, so the
+    # coordinator may evict those committed-reply cache slots (the txn
+    # counterpart of `Command.acked_low_water`).
+    acked_low_water: int = -1
 
     def size_bytes(self) -> int:
         return HEADER_BYTES + sum(24 + len(k) + (len(v) if v else 0)

@@ -50,7 +50,10 @@ class PaxosPQLReplica(MultiPaxosReplica):
     # -- LocalRead ---------------------------------------------------------
 
     def submit_command(self, command: Command) -> None:
-        if command.is_read and self.leases.has_quorum_lease():
+        # LINEARIZABLE reads opt out of the lease path and go through
+        # the log (`Command.allows_local_read`).
+        if (command.is_read and command.allows_local_read
+                and self.leases.has_quorum_lease()):
             if self._read_ready(command):
                 self.local_reads_served += 1
                 self.serve_local_read(command)

@@ -61,7 +61,10 @@ class RaftStarPQLReplica(RaftStarReplica):
     # -- client path ----------------------------------------------------------
 
     def submit_command(self, command: Command) -> None:
-        if command.is_read and self.leases.has_quorum_lease():
+        # LINEARIZABLE reads opt out of the lease path and go through
+        # the log (`Command.allows_local_read`).
+        if (command.is_read and command.allows_local_read
+                and self.leases.has_quorum_lease()):
             self._try_local_read(command)
             return
         if command.is_read:

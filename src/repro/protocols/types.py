@@ -40,6 +40,26 @@ class OpType(enum.Enum):
     TXN_RECOVER = "txn_recover"
 
 
+class Consistency(enum.Enum):
+    """Per-operation consistency level of the session API.
+
+    DEFAULT       — the serving protocol chooses: lease protocols (PQL,
+                    LL) answer reads from local state under a valid lease,
+                    everything else goes through the committed log.  This
+                    is exactly the pre-session behaviour.
+    LINEARIZABLE  — force the operation through the committed log even on
+                    a protocol that could serve it from a lease.
+    LEASE_LOCAL   — ask for the lease-read path explicitly; on protocols
+                    without lease machinery (Raft, MultiPaxos, Mencius)
+                    this degrades to the log path, which is still
+                    linearizable — just slower.
+    """
+
+    DEFAULT = "default"
+    LINEARIZABLE = "linearizable"
+    LEASE_LOCAL = "lease_local"
+
+
 @dataclass(frozen=True)
 class Command:
     """A client command to the replicated state machine.
@@ -54,10 +74,26 @@ class Command:
     client_id: str = ""
     seq: int = 0
     value_size: int = 8
+    # Pipelined sessions: every sequence number <= acked_low_water has been
+    # acknowledged to the client, so the store may evict those slots from
+    # its at-most-once dedup window.  Rides inside the command (not the
+    # transport envelope) because eviction must be deterministic across a
+    # group's replicas — it happens at apply time, from the log.  -1 means
+    # "no information" (legacy single-slot clients, coordinator commands):
+    # nothing is ever evicted on its account.
+    acked_low_water: int = -1
+    # Per-operation consistency level (reads only; see `Consistency`).
+    consistency: Consistency = Consistency.DEFAULT
 
     @property
     def request_id(self) -> Tuple[str, int]:
         return (self.client_id, self.seq)
+
+    @property
+    def allows_local_read(self) -> bool:
+        """Whether a lease protocol may answer this read from local state
+        (LINEARIZABLE is the explicit opt-out that forces the log)."""
+        return self.consistency is not Consistency.LINEARIZABLE
 
     def wire_size(self) -> int:
         """Approximate bytes on the wire."""

@@ -14,9 +14,10 @@ a first-class scaling knob.  This package is that layer:
 * `cluster` — N replica groups of any registered protocol over one shared
   simulator/network/topology, with per-shard and aggregate stats, plus
   **live resharding** (`ShardedCluster.reshard`, `run_reshard_experiment`);
-* `router` — shard-aware closed-loop clients with capped
-  redirect-on-wrong-shard and epoch-refreshing routing tables, plus
-  `ShardRoutedClient.transact` for atomic multi-key transactions;
+* `router` — shard-aware routing/redirect/transaction policies over the
+  pipelined `workload.Session` (capped redirect-on-wrong-shard,
+  epoch-refreshing routing tables, `ShardRoutedClient.transact` for
+  atomic multi-key transactions, closed- and open-loop drivers);
 * `reshard` — epoch-versioned per-replica ownership and the migration
   coordinator that moves key ranges (and their dedup state) between
   groups through the committed log;

@@ -47,8 +47,11 @@ from repro.sim.events import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import Host
 from repro.sim.rng import SplitRng
+from repro.protocols.types import Consistency
 from repro.sim.topology import HostPlan, Topology, ec2_five_regions
 from repro.sim.units import sec
+from repro.workload.plan import ClientPlan
+from repro.workload.session import RetryPolicy
 from repro.workload.ycsb import WorkloadConfig
 
 
@@ -92,9 +95,30 @@ class ShardedSpec:
     # Implies hosts_per_site=1 when no host layout is given.
     coalesce: bool = False
     coalesce_flush_interval: Optional[int] = None
+    # -- client fleet (see `workload.plan.ClientPlan`) ----------------------
+    # Session pipeline window per client (1 = the legacy closed loop).
+    pipeline_depth: int = 1
+    # Aggregate open-loop arrival rate in ops/s (None = closed loop).
+    offered_load: Optional[float] = None
+    # Per-spec retry/backoff schedule for every client session.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    # Default consistency for the fleet's reads.
+    read_consistency: Consistency = Consistency.DEFAULT
+    # Share sim Hosts among each site's clients (None = private hosts).
+    client_hosts_per_site: Optional[int] = None
 
     def with_(self, **changes) -> "ShardedSpec":
         return replace(self, **changes)
+
+    def client_plan(self) -> ClientPlan:
+        return ClientPlan(
+            per_region=self.clients_per_region,
+            depth=self.pipeline_depth,
+            retry=self.retry,
+            read_consistency=self.read_consistency,
+            offered_load=self.offered_load,
+            hosts_per_site=self.client_hosts_per_site,
+        )
 
     @property
     def effective_hosts_per_site(self) -> Optional[int]:
@@ -194,13 +218,14 @@ class ShardedCluster:
         self._target: Optional[VersionedPartitioner] = None
 
     def _spawn_clients(self):
-        """Build this deployment's client fleet (the transactional cluster
-        overrides this to spawn coordinators + transactional clients)."""
+        """Build this deployment's client fleet through the spec's
+        `ClientPlan` (the transactional cluster overrides this to spawn
+        coordinators + transactional clients over the same plan)."""
         spec = self.spec
         return spawn_sharded_clients(
             self.sim, self.network, self.topology.sites, self.router,
             spec.clients_per_region, spec.workload, self.rng, self.metrics,
-            stop_at=sec(spec.duration_s),
+            stop_at=sec(spec.duration_s), plan=spec.client_plan(),
         )
 
     def _build_group(self, shard: int, leader_site: str,
@@ -436,9 +461,9 @@ def duplicate_execution_count(cluster: ShardedCluster) -> int:
                 acked.setdefault(event.key, set()).add((event.client, event.seq))
     in_flight: Dict[str, int] = {}
     for client in cluster.clients:
-        command = client.in_flight
-        if command is not None and command.op is OpType.PUT:
-            in_flight[command.key] = in_flight.get(command.key, 0) + 1
+        for command in client.pending_commands():
+            if command.op is OpType.PUT:
+                in_flight[command.key] = in_flight.get(command.key, 0) + 1
     duplicates = 0
     for key, acks in acked.items():
         shard = cluster.partitioner.shard_of(key)
@@ -484,7 +509,7 @@ def run_reshard_experiment(spec: ReshardSpec,
     # completion); the check with teeth is `duplicate_executions`, which
     # compares store versions against distinct acknowledged writes and
     # catches a retry re-executing on the new owner.
-    acks_lost = sum(c.seq - c.completed - (1 if c.in_flight is not None else 0)
+    acks_lost = sum(c.seq - c.completed - c.in_flight_count
                     for c in cluster.clients)
     acks_duplicated = (len(metrics.records)
                        - sum(c.completed for c in cluster.clients))

@@ -1,4 +1,4 @@
-"""Shard-aware client routing.
+"""Shard-aware client routing: policies over the pipelined `Session`.
 
 A `ShardRouter` is the client-side routing table: key -> owning shard
 (via the partitioner) and shard -> the server a client in a given site
@@ -9,19 +9,37 @@ request it ships the map (`ShardMap`) along with the redirect, and
 `refresh` rebuilds the whole table — one stale request repairs routing for
 every client sharing the router.
 
-`ShardRoutedClient` extends the closed-loop client with that table.  The
-retry machinery is inherited unchanged — no-leader rejections and dropped
-replies retry the *same* sequence number against the same server, and the
-store's at-most-once semantics keep retries safe.  The new path is
-redirect-on-wrong-shard: a server that does not own the requested key
-rejects with a `shard_hint`, and the client re-sends the in-flight command
-to the hinted group immediately (a routing error, not an unavailable
-group).  Redirects are capped per command: mid-reshard, two groups can
-*disagree* about a boundary key — the donor has exported it, the recipient
-has not yet imported it — and uncapped hint-following would bounce the
-request between them indefinitely.  After `num_shards` consecutive hops
-the client falls back to the generic backoff retry (and counts the event),
-which breaks the ping-pong and succeeds once the migration lands.
+`ShardRoutedClient` is the session with two policies plugged into its
+seams rather than a separate request loop:
+
+* **routing** — `_route` sends each admitted command to the owning
+  group's local replica; a shipped map refreshes the shared table, and a
+  request is re-pointed at the owner under the current table whenever its
+  own rejection falls through to the backoff path (other window slots
+  keep their in-flight target until they are answered — each re-routes
+  off its own reply, but all of them read the one refreshed table);
+* **redirects** — a server that does not own the requested key rejects
+  with a `shard_hint`, and the client re-sends that request (the others
+  in the window are untouched) to the hinted group immediately.
+  Redirects are capped *per request*: mid-reshard, two groups can
+  disagree about a boundary key — the donor has exported it, the
+  recipient has not yet imported it — and uncapped hint-following would
+  bounce the request between them indefinitely.  After `num_shards`
+  consecutive hops the request falls back to the generic backoff retry
+  (and counts the event), which breaks the ping-pong and succeeds once
+  the migration lands.
+
+Retry machinery is inherited unchanged from the session: no-leader
+rejections and dropped replies retry the *same* sequence number against
+the same server, and the store's windowed at-most-once dedup keeps
+retries safe at any pipeline depth.
+
+`transact(ops)` is the transaction policy on the same session: a
+single-shard transaction is one atomic `TXN` command through the owning
+group (sharing the window, the seq namespace, and the dedup path of
+ordinary commands), while cross-shard transactions go to the 2PC
+coordinator under their own (client, txn_seq) namespace — also windowed,
+so transactions pipeline like everything else.
 """
 
 from __future__ import annotations
@@ -40,7 +58,10 @@ from repro.protocols.messages import (
 )
 from repro.protocols.types import Command, OpType
 from repro.shard.partition import HashRangePartitioner, Partitioner, VersionedPartitioner
-from repro.workload.clients import RETRY_TIMEOUT, ClosedLoopClient
+from repro.workload.clients import ClosedLoopClient
+from repro.workload.openloop import PoissonArrivals
+from repro.workload.plan import ClientPlan
+from repro.workload.session import AckFloor, PendingRequest
 from repro.workload.ycsb import WorkloadConfig
 
 # One transaction operation: ("put"|"get", key, value-or-None).
@@ -100,8 +121,21 @@ class ShardRouter:
         return self.server_for(self.shard_of(key), site)
 
 
+class _PendingTxn:
+    """One in-flight cross-shard transaction at the client."""
+
+    __slots__ = ("request", "submitted_at", "attempts", "retry_timer")
+
+    def __init__(self, request: TxnRequest, submitted_at: int,
+                 retry_timer) -> None:
+        self.request = request
+        self.submitted_at = submitted_at
+        self.attempts = 0
+        self.retry_timer = retry_timer
+
+
 class ShardRoutedClient(ClosedLoopClient):
-    """A closed-loop client that routes each request to the owning shard.
+    """A session whose routing/redirect/transaction policies are sharded.
 
     Keys are drawn uniformly from the whole keyspace (plus the workload's
     hot key at the configured conflict rate); the router decides which
@@ -111,116 +145,199 @@ class ShardRoutedClient(ClosedLoopClient):
     def __init__(self, name, sim, network, site, router: ShardRouter,
                  workload: WorkloadConfig, sites, rng, metrics,
                  stop_at: Optional[int] = None,
-                 coordinator: Optional[str] = None) -> None:
+                 coordinator: Optional[str] = None,
+                 **session_kwargs) -> None:
         self.router = router
         self.redirects = 0
         self.capped_redirects = 0
-        self._redirect_hops = 0  # consecutive redirects for the current command
         # -- transactions (`transact`) ----------------------------------
         # Cross-shard transactions go through this coordinator (required
         # only when transact() actually crosses shards); single-shard ones
         # ride the ordinary command path as one atomic TXN command.
         self.coordinator = coordinator
         self.txn_seq = 0
-        self.txn_in_flight: Optional[TxnRequest] = None
+        # txn_seqs start at 1: the vacuous acked floor is 0 (evicts nothing).
+        self._txn_floor = AckFloor()
+        self._txn_pending: Dict[int, _PendingTxn] = {}
         self.txns_issued = 0
         self.txns_committed = 0
         self.single_shard_txns = 0
         self.cross_shard_txns = 0
         # Called with (client, txn_id, ops, reads, start, end) per commit.
         self.on_txn_complete_hooks: List = []
-        # `server` is re-routed per command; seed it with shard 0's replica.
+        # `server` is the fallback target; every command is re-routed.
         super().__init__(name, sim, network, site, router.server_for(0, site),
-                         workload, sites, rng, metrics, stop_at=stop_at)
-        self._txn_timer = self.timer("txn-retry")
+                         workload, sites, rng, metrics, stop_at=stop_at,
+                         **session_kwargs)
         self.on_complete_hooks.append(self._single_txn_complete)
 
     def _redirect_cap(self) -> int:
         return max(2, self.router.num_shards)
 
-    def _pick_command(self) -> Command:
-        self.seq += 1
-        self._redirect_hops = 0
+    # -- workload generation (uniform keys over the whole ring) --------------
+
+    def _pick_op(self):
         is_read = self.rng.random() < self.workload.read_fraction
         if self.rng.random() < self.workload.conflict_rate:
             key = self.workload.hot_key
         else:
             key = self.workload.uniform_key(self.rng)
-        self.server = self.router.route(key, self.site)
         if is_read:
-            return Command(op=OpType.GET, key=key, client_id=self.name,
-                           seq=self.seq, value_size=self.workload.value_size)
-        return Command(
-            op=OpType.PUT, key=key, value=f"{self.name}:{self.seq}",
-            client_id=self.name, seq=self.seq, value_size=self.workload.value_size,
-        )
+            return ("get", key, None)
+        # Unique write values (the checkers anchor on them): derived from
+        # the submission counter, which moves even while ops sit queued.
+        return ("put", key, f"{self.name}:{self.submitted + 1}")
 
-    def _request_message(self) -> ClientRequest:
+    # -- routing policy ------------------------------------------------------
+
+    def _route(self, command: Command) -> str:
+        return self.router.route(command.key, self.site)
+
+    def _request_message(self, pending: PendingRequest) -> ClientRequest:
         # Stamp the request with the routing table's epoch so a server on a
         # newer map knows to ship the map back, not just a shard id.
         epoch = self.router.epoch
-        return ClientRequest(command=self.in_flight,
+        return ClientRequest(command=pending.command,
                              epoch=epoch if epoch is not None else 0)
 
+    def _before_reply(self, message: ClientReply) -> None:
+        if message.shard_map is not None:
+            # A server ahead of us shipped its map: one redirect repairs
+            # the whole table for every client sharing this router.
+            self.router.refresh(message.shard_map)
+
+    def _on_reject(self, pending: PendingRequest,
+                   message: ClientReply) -> bool:
+        handled = self._follow_hint(pending, message)
+        if not handled and pending.command.shard_checked:
+            # Backoff path: point the coming resend at the owner under the
+            # current (possibly just-refreshed) table, not at whatever
+            # server the last hint chain left this request on.
+            pending.server = self.router.route(pending.command.key, self.site)
+        return handled
+
+    def _follow_hint(self, pending: PendingRequest,
+                     message: ClientReply) -> bool:
+        hint = message.shard_hint
+        if hint is None or hint not in self.router.local_replica:
+            # No hint, or a hint outside our table (a server ahead of us
+            # that did not ship a map): fall through to the generic
+            # backoff-retry rather than crashing the client.
+            return False
+        target = self.router.server_for(hint, self.site)
+        if target == pending.server:
+            # A hint pointing back at the group we just asked (its range is
+            # still awaiting import): resending instantly cannot help —
+            # take the backoff path and try again shortly.
+            return False
+        if pending.redirect_hops >= self._redirect_cap():
+            # Ping-pong guard: mid-reshard, two groups can bounce a
+            # boundary key between them.  Stop following hints, fall back
+            # to backoff retry, and start counting hops afresh.
+            self.capped_redirects += 1
+            self.metrics.incr("capped_redirects")
+            pending.redirect_hops = 0
+            return False
+        # Cancel BOTH pending resend paths: a backoff armed by an earlier
+        # hintless rejection would otherwise fire after this redirect and
+        # send a duplicate concurrent request.
+        pending.cancel_timers()
+        pending.redirect_hops += 1
+        self.redirects += 1
+        self.metrics.incr("redirects")
+        pending.server = target
+        self._send(pending)
+        return True
+
     # -- transactions --------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return super().outstanding + len(self._txn_pending)
+
+    @property
+    def txn_acked_floor(self) -> int:
+        return self._txn_floor.floor
+
+    @property
+    def txn_in_flight(self) -> Optional[TxnRequest]:
+        """The oldest un-answered cross-shard transaction (None if no 2PC
+        request is outstanding)."""
+        if not self._txn_pending:
+            return None
+        return self._txn_pending[min(self._txn_pending)].request
+
+    @property
+    def txn_in_flight_count(self) -> int:
+        return len(self._txn_pending)
+
+    @property
+    def txns_outstanding(self) -> int:
+        """Transactions issued but not yet acknowledged: cross-shard 2PC
+        requests plus single-shard TXN commands in the window or queue."""
+        pending_txns = sum(1 for pending in self._pending.values()
+                           if pending.command.op is OpType.TXN)
+        queued_txns = sum(1 for qop in self._submit_queue
+                          if qop.kind == "txn")
+        return len(self._txn_pending) + pending_txns + queued_txns
 
     def transact(self, ops: TxnOps) -> None:
         """Issue `ops` as one atomic multi-key transaction.
 
         Single-shard transactions are sent as one `TXN` command through the
-        owning group — the full epoch/redirect/dedup machinery of ordinary
-        commands applies unchanged.  Cross-shard transactions go to the
-        transaction coordinator, which runs 2PC through the participant
-        groups' logs; the client's retry (same `txn_seq`) is answered from
-        the coordinator's committed-reply cache."""
+        owning group — the full epoch/redirect/dedup/pipelining machinery
+        of ordinary commands applies unchanged.  Cross-shard transactions
+        go to the transaction coordinator, which runs 2PC through the
+        participant groups' logs; the client's retry (same `txn_seq`) is
+        answered from the coordinator's windowed committed-reply cache."""
         ops = [tuple(op) for op in ops]
+        if not ops:
+            return
         self.txns_issued += 1
-        self.sent_at = self.sim.now
         shards = {self.router.shard_of(key) for _, key, _ in ops}
         if len(shards) == 1:
             self.single_shard_txns += 1
-            self.seq += 1
-            self._redirect_hops = 0
             value = json.dumps({"ops": [list(op) for op in ops]},
                                sort_keys=True)
-            self.in_flight = Command(
-                op=OpType.TXN, key=ops[0][1], value=value, client_id=self.name,
-                seq=self.seq, value_size=len(value))
-            self.server = self.router.route(ops[0][1], self.site)
-            self._send_current()
+            self.submit("txn", ops[0][1], value)
             return
         if self.coordinator is None:
             raise RuntimeError(
                 f"{self.name}: cross-shard transaction but no coordinator set")
         self.cross_shard_txns += 1
         self.txn_seq += 1
-        self.txn_in_flight = TxnRequest(
+        request = TxnRequest(
             client=self.name, txn_seq=self.txn_seq, ts=self.sim.now,
-            ops=[list(op) for op in ops], epoch=self.router.epoch)
-        self._send_txn()
+            ops=[list(op) for op in ops], epoch=self.router.epoch,
+            acked_low_water=self.txn_acked_floor)
+        pending = _PendingTxn(request, self.sim.now,
+                              self.timer(f"txn-retry:{self.txn_seq}"))
+        self._txn_pending[self.txn_seq] = pending
+        self._send_txn(pending)
 
-    def _send_txn(self) -> None:
-        if self.txn_in_flight is None:
-            return
-        self.send(self.coordinator, self.txn_in_flight)
-        self._txn_timer.arm(RETRY_TIMEOUT, self._send_txn)
+    def _send_txn(self, pending: _PendingTxn) -> None:
+        pending.attempts += 1
+        self.send(self.coordinator, pending.request)
+        pending.retry_timer.arm(
+            self.retry.retry_delay(pending.attempts - 1, self.rng),
+            lambda: self._send_txn(pending))
 
     def pending_ops(self) -> List[TxnOp]:
-        """The operations of whatever is in flight right now (for end-of-run
+        """The operations of everything in flight right now (for end-of-run
         accounting: these may or may not have executed)."""
-        if self.txn_in_flight is not None:
-            return [tuple(op) for op in self.txn_in_flight.ops]
-        command = self.in_flight
-        if command is None:
-            return []
-        if command.op is OpType.TXN:
-            return [tuple(op) for op in
-                    json.loads(command.value or "{}").get("ops", [])]
-        if command.op is OpType.PUT:
-            return [("put", command.key, command.value)]
-        if command.op is OpType.GET:
-            return [("get", command.key, None)]
-        return []
+        ops: List[TxnOp] = []
+        for txn_seq in sorted(self._txn_pending):
+            ops.extend(tuple(op)
+                       for op in self._txn_pending[txn_seq].request.ops)
+        for command in self.pending_commands():
+            if command.op is OpType.TXN:
+                ops.extend(tuple(op) for op in
+                           json.loads(command.value or "{}").get("ops", []))
+            elif command.op is OpType.PUT:
+                ops.append(("put", command.key, command.value))
+            elif command.op is OpType.GET:
+                ops.append(("get", command.key, None))
+        return ops
 
     def _single_txn_complete(self, command: Command, reply: ClientReply,
                              start: int, end: int) -> None:
@@ -236,70 +353,33 @@ class ShardRoutedClient(ClosedLoopClient):
             hook(self, txn_id, [tuple(op) for op in ops], reads, start, end)
 
     def _on_txn_reply(self, message: TxnReply) -> None:
-        request = self.txn_in_flight
-        if (request is None
-                or (message.client, message.txn_seq)
-                != (request.client, request.txn_seq)):
-            return  # stale reply from an earlier transaction
-        self._txn_timer.cancel()
-        self.txn_in_flight = None
-        start, end = self.sent_at, self.sim.now
+        if message.client != self.name:
+            return
+        pending = self._txn_pending.get(message.txn_seq)
+        if pending is None:
+            return  # stale reply from an already-answered transaction
+        pending.retry_timer.cancel()
+        del self._txn_pending[message.txn_seq]
+        self._txn_floor.ack(message.txn_seq)
+        request = pending.request
+        start, end = pending.submitted_at, self.sim.now
         self.metrics.add(RequestRecord(
             client=self.name, site=self.site, server=message.server,
             op=OpType.TXN, start=start, end=end, ok=True))
         self._finish_txn(f"{request.client}:{request.txn_seq}", request.ops,
                          message.reads, start, end)
-        self._issue_next()
+        self._refill()
 
     def on_message(self, src: str, message) -> None:
         if isinstance(message, TxnReply):
             self._on_txn_reply(message)
             return
-        refreshed = False
-        if isinstance(message, ClientReply) and message.shard_map is not None:
-            # A server ahead of us shipped its map: one redirect repairs
-            # the whole table for every client sharing this router.
-            refreshed = self.router.refresh(message.shard_map)
-        command = self.in_flight
-        if (isinstance(message, ClientReply) and not message.ok
-                and message.shard_hint is not None
-                and message.shard_hint in self.router.local_replica
-                and command is not None
-                and message.request_id == command.request_id):
-            # Wrong shard: the contacted group does not own the key.
-            # (Hints outside our table — a server ahead of us that did not
-            # ship a map — fall through to the generic backoff-retry below
-            # rather than crashing the client.)
-            target = self.router.server_for(message.shard_hint, self.site)
-            if target == self.server:
-                # A hint pointing back at the group we just asked (its
-                # range is still awaiting import): resending instantly
-                # cannot help — take the backoff path and try again shortly.
-                pass
-            elif self._redirect_hops >= self._redirect_cap():
-                # Ping-pong guard: mid-reshard, two groups can bounce a
-                # boundary key between them.  Stop following hints, fall
-                # back to backoff retry, and start counting hops afresh.
-                self.capped_redirects += 1
-                self.metrics.incr("capped_redirects")
-                self._redirect_hops = 0
-            else:
-                # Cancel BOTH pending resend paths: a backoff armed by an
-                # earlier hintless rejection would otherwise fire after
-                # this redirect and send a duplicate concurrent request.
-                self._retry_timer.cancel()
-                self._backoff_timer.cancel()
-                self._redirect_hops += 1
-                self.redirects += 1
-                self.metrics.incr("redirects")
-                self.server = target
-                self._send_current()
-                return
-        if refreshed and self.in_flight is not None:
-            # No redirect taken (backoff or success path): still point the
-            # next (re)send at the owner under the just-learned map.
-            self.server = self.router.route(self.in_flight.key, self.site)
         super().on_message(src, message)
+
+
+class OpenLoopShardRoutedClient(PoissonArrivals, ShardRoutedClient):
+    """A shard-routed session fed by a Poisson arrival clock: same routing,
+    redirect, and transaction policies; open-loop generation."""
 
 
 def checker_hook(checkers):
@@ -327,15 +407,21 @@ def checker_hook(checkers):
 
 def spawn_sharded_clients(sim, network, sites, router: ShardRouter,
                           per_region: int, workload: WorkloadConfig,
-                          rng_root, metrics,
-                          stop_at: Optional[int] = None) -> List[ShardRoutedClient]:
-    """`per_region` shard-routed clients in every site."""
-    clients = []
-    for site in sites:
-        for i in range(per_region):
-            name = f"c_{site}_{i}"
-            clients.append(ShardRoutedClient(
-                name, sim, network, site, router, workload, sites,
-                rng_root.stream(f"client:{name}"), metrics, stop_at=stop_at,
-            ))
-    return clients
+                          rng_root, metrics, stop_at: Optional[int] = None,
+                          plan: Optional[ClientPlan] = None,
+                          ) -> List[ShardRoutedClient]:
+    """Shard-routed clients in every site, spawned through a `ClientPlan`."""
+    if plan is None:
+        plan = ClientPlan(per_region=per_region)
+
+    def make(name, site, rng, host, rate):
+        if rate is not None:
+            return OpenLoopShardRoutedClient(
+                name, sim, network, site, router, workload, sites, rng,
+                metrics, stop_at=stop_at, host=host, rate_per_sec=rate,
+                **plan.session_kwargs())
+        return ShardRoutedClient(
+            name, sim, network, site, router, workload, sites, rng, metrics,
+            stop_at=stop_at, host=host, **plan.session_kwargs())
+
+    return plan.spawn(sim, sites, rng_root, make)

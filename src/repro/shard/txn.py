@@ -118,7 +118,17 @@ class TxnCoordinator(Node):
         self.rng = rng
         self._active: Dict[str, _TxnState] = {}     # txn_id -> state
         self._by_handle: Dict[str, _TxnState] = {}  # handle -> state
-        self._completed: Dict[str, TxnReply] = {}   # committed-reply cache
+        # Committed-reply cache, windowed per client: client -> txn_seq ->
+        # reply.  Retries of any un-acked txn_seq are answered from here;
+        # the client's `TxnRequest.acked_low_water` stamp evicts the acked
+        # slots (the coordinator-side counterpart of the stores' windowed
+        # dedup, so pipelined transactions stay at-most-once too).  The
+        # floor below which slots were evicted is remembered per client:
+        # a delayed retransmit of an acked txn_seq must be DROPPED, not
+        # treated as a fresh transaction (mirrors DedupSession.lookup's
+        # seq <= low_water marker).
+        self._completed: Dict[str, Dict[int, TxnReply]] = {}
+        self._completed_floor: Dict[str, int] = {}
         self._queued: List[Tuple[str, TxnRequest]] = []
         self._recover_pending: Dict[int, Command] = {}
         self._recover_reports: Dict[str, Dict] = {"prepared": {}, "decisions": {}}
@@ -138,6 +148,25 @@ class TxnCoordinator(Node):
         elif isinstance(message, ClientReply):
             self._on_reply(message)
 
+    def _cache_reply(self, txn_id: str, reply: TxnReply) -> None:
+        client, txn_seq = txn_id.rsplit(":", 1)
+        self._completed.setdefault(client, {})[int(txn_seq)] = reply
+
+    def _cached_reply(self, txn_id: str) -> Optional[TxnReply]:
+        client, txn_seq = txn_id.rsplit(":", 1)
+        return self._completed.get(client, {}).get(int(txn_seq))
+
+    def _evict_completed(self, client: str, acked_low_water: int) -> None:
+        if acked_low_water > self._completed_floor.get(client, 0):
+            self._completed_floor[client] = acked_low_water
+        window = self._completed.get(client)
+        if window is None:
+            return
+        for txn_seq in [seq for seq in window if seq <= acked_low_water]:
+            del window[txn_seq]
+        if not window:
+            del self._completed[client]
+
     def _on_request(self, src: str, msg: TxnRequest) -> None:
         txn_id = f"{msg.client}:{msg.txn_seq}"
         if self._recovering:
@@ -146,7 +175,14 @@ class TxnCoordinator(Node):
             # would be the double-execution this design exists to prevent.
             self._queued.append((src, msg))
             return
-        cached = self._completed.get(txn_id)
+        self._evict_completed(msg.client, msg.acked_low_water)
+        if msg.txn_seq <= self._completed_floor.get(msg.client, 0):
+            # An acked txn_seq (its slot was evicted on the client's own
+            # low-water stamp): only a stale retransmit of an answered
+            # request can present it — starting a fresh attempt here would
+            # re-execute a committed transaction.  Drop it.
+            return
+        cached = self._cached_reply(txn_id)
         if cached is not None:
             self.send(src, cached)
             return
@@ -329,7 +365,7 @@ class TxnCoordinator(Node):
             reply = TxnReply(client=client, txn_seq=int(txn_seq), ok=True,
                              committed=True, reads=dict(state.reads),
                              server=self.name)
-            self._completed[state.txn_id] = reply
+            self._cache_reply(state.txn_id, reply)
             if state.client_node is not None:
                 self.send(state.client_node, reply)
             return
@@ -342,7 +378,7 @@ class TxnCoordinator(Node):
 
         def retry() -> None:
             if (state.txn_id not in self._active
-                    and state.txn_id not in self._completed
+                    and self._cached_reply(state.txn_id) is None
                     and not self._recovering):
                 self._start_attempt(state.txn_id, state.client_node, state.ops,
                                     state.ts, retries=state.retries + 1)
@@ -351,10 +387,14 @@ class TxnCoordinator(Node):
     # -- crash / recovery ----------------------------------------------------
 
     def on_crash(self) -> None:
-        # Volatile state is lost; the decision log in the home shards is not.
+        # Volatile state is lost; the decision log in the home shards is
+        # not (recovery re-caches every committed decision, so stale
+        # retransmits of acked transactions still hit the cache even
+        # though the eviction floors are forgotten with it).
         self._active.clear()
         self._by_handle.clear()
         self._completed.clear()
+        self._completed_floor.clear()
         self._queued.clear()
         self._recover_pending.clear()
 
@@ -404,10 +444,10 @@ class TxnCoordinator(Node):
                 # Re-cache the committed reply for client retries whether or
                 # not phase 2 needs finishing.
                 client, txn_seq = record["txn"].rsplit(":", 1)
-                self._completed[record["txn"]] = TxnReply(
+                self._cache_reply(record["txn"], TxnReply(
                     client=client, txn_seq=int(txn_seq), ok=True,
                     committed=True, reads=record.get("reads") or {},
-                    server=self.name)
+                    server=self.name))
             if handle not in prepared:
                 # No participant still holds state for this handle: phase 2
                 # finished before the crash.  Skipping it keeps recovery
@@ -517,18 +557,17 @@ class TxnWorkloadClient(ShardRoutedClient):
     def __init__(self, name, sim, network, site, router, workload, sites,
                  rng, metrics, pools: Dict[int, List[str]], txn_size: int,
                  cross_shard_ratio: float, coordinator: str,
-                 stop_at: Optional[int] = None) -> None:
+                 stop_at: Optional[int] = None, **session_kwargs) -> None:
         self._pools = pools
         self._pool_shards = sorted(pools)
         self.txn_size = max(1, txn_size)
         self.cross_shard_ratio = cross_shard_ratio
         self._value_tag = 0
         super().__init__(name, sim, network, site, router, workload, sites,
-                         rng, metrics, stop_at=stop_at, coordinator=coordinator)
+                         rng, metrics, stop_at=stop_at, coordinator=coordinator,
+                         **session_kwargs)
 
-    def _issue_next(self) -> None:
-        if self.stop_at is not None and self.sim.now >= self.stop_at:
-            return
+    def _issue_one(self) -> None:
         self.transact(self._build_ops())
 
     def _build_ops(self) -> List:
@@ -570,19 +609,27 @@ def spawn_txn_clients(sim, network, sites, router: ShardRouter,
                       per_region: int, workload, rng_root, metrics,
                       pools: Dict[int, List[str]], txn_size: int,
                       cross_shard_ratio: float,
-                      stop_at: Optional[int] = None) -> List[TxnWorkloadClient]:
-    """`per_region` transactional clients per site, each bound to its
-    site-local coordinator (``txnco_<site>``)."""
-    clients = []
-    for site in sites:
-        for i in range(per_region):
-            name = f"c_{site}_{i}"
-            clients.append(TxnWorkloadClient(
-                name, sim, network, site, router, workload, sites,
-                rng_root.stream(f"client:{name}"), metrics, pools=pools,
-                txn_size=txn_size, cross_shard_ratio=cross_shard_ratio,
-                coordinator=f"txnco_{site}", stop_at=stop_at))
-    return clients
+                      stop_at: Optional[int] = None,
+                      plan=None) -> List[TxnWorkloadClient]:
+    """Transactional clients per site, each bound to its site-local
+    coordinator (``txnco_<site>``), spawned through a `ClientPlan`."""
+    from repro.workload.plan import ClientPlan
+
+    if plan is None:
+        plan = ClientPlan(per_region=per_region)
+
+    def make(name, site, rng, host, rate):
+        if rate is not None:
+            raise ValueError("transactional fleets are closed-loop: "
+                             "offered_load is not supported for TxnSpec")
+        return TxnWorkloadClient(
+            name, sim, network, site, router, workload, sites, rng, metrics,
+            pools=pools, txn_size=txn_size,
+            cross_shard_ratio=cross_shard_ratio,
+            coordinator=f"txnco_{site}", stop_at=stop_at, host=host,
+            **plan.session_kwargs())
+
+    return plan.spawn(sim, sites, rng_root, make)
 
 
 class TxnCluster(ShardedCluster):
@@ -620,7 +667,7 @@ class TxnCluster(ShardedCluster):
             spec.clients_per_region, spec.workload, self.rng, self.metrics,
             pools=self._pools, txn_size=spec.txn_size,
             cross_shard_ratio=spec.cross_shard_ratio,
-            stop_at=sec(spec.duration_s))
+            stop_at=sec(spec.duration_s), plan=spec.client_plan())
         for client in clients:
             client.on_txn_complete_hooks.append(record_event)
         return clients
@@ -687,11 +734,8 @@ class TxnCluster(ShardedCluster):
         window_start = sec(spec.warmup_s)
         window_end = sec(spec.duration_s - spec.cooldown_s)
         txn_throughput = self.metrics.throughput_ops(window_start, window_end)
-        acks_lost = sum(
-            c.txns_issued - c.txns_committed
-            - (1 if (c.txn_in_flight is not None or c.in_flight is not None)
-               else 0)
-            for c in self.clients)
+        acks_lost = sum(c.txns_issued - c.txns_committed - c.txns_outstanding
+                        for c in self.clients)
         acks_duplicated = (len(self.metrics.records)
                            - sum(c.txns_committed for c in self.clients))
         violations = check_strict_serializability(self.txn_events,

@@ -15,7 +15,7 @@ observations the paper makes about it:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.sim.units import ms
 
@@ -80,6 +80,26 @@ def ec2_five_regions(jitter_fraction: float = 0.05) -> Topology:
     """The paper's five-region EC2 deployment."""
     one_way = {pair: ms(rtt / 2.0) for pair, rtt in _EC2_RTT_MS.items()}
     return Topology(sites=EC2_REGIONS, one_way_us=one_way, jitter_fraction=jitter_fraction)
+
+
+def ec2_regions(sites: Sequence[str], jitter_fraction: float = 0.05) -> Topology:
+    """A subset of the EC2 regions with the same RTT matrix — e.g. the
+    tight-majority 3-site deployment ``("oregon", "ohio", "canada")`` the
+    pipeline figure runs on."""
+    unknown = set(sites) - set(EC2_REGIONS)
+    if unknown:
+        raise ValueError(f"unknown EC2 region(s): {sorted(unknown)}")
+    chosen = set(sites)
+    one_way = {(a, b): ms(rtt / 2.0) for (a, b), rtt in _EC2_RTT_MS.items()
+               if a in chosen and b in chosen}
+    return Topology(sites=tuple(sites), one_way_us=one_way,
+                    jitter_fraction=jitter_fraction)
+
+
+def ec2_three_regions(jitter_fraction: float = 0.05) -> Topology:
+    """The tightest-majority trio of the paper's testbed (Oregon leads)."""
+    return ec2_regions(("oregon", "ohio", "canada"),
+                       jitter_fraction=jitter_fraction)
 
 
 def uniform_topology(sites: List[str], rtt_ms_value: float, jitter_fraction: float = 0.05) -> Topology:

@@ -1,6 +1,26 @@
-"""YCSB-like workload generation (closed-loop clients)."""
+"""Workload generation: pipelined client sessions and their drivers.
 
-from repro.workload.ycsb import WorkloadConfig
+`Session` is the core (pipeline window, retry policy, consistency levels,
+at-most-once seq namespace); `ClosedLoopClient` and `OpenLoopClient` are
+generation policies over it; `ClientPlan` is the one spawn path every
+layer shares.
+"""
+
+from repro.protocols.types import Consistency
 from repro.workload.clients import ClosedLoopClient, spawn_clients
+from repro.workload.openloop import OpenLoopClient
+from repro.workload.plan import ClientPlan
+from repro.workload.session import RETRY_TIMEOUT, RetryPolicy, Session
+from repro.workload.ycsb import WorkloadConfig
 
-__all__ = ["ClosedLoopClient", "WorkloadConfig", "spawn_clients"]
+__all__ = [
+    "ClientPlan",
+    "ClosedLoopClient",
+    "Consistency",
+    "OpenLoopClient",
+    "RETRY_TIMEOUT",
+    "RetryPolicy",
+    "Session",
+    "WorkloadConfig",
+    "spawn_clients",
+]

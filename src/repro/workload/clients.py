@@ -1,62 +1,57 @@
-"""Closed-loop clients.
+"""Closed-loop clients: a generation policy over `Session`.
 
 Each client targets the replica in its own region (the paper's deployment:
-client and server instances per region) and issues the next request as soon
-as the previous one completes.  Failed requests (no leader yet, dropped
-replies) are retried with the same sequence number; the store's at-most-once
-semantics make retries safe.
+client and server instances per region) and keeps its pipeline window full
+— as soon as fewer than `depth` requests are outstanding it issues the
+next one.  With the default `depth=1` this is exactly the paper's
+closed-loop client: one outstanding request, the next issued on
+completion.  Failed requests (no leader yet, dropped replies) are retried
+with the same sequence number under the session's `RetryPolicy`; the
+store's windowed at-most-once dedup makes retries safe at any depth.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
-from repro.metrics.recorder import MetricsRecorder, RequestRecord
-from repro.protocols.messages import ClientReply, ClientRequest
+from repro.metrics.recorder import MetricsRecorder
 from repro.protocols.types import Command, OpType
-from repro.sim.node import Node, NodeCosts
-from repro.sim.units import ms, sec
+from repro.sim.units import ms
+from repro.workload.plan import ClientPlan
+from repro.workload.session import (  # re-exported: the historical home
+    LEGACY_RETRY,
+    RETRY_TIMEOUT,
+    RetryPolicy,
+    Session,
+)
 from repro.workload.ycsb import WorkloadConfig
 
-RETRY_TIMEOUT = sec(5)
+__all__ = ["ClosedLoopClient", "spawn_clients", "RetryPolicy",
+           "RETRY_TIMEOUT", "LEGACY_RETRY"]
 
 
-class ClosedLoopClient(Node):
-    """A single closed-loop client bound to one server."""
+class ClosedLoopClient(Session):
+    """A session driven closed-loop: the window is kept full of up to
+    `depth` workload-generated requests (depth 1 = the paper's client)."""
 
     def __init__(self, name, sim, network, site, server: str,
-                 workload: WorkloadConfig, sites, rng, metrics: MetricsRecorder,
-                 stop_at: Optional[int] = None) -> None:
-        # Clients are not the measured resource: make their CPU free so the
-        # servers are the only bottleneck.
-        super().__init__(name, sim, network, site=site,
-                         costs=NodeCosts(per_message=0, per_byte=0.0))
-        self.server = server
-        self.workload = workload
-        self.sites = list(sites)
-        self.rng = rng
-        self.metrics = metrics
-        self.stop_at = stop_at
-        self.seq = 0
-        self.in_flight: Optional[Command] = None
-        self.sent_at = 0
-        self._retry_timer = self.timer("retry")
-        # Rejection backoff is a *named* timer: `arm` replaces any pending
-        # resend, so duplicated rejections (a retransmit answered twice, or
-        # a rejection racing the retry timeout) collapse into one resend
-        # instead of multiplying in-flight sends.
-        self._backoff_timer = self.timer("backoff")
-        self.completed = 0
-        # Called with (command, reply, start, end) on every success —
-        # the sharded layer wires history checkers through this.
-        self.on_complete_hooks: List[Callable] = []
+                 workload: WorkloadConfig, sites, rng,
+                 metrics: MetricsRecorder, stop_at: Optional[int] = None,
+                 **session_kwargs) -> None:
+        super().__init__(name, sim, network, site, server, workload, sites,
+                         rng, metrics, stop_at=stop_at, **session_kwargs)
         # Staggered start so clients don't phase-lock.
-        self.after(self.rng.randint(0, ms(10)), self._issue_next)
+        self.after(self.rng.randint(0, ms(10)), self._refill)
 
-    # -- request generation -----------------------------------------------------
+    # -- request generation --------------------------------------------------
 
-    def _pick_command(self) -> Command:
-        self.seq += 1
+    def _pick_op(self):
+        """One workload-distributed operation: ("get"|"put", key, value).
+
+        Write values must be UNIQUE (the history checkers anchor on them)
+        and are derived from the submission counter, not the seq — an
+        open-loop op can sit queued while the seq counter stands still,
+        and seq-derived values would collide across the queue."""
         is_read = self.rng.random() < self.workload.read_fraction
         if self.rng.random() < self.workload.conflict_rate:
             key = self.workload.hot_key
@@ -64,77 +59,44 @@ class ClosedLoopClient(Node):
             partition = self.workload.partition_for(self.site, self.sites)
             key = WorkloadConfig.key_name(self.rng.choice(partition))
         if is_read:
-            return Command(op=OpType.GET, key=key, client_id=self.name,
-                           seq=self.seq, value_size=self.workload.value_size)
-        return Command(
-            op=OpType.PUT, key=key, value=f"{self.name}:{self.seq}",
-            client_id=self.name, seq=self.seq, value_size=self.workload.value_size,
-        )
+            return ("get", key, None)
+        return ("put", key, f"{self.name}:{self.submitted + 1}")
 
-    def _issue_next(self) -> None:
-        if self.stop_at is not None and self.sim.now >= self.stop_at:
-            return
-        self.in_flight = self._pick_command()
-        self.sent_at = self.sim.now
-        self._send_current()
+    def _issue_one(self) -> None:
+        op, key, value = self._pick_op()
+        self.submit(op, key, value)
 
-    def _send_current(self) -> None:
-        if self.in_flight is None:
-            return
-        self.send(self.server, self._request_message())
-        self._retry_timer.arm(RETRY_TIMEOUT, self._retry)
-
-    def _request_message(self) -> ClientRequest:
-        """Hook: sharded clients stamp the request with their map epoch."""
-        return ClientRequest(command=self.in_flight)
-
-    def _retry(self) -> None:
-        if self.in_flight is not None:
-            self._send_current()
-
-    # -- replies -------------------------------------------------------------------
-
-    def on_message(self, src: str, message) -> None:
-        if not isinstance(message, ClientReply):
-            return
-        command = self.in_flight
-        if command is None or message.request_id != command.request_id:
-            return  # stale reply from a retried request
-        self._retry_timer.cancel()
-        if not message.ok:
-            # No leader yet (or leadership changed mid-flight): back off and
-            # retry.  Re-arming the named timer dedupes duplicate rejections.
-            self._backoff_timer.arm(ms(20), self._send_current)
-            return
-        self._backoff_timer.cancel()
-        self.in_flight = None
-        self.completed += 1
-        for hook in self.on_complete_hooks:
-            hook(command, message, self.sent_at, self.sim.now)
-        self.metrics.add(RequestRecord(
-            client=self.name,
-            site=self.site,
-            server=self.server,
-            op=command.op,
-            start=self.sent_at,
-            end=self.sim.now,
-            ok=True,
-            local_read=message.local_read,
-        ))
-        self._issue_next()
+    def _refill(self) -> None:
+        while (not self._generation_stopped()
+               and self.outstanding < self.depth):
+            before = self.outstanding
+            self._issue_one()
+            if self.outstanding <= before:  # driver declined to issue
+                break
 
 
 def spawn_clients(sim, network, sites, server_of_site, per_region: int,
                   workload: WorkloadConfig, rng_root, metrics: MetricsRecorder,
-                  stop_at: Optional[int] = None) -> List[ClosedLoopClient]:
-    """Create `per_region` clients in every site, each bound to its local
-    server (`server_of_site[site]`)."""
-    clients = []
-    for site in sites:
-        for i in range(per_region):
-            name = f"c_{site}_{i}"
-            clients.append(ClosedLoopClient(
+                  stop_at: Optional[int] = None,
+                  plan: Optional[ClientPlan] = None) -> List[ClosedLoopClient]:
+    """Create `plan.per_region` clients in every site, each bound to its
+    local server (`server_of_site[site]`).  The plan decides depth, retry
+    policy, consistency, open/closed loop, and host sharing; the default
+    plan reproduces the legacy closed-loop fleet."""
+    if plan is None:
+        plan = ClientPlan(per_region=per_region)
+
+    def make(name, site, rng, host, rate):
+        if rate is not None:
+            from repro.workload.openloop import OpenLoopClient  # lazy: cycle
+
+            return OpenLoopClient(
                 name, sim, network, site, server_of_site[site], workload,
-                sites, rng_root.stream(f"client:{name}"), metrics, stop_at=stop_at,
-            ))
-    return clients
+                sites, rng, metrics, rate_per_sec=rate, stop_at=stop_at,
+                host=host, **plan.session_kwargs())
+        return ClosedLoopClient(
+            name, sim, network, site, server_of_site[site], workload,
+            sites, rng, metrics, stop_at=stop_at, host=host,
+            **plan.session_kwargs())
+
+    return plan.spawn(sim, sites, rng_root, make)

@@ -1,0 +1,74 @@
+"""Open-loop load: Poisson arrivals at a target rate.
+
+The closed-loop drivers measure *self-clocked* load — each client's next
+request waits for its previous ack, so offered load is a function of the
+client count and the system's own latency, and a saturated server
+silently throttles its own clients.  Real front-end traffic does not slow
+down because the backend did.  The open-loop driver submits on an
+exponential (Poisson-process) clock at `rate_per_sec` regardless of
+completions: requests beyond the pipeline window queue in the session,
+latency is measured from *submission* (queueing delay included), and
+pushing the offered load past the service capacity shows the classic
+latency knee instead of a flat closed-loop point.
+
+`PoissonArrivals` is a driver mixin over any closed-loop client class —
+it replaces the refill-on-completion policy with the arrival clock but
+keeps the host class's workload generation and routing.  Arrivals stop at
+`stop_at` like the closed-loop generators; whatever is still queued keeps
+draining so the final accounting balances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workload.clients import ClosedLoopClient
+
+
+class PoissonArrivals:
+    """Driver mixin: feed the session from a Poisson arrival process.
+
+    Mix in front of a closed-loop client class; `rate_per_sec` is this
+    client's arrival rate.  The host class's `_pick_op` keeps deciding
+    *what* is issued — this mixin only decides *when*.
+    """
+
+    def __init__(self, *args, rate_per_sec: float, **kwargs) -> None:
+        if rate_per_sec <= 0:
+            raise ValueError("rate_per_sec must be positive")
+        self.rate_per_sec = rate_per_sec
+        self.arrivals = 0
+        self._arrival_timer = None
+        super().__init__(*args, **kwargs)
+        self._arrival_timer = self.timer("arrival")
+        self._schedule_arrival()
+
+    def _interarrival_us(self) -> int:
+        return max(1, int(self.rng.expovariate(self.rate_per_sec) * 1e6))
+
+    def _schedule_arrival(self) -> None:
+        if self._generation_stopped():
+            return
+        self._arrival_timer.arm(self._interarrival_us(), self._arrive)
+
+    def _arrive(self) -> None:
+        if not self._generation_stopped():
+            self.arrivals += 1
+            self._issue_one()
+        self._schedule_arrival()
+
+    def _refill(self) -> None:
+        """Completions do NOT generate work — the arrival clock does.
+        (The staggered start-up refill becomes a no-op too; the arrival
+        timer armed in __init__ is the only generator.)"""
+
+
+class OpenLoopClient(PoissonArrivals, ClosedLoopClient):
+    """The unsharded open-loop client: Poisson arrivals, one local server."""
+
+    def __init__(self, name, sim, network, site, server, workload, sites,
+                 rng, metrics, rate_per_sec: float,
+                 stop_at: Optional[int] = None, **session_kwargs) -> None:
+        super().__init__(name, sim, network, site, server, workload, sites,
+                         rng, metrics, stop_at=stop_at,
+                         rate_per_sec=rate_per_sec, **session_kwargs)

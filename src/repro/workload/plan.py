@@ -1,0 +1,90 @@
+"""`ClientPlan`: the one way client fleets are spawned.
+
+Before the session API, every layer had its own copy of the spawn loop
+(`workload.clients.spawn_clients`, `shard.router.spawn_sharded_clients`,
+`shard.txn.spawn_txn_clients`, `ShardedCluster._spawn_clients`) — same
+naming convention, same rng-stream derivation, same per-site iteration,
+duplicated four times.  A `ClientPlan` owns that loop plus the fleet-wide
+session knobs:
+
+* `per_region` clients per site, named ``c_<site>_<i>`` with rng stream
+  ``client:<name>`` (unchanged, so seeds reproduce);
+* pipeline `depth`, `RetryPolicy`, and default read `Consistency` for
+  every session in the fleet;
+* `offered_load` — when set, the fleet is **open-loop**: each client
+  submits on a Poisson clock at ``offered_load / fleet_size`` ops/s
+  instead of on completion;
+* `hosts_per_site` — when set, clients in a site share that many sim
+  `Host`s (machine ``ch<i % n>.<site>``) instead of one private host
+  each: the fleet contends on shared NICs and can be crashed per machine,
+  the ROADMAP's "host-multiplexed clients" item.  Client CPU cost stays
+  zero either way — the servers remain the measured resource.
+
+Layers keep their own client classes; they hand `spawn` a factory
+``make(name, site, rng, host, rate)`` and the plan does the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.protocols.types import Consistency
+from repro.sim.node import Host
+from repro.workload.session import RetryPolicy
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """Fleet-wide client parameters, shared by every spawn path."""
+
+    per_region: int = 10
+    depth: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    read_consistency: Consistency = Consistency.DEFAULT
+    # Aggregate open-loop arrival rate (ops/s) across the whole fleet;
+    # None = closed loop.
+    offered_load: Optional[float] = None
+    # Share `hosts_per_site` sim Hosts among each site's clients
+    # (None = legacy one-private-host-per-client).
+    hosts_per_site: Optional[int] = None
+    name_prefix: str = "c"
+
+    def session_kwargs(self) -> Dict:
+        """The per-session constructor knobs this plan fixes fleet-wide."""
+        return {"depth": self.depth, "retry": self.retry,
+                "read_consistency": self.read_consistency}
+
+    def fleet_size(self, sites) -> int:
+        return self.per_region * len(sites)
+
+    def rate_per_client(self, sites) -> Optional[float]:
+        if self.offered_load is None:
+            return None
+        return self.offered_load / max(1, self.fleet_size(sites))
+
+    def spawn(self, sim, sites, rng_root,
+              make: Callable[..., object]) -> List:
+        """Build the fleet: `make(name, site, rng, host, rate)` per client.
+
+        `host` is None (private host) or the shared machine this client
+        lives on; `rate` is None (closed loop) or the client's Poisson
+        arrival rate in ops/s."""
+        rate = self.rate_per_client(sites)
+        hosts: Dict[str, Host] = {}
+        clients: List = []
+        for site in sites:
+            for i in range(self.per_region):
+                name = f"{self.name_prefix}_{site}_{i}"
+                host = None
+                if self.hosts_per_site is not None:
+                    host_name = f"ch{i % self.hosts_per_site}.{site}"
+                    host = hosts.get(host_name)
+                    if host is None:
+                        host = Host(host_name, sim, site=site)
+                        hosts[host_name] = host
+                clients.append(make(
+                    name=name, site=site,
+                    rng=rng_root.stream(f"client:{name}"),
+                    host=host, rate=rate))
+        return clients

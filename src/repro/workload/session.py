@@ -1,0 +1,401 @@
+"""The client session: pipelined requests over one (client_id, seq) namespace.
+
+A `Session` is the client-side core every workload driver in this repo is a
+thin policy over.  It owns:
+
+* the **sequence namespace** — every operation gets the next seq, and the
+  (client_id, seq) pair is the at-most-once identity the stores dedup on;
+* a **pipeline window** of up to `depth` concurrent in-flight commands.
+  Each in-flight request carries its own retry and rejection-backoff
+  timers, replies complete out of order (matched by request id), and stale
+  replies — retransmits of already-answered requests — are discarded;
+* the **acked low-water mark**: the largest L such that every seq <= L is
+  acknowledged.  Each outgoing command is stamped with it
+  (`Command.acked_low_water`), which is what lets the server's windowed
+  dedup (`kvstore.store.DedupSession`) evict safely;
+* per-operation **consistency levels** (`Consistency`): DEFAULT keeps
+  today's behaviour, LINEARIZABLE forces the log, LEASE_LOCAL rides the
+  lease-read paths where the protocol has them;
+* a **submit queue** for operations arriving while the window is full
+  (open-loop drivers submit on their own clock; latency is measured from
+  submission, so queueing delay — the knee of the latency-vs-offered-load
+  curve — is part of the number).
+
+Drivers plug in at three seams: `_issue_one()` (closed-loop generation),
+`_route(key)` (shard routing), and `_on_reject(...)` (redirect policies).
+`ClosedLoopClient` with `depth=1` reproduces the original closed-loop
+client exactly; `ShardRoutedClient` layers routing and transactions on the
+same machinery.
+
+Retry timing is policy, not constants: `RetryPolicy` gives jittered
+exponential backoff for both the lost-reply resend timeout and the
+rejection backoff, so a whole pipeline window rejected at once (a leader
+election, a draining migration) de-synchronizes instead of hammering in
+lockstep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.metrics.recorder import MetricsRecorder, RequestRecord
+from repro.protocols.messages import ClientReply, ClientRequest
+from repro.protocols.types import Command, Consistency, OpType
+from repro.sim.node import Host, Node, NodeCosts
+from repro.sim.units import ms, sec
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for the two client retry paths.
+
+    `retry_timeout` re-sends a request whose reply never came (loss,
+    crash); `backoff_base` delays the resend after an explicit rejection
+    (no leader yet, draining migration).  Both grow by `multiplier` per
+    consecutive occurrence on the same request, capped (`retry_cap` /
+    `backoff_cap`), and every delay is spread by +/- `jitter` (a fraction)
+    so a rejected pipeline window's retries fan out instead of arriving as
+    one synchronized storm.  The defaults reproduce the legacy constants
+    (5 s timeout, 20 ms backoff) as the *base* of the schedule.
+    """
+
+    retry_timeout: int = sec(5)
+    retry_cap: int = sec(20)
+    backoff_base: int = ms(20)
+    backoff_cap: int = ms(320)
+    multiplier: float = 2.0
+    jitter: float = 0.1
+
+    def _jittered(self, delay: float, rng) -> int:
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(1, int(delay))
+
+    def retry_delay(self, attempt: int, rng) -> int:
+        """Resend timeout before the `attempt`-th retransmit (0-based)."""
+        delay = min(self.retry_timeout * self.multiplier ** attempt,
+                    float(self.retry_cap))
+        return self._jittered(delay, rng)
+
+    def backoff_delay(self, rejections: int, rng) -> int:
+        """Backoff after the `rejections`-th consecutive rejection (1-based)."""
+        delay = min(self.backoff_base * self.multiplier ** max(0, rejections - 1),
+                    float(self.backoff_cap))
+        return self._jittered(delay, rng)
+
+
+#: The legacy resend timeout, kept as the default `RetryPolicy` base.
+RETRY_TIMEOUT = sec(5)
+
+#: A deterministic policy reproducing the pre-session fixed constants
+#: exactly (no growth, no jitter) — regression tests pin against this.
+LEGACY_RETRY = RetryPolicy(multiplier=1.0, jitter=0.0)
+
+
+class AckFloor:
+    """The contiguous-acknowledgement floor of a pipelined namespace:
+    the largest L such that every seq <= L is acked, maintained under
+    out-of-order ack arrivals.  Shared by the session's command seqs and
+    the shard client's txn_seqs — it is the value stamped into outgoing
+    requests to drive the server-side dedup-window eviction."""
+
+    __slots__ = ("floor", "_above")
+
+    def __init__(self, floor: int = 0) -> None:
+        self.floor = floor
+        self._above: set = set()
+
+    def ack(self, seq: int) -> None:
+        self._above.add(seq)
+        while self.floor + 1 in self._above:
+            self.floor += 1
+            self._above.discard(self.floor)
+
+
+class PendingRequest:
+    """One in-flight slot of the pipeline window."""
+
+    __slots__ = ("command", "server", "submitted_at", "attempts",
+                 "rejections", "redirect_hops", "retry_timer", "backoff_timer",
+                 "on_done")
+
+    def __init__(self, command: Command, server: str, submitted_at: int,
+                 retry_timer, backoff_timer, on_done=None) -> None:
+        self.command = command
+        self.server = server
+        self.submitted_at = submitted_at  # entered the session (queue incl.)
+        self.attempts = 0                 # sends so far
+        self.rejections = 0               # consecutive ok=False replies
+        self.redirect_hops = 0            # consecutive shard redirects
+        self.retry_timer = retry_timer
+        self.backoff_timer = backoff_timer
+        self.on_done = on_done
+
+    def cancel_timers(self) -> None:
+        self.retry_timer.cancel()
+        self.backoff_timer.cancel()
+
+
+class _QueuedOp:
+    __slots__ = ("kind", "key", "value", "consistency", "submitted_at",
+                 "value_size", "on_done")
+
+    def __init__(self, kind: str, key: str, value: Optional[str],
+                 consistency: Consistency, submitted_at: int,
+                 value_size: Optional[int], on_done) -> None:
+        self.kind = kind
+        self.key = key
+        self.value = value
+        self.consistency = consistency
+        self.submitted_at = submitted_at
+        self.value_size = value_size
+        self.on_done = on_done
+
+
+_OPS = {"get": OpType.GET, "put": OpType.PUT, "txn": OpType.TXN}
+
+
+class Session(Node):
+    """A pipelined client session bound to (by default) one server.
+
+    Not a workload by itself: call `get`/`put`/`batch` (or let a driver
+    subclass generate operations) and completions arrive via
+    `on_complete_hooks` / per-op `on_done` callbacks.
+    """
+
+    def __init__(self, name, sim, network, site, server: str,
+                 workload, sites, rng, metrics: MetricsRecorder,
+                 stop_at: Optional[int] = None, depth: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 read_consistency: Consistency = Consistency.DEFAULT,
+                 host: Optional[Host] = None) -> None:
+        # Clients are not the measured resource: make their CPU free so the
+        # servers are the only bottleneck.
+        super().__init__(name, sim, network, site=site,
+                         costs=NodeCosts(per_message=0, per_byte=0.0),
+                         host=host)
+        self.server = server
+        self.workload = workload
+        self.sites = list(sites)
+        self.rng = rng
+        self.metrics = metrics
+        self.stop_at = stop_at
+        self.depth = max(1, depth)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.read_consistency = read_consistency
+
+        self.seq = 0                 # last allocated sequence number
+        self.submitted = 0           # operations accepted (window + queue)
+        self.completed = 0
+        # All seqs <= acked_floor are acknowledged.  Seqs start at 1, so
+        # the vacuous floor is 0 (a floor of 0 evicts nothing server-side).
+        self._ack_floor = AckFloor()
+        self._pending: Dict[int, PendingRequest] = {}
+        self._submit_queue: Deque[_QueuedOp] = deque()
+        # Called with (command, reply, start, end) on every success —
+        # the sharded layer wires history checkers through this.
+        self.on_complete_hooks: List[Callable] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def acked_floor(self) -> int:
+        """Largest L with every seq <= L acknowledged (stamped into every
+        outgoing command as `acked_low_water`)."""
+        return self._ack_floor.floor
+
+    @property
+    def in_flight(self) -> Optional[Command]:
+        """The oldest un-answered command (None when the window is empty).
+        With depth 1 this is *the* in-flight command, as before."""
+        if not self._pending:
+            return None
+        return self._pending[min(self._pending)].command
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def queued_count(self) -> int:
+        return len(self._submit_queue)
+
+    @property
+    def outstanding(self) -> int:
+        """Operations submitted but not yet acknowledged (window + queue).
+        Drivers refill against this, so queued work counts as occupancy."""
+        return len(self._pending) + len(self._submit_queue)
+
+    def pending_commands(self) -> List[Command]:
+        return [self._pending[seq].command for seq in sorted(self._pending)]
+
+    @property
+    def window_free(self) -> bool:
+        return len(self._pending) < self.depth
+
+    # -- the session API -----------------------------------------------------
+
+    def get(self, key: str, consistency: Optional[Consistency] = None,
+            value_size: Optional[int] = None, on_done=None) -> None:
+        """Read `key` at the given consistency (session default if None)."""
+        self.submit("get", key, None, consistency=consistency,
+                    value_size=value_size, on_done=on_done)
+
+    def put(self, key: str, value: str, value_size: Optional[int] = None,
+            on_done=None) -> None:
+        """Write `key`; at-most-once under retries by (client_id, seq)."""
+        self.submit("put", key, value, value_size=value_size, on_done=on_done)
+
+    def batch(self, ops, on_done=None) -> None:
+        """Submit many independent operations through the pipeline window.
+
+        `ops` is a sequence of ("get"|"put", key, value) triples.  NOT
+        atomic — each op is its own command and may land on a different
+        shard; the window is what makes the batch fast.  For atomicity use
+        `transact` (a routing/txn policy, e.g. `ShardRoutedClient`)."""
+        for op, key, value in ops:
+            self.submit(op, key, value, on_done=on_done)
+
+    def transact(self, ops) -> None:
+        raise NotImplementedError(
+            "transactions need a routing policy: use ShardRoutedClient "
+            "(single-shard atomic commands + cross-shard 2PC) on top of "
+            "this session")
+
+    def submit(self, kind: str, key: str, value: Optional[str],
+               consistency: Optional[Consistency] = None,
+               value_size: Optional[int] = None, on_done=None) -> None:
+        """Enqueue one operation; it enters the window as soon as a slot is
+        free.  Latency counts from *now* (queueing delay included)."""
+        if consistency is None:
+            consistency = (self.read_consistency if kind == "get"
+                           else Consistency.DEFAULT)
+        self.submitted += 1
+        qop = _QueuedOp(kind, key, value, consistency, self.sim.now,
+                        value_size, on_done)
+        if self.window_free:
+            self._admit(qop)
+        else:
+            self._submit_queue.append(qop)
+
+    # -- window management ---------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def _admit(self, qop: _QueuedOp) -> None:
+        seq = self._next_seq()
+        workload_size = getattr(self.workload, "value_size", 8)
+        if qop.value_size is not None:
+            value_size = qop.value_size
+        elif qop.kind == "txn" and qop.value is not None:
+            value_size = len(qop.value)
+        else:
+            value_size = workload_size
+        command = Command(
+            op=_OPS[qop.kind], key=qop.key, value=qop.value,
+            client_id=self.name, seq=seq, value_size=value_size,
+            acked_low_water=self.acked_floor, consistency=qop.consistency)
+        pending = PendingRequest(
+            command, self._route(command), qop.submitted_at,
+            retry_timer=self.timer(f"retry:{seq}"),
+            backoff_timer=self.timer(f"backoff:{seq}"),
+            on_done=qop.on_done)
+        self._pending[seq] = pending
+        self._send(pending)
+
+    def _route(self, command: Command) -> str:
+        """Routing policy seam: which server serves this command."""
+        return self.server
+
+    def _request_message(self, pending: PendingRequest) -> ClientRequest:
+        """Hook: sharded clients stamp the request with their map epoch."""
+        return ClientRequest(command=pending.command)
+
+    def _send(self, pending: PendingRequest) -> None:
+        pending.attempts += 1
+        self.send(pending.server, self._request_message(pending))
+        pending.retry_timer.arm(
+            self.retry.retry_delay(pending.attempts - 1, self.rng),
+            lambda: self._send(pending))
+
+    # -- replies -------------------------------------------------------------
+
+    def on_message(self, src: str, message) -> None:
+        if not isinstance(message, ClientReply):
+            return
+        self._before_reply(message)
+        client_id, seq = message.request_id
+        pending = self._pending.get(seq) if client_id == self.name else None
+        if pending is None or pending.command.request_id != message.request_id:
+            return  # stale reply from an already-answered request
+        if not message.ok:
+            # The request IS answered (a rejection): the lost-reply resend
+            # must stand down or it would race the backoff and double-send.
+            pending.retry_timer.cancel()
+            if self._on_reject(pending, message):
+                return  # a redirect policy re-sent it
+            # No leader yet (or leadership changed mid-flight): back off and
+            # retry.  Re-arming the named timer dedupes duplicate rejections.
+            pending.rejections += 1
+            pending.backoff_timer.arm(
+                self.retry.backoff_delay(pending.rejections, self.rng),
+                lambda: self._send(pending))
+            return
+        self._complete(pending, message)
+
+    def _before_reply(self, message: ClientReply) -> None:
+        """Hook: runs on every reply before matching (map refreshes)."""
+
+    def _on_reject(self, pending: PendingRequest, message: ClientReply) -> bool:
+        """Hook: redirect policies return True when they re-routed the
+        request themselves (the generic backoff path is skipped)."""
+        return False
+
+    def _complete(self, pending: PendingRequest, message: ClientReply) -> None:
+        command = pending.command
+        pending.cancel_timers()
+        del self._pending[command.seq]
+        self.completed += 1
+        self._ack_floor.ack(command.seq)
+        for hook in self.on_complete_hooks:
+            hook(command, message, pending.submitted_at, self.sim.now)
+        if pending.on_done is not None:
+            pending.on_done(command, message)
+        self.metrics.add(RequestRecord(
+            client=self.name,
+            site=self.site,
+            # The server the request was last sent to (after any shard
+            # redirects) — not the replying leader a relay answered from.
+            server=pending.server,
+            op=command.op,
+            start=pending.submitted_at,
+            end=self.sim.now,
+            ok=True,
+            local_read=message.local_read,
+        ))
+        self._slot_freed()
+
+    def _slot_freed(self) -> None:
+        while self._submit_queue and self.window_free:
+            self._admit(self._submit_queue.popleft())
+        self._refill()
+
+    # -- driver seams --------------------------------------------------------
+
+    def _refill(self) -> None:
+        """Hook: closed-loop drivers issue new work here."""
+
+    def _generation_stopped(self) -> bool:
+        return self.stop_at is not None and self.sim.now >= self.stop_at
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_crash(self) -> None:
+        for pending in self._pending.values():
+            pending.cancel_timers()
+        self._pending.clear()
+        self._submit_queue.clear()

@@ -151,18 +151,34 @@ def test_export_leaves_unrelated_state():
     assert store.version("q") == 1
 
 
-def test_import_keeps_newest_session():
+def test_import_merges_windows_without_regressing():
     recipient = KVStore()
-    recipient.apply(put("k", "new", client="c", seq=9))
-    recipient.export_range(0, HASH_SPACE)  # clear records, keep nothing
     recipient.apply(put("k2", "x", client="c", seq=10))
+    # A legacy single-slot session [seq, key, ok, value] imports as a
+    # one-entry window with the floor just below it.
     stale = {"table": {}, "versions": {},
              "sessions": {"c": [3, "k", True, None]}}
     recipient.import_range(stale)
-    # seq 10 > imported seq 3: the newer entry wins, so an old seq is
-    # still treated as a duplicate and nothing is applied.
-    assert recipient.apply(put("k", "y", client="c", seq=4)).ok
+    # The imported slot answers its own seq from cache...
+    assert recipient.apply(put("k", "y", client="c", seq=3)).ok
     assert recipient.version("k") == 0
+    # ...seqs at or below the imported floor are acked duplicates...
+    assert recipient.apply(put("k", "z", client="c", seq=2)).ok
+    assert recipient.version("k") == 0
+    # ...and the store's own newer slot survived the merge.
+    assert recipient.apply(put("k2", "w", client="c", seq=10)).ok
+    assert recipient.read_local("k2") == "x"
+
+
+def test_import_duplicate_is_idempotent():
+    donor = KVStore()
+    donor.apply(put("k", "v", client="c", seq=7))
+    export = donor.export_range(0, HASH_SPACE)
+    recipient = KVStore()
+    recipient.import_range(export)
+    recipient.import_range(export)  # a retried MIGRATE_IN delivers twice
+    assert recipient.apply(put("k", "v", client="c", seq=7)).ok
+    assert recipient.version("k") == 1  # original not re-executed
 
 
 def test_migrate_commands_through_apply_are_deduplicated():

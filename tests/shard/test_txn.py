@@ -3,6 +3,7 @@ windows that motivate prepare-through-the-log and the logged decision."""
 
 import pytest
 
+from repro.protocols.messages import TxnRequest
 from repro.shard.cluster import ShardedCluster
 from repro.shard.router import ShardRoutedClient
 from repro.shard.txn import TxnCluster, TxnSpec, run_txn_experiment
@@ -301,3 +302,88 @@ def test_nemesis_random_faults_keep_txns_safe(seed):
     assert result.duplicate_executions == 0
     assert result.strict_serializable
     assert all(not v for v in result.prefix_violations.values())
+
+
+# -- windowed committed-reply cache (pipelined sessions) ----------------------
+
+
+def test_coordinator_reply_cache_is_windowed_by_client_acks():
+    """The coordinator's committed-reply cache is the TXN dedup path: it
+    must hold every un-acked txn_seq (a retry is answered from it) and
+    evict slots the client's `acked_low_water` stamp covers — bounded by
+    the pipeline depth instead of growing for the whole run."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0, duration_s=8.0))
+    client = manual_client(cluster)
+    k0, k1 = find_key(cluster, 0), find_key(cluster, 1)
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", k0, "a"), ("put", k1, "b")])
+    cluster.sim.run(until=sec(2))
+    assert client.txns_committed == 1
+    coordinator = next(c for c in cluster.coordinators
+                       if c.name == "txnco_oregon")
+    assert 1 in coordinator._completed.get("c_manual", {})
+
+    # The next transaction carries acked_low_water=1: slot 1 is evicted
+    # on receipt, slot 2 is cached after commit.
+    cluster.sim.schedule_at(sec(2), client.transact,
+                            [("put", k0, "c"), ("put", k1, "d")])
+    cluster.sim.run(until=sec(4))
+    assert client.txns_committed == 2
+    window = coordinator._completed.get("c_manual", {})
+    assert 1 not in window
+    assert 2 in window
+
+
+def test_coordinator_retry_answered_from_windowed_cache():
+    """A duplicate TxnRequest for a committed, un-acked txn_seq is answered
+    from the cache — not re-executed (version counts stay put)."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0, duration_s=8.0))
+    client = manual_client(cluster)
+    k0, k1 = find_key(cluster, 0), find_key(cluster, 1)
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", k0, "a"), ("put", k1, "b")])
+    cluster.sim.run(until=sec(2))
+    assert client.txns_committed == 1
+    assert owner_version(cluster, k0) == 1
+
+    # Replay the request (a lost-reply retransmit still in the network):
+    # same (client, txn_seq), same ops — must hit the cache.
+    replay = TxnRequest(client="c_manual", txn_seq=1, ts=0,
+                        ops=[["put", k0, "a"], ["put", k1, "b"]])
+    cluster.sim.schedule(ms(10), client.send, "txnco_oregon", replay)
+    cluster.sim.run(until=sec(3))
+    assert owner_version(cluster, k0) == 1  # nothing re-executed
+    assert client.txns_committed == 1       # stale reply discarded client-side
+
+
+def test_retransmit_of_evicted_txn_seq_is_dropped_not_reexecuted():
+    """Regression: once the client's acked_low_water stamp evicts a
+    committed reply slot, a delayed retransmit of that txn_seq (reorder
+    on a non-FIFO network, or a retry racing the ack) used to miss the
+    cache and start a FRESH 2PC attempt — re-executing committed writes.
+    The per-client eviction floor drops it instead."""
+    cluster = TxnCluster(txn_spec(clients_per_region=0, duration_s=10.0))
+    client = manual_client(cluster)
+    k0, k1 = find_key(cluster, 0), find_key(cluster, 1)
+    cluster.sim.schedule(ms(10), client.transact,
+                         [("put", k0, "a"), ("put", k1, "b")])
+    cluster.sim.run(until=sec(2))
+    cluster.sim.schedule_at(sec(2), client.transact,
+                            [("put", k0, "c"), ("put", k1, "d")])
+    cluster.sim.run(until=sec(4))
+    assert client.txns_committed == 2
+    coordinator = next(c for c in cluster.coordinators
+                       if c.name == "txnco_oregon")
+    assert 1 not in coordinator._completed.get("c_manual", {})  # evicted
+
+    # The delayed retransmit of evicted txn 1 arrives AFTER the eviction.
+    replay = TxnRequest(client="c_manual", txn_seq=1, ts=0,
+                        ops=[["put", k0, "a"], ["put", k1, "b"]])
+    cluster.sim.schedule(ms(10), client.send, "txnco_oregon", replay)
+    cluster.sim.run(until=sec(6))
+    assert client.txns_committed == 2
+    # txn 1's writes executed exactly once: versions reflect txn1 + txn2
+    assert owner_version(cluster, k0) == 2
+    assert owner_version(cluster, k1) == 2
+    # and no fresh attempt was started for the stale id
+    assert "c_manual:1" not in coordinator._active

@@ -9,7 +9,12 @@ from repro.sim.node import Node, NodeCosts
 from repro.sim.rng import SplitRng
 from repro.sim.topology import symmetric_lan
 from repro.sim.units import ms, sec
-from repro.workload.clients import ClosedLoopClient, spawn_clients
+from repro.workload.clients import (
+    LEGACY_RETRY,
+    ClosedLoopClient,
+    RetryPolicy,
+    spawn_clients,
+)
 from repro.workload.ycsb import WorkloadConfig
 
 
@@ -47,7 +52,8 @@ class InstantServer(Node):
             self.send(src, reply)
 
 
-def build(fail_first=0, read_fraction=0.5, **server_kwargs):
+def build(fail_first=0, read_fraction=0.5, retry=None, depth=1,
+          **server_kwargs):
     sim = Simulator()
     net = Network(sim, symmetric_lan(2, rtt_ms_value=1.0), rng=SplitRng(2),
                   config=NetworkConfig())
@@ -56,7 +62,8 @@ def build(fail_first=0, read_fraction=0.5, **server_kwargs):
     client = ClosedLoopClient(
         "c0", sim, net, "s0", "s0",
         WorkloadConfig(read_fraction=read_fraction, conflict_rate=0.0, records=10),
-        ["s0", "s1"], SplitRng(3).stream("c"), metrics)
+        ["s0", "s1"], SplitRng(3).stream("c"), metrics,
+        retry=retry, depth=depth)
     return sim, server, client, metrics
 
 
@@ -99,9 +106,11 @@ def test_duplicate_rejections_collapse_into_one_resend():
     """Regression: every matching ok=False reply used to schedule another
     *anonymous* backoff callback, so a rejection delivered twice (a
     retransmit answered twice, or a rejection racing the 5 s retry timer)
-    permanently doubled the in-flight sends.  The named backoff timer
-    (`arm` replaces) collapses duplicates into one pending resend."""
-    sim, server, client, metrics = build(drop_first=10**9)  # server stays mute
+    permanently doubled the in-flight sends.  The per-request backoff
+    timer (`arm` replaces) collapses duplicates into one pending resend.
+    (LEGACY_RETRY pins the fixed 20 ms schedule the counts assume.)"""
+    sim, server, client, metrics = build(drop_first=10**9,  # server stays mute
+                                         retry=LEGACY_RETRY)
     sim.run(until=ms(20))
     assert server.seen == 1
     request_id = client.in_flight.request_id
@@ -118,8 +127,10 @@ def test_duplicate_rejections_collapse_into_one_resend():
 def test_many_duplicate_rejections_still_one_resend_per_round():
     """The multiplied-rejection storm: every rejection answered twice for
     many rounds must still produce one resend per ~20 ms backoff round,
-    not an exponentially growing herd."""
-    sim, server, client, metrics = build(fail_first=8, duplicate_replies=True)
+    not an exponentially growing herd.  (LEGACY_RETRY pins the fixed
+    20 ms backoff rounds the send counts assume.)"""
+    sim, server, client, metrics = build(fail_first=8, duplicate_replies=True,
+                                         retry=LEGACY_RETRY)
     sim.run(until=ms(400))
     assert client.completed >= 1
     first_id = server.request_log[0]

@@ -1,0 +1,97 @@
+"""`ClientPlan`: the unified spawn path (naming, rng streams, host sharing,
+open-loop rate split)."""
+
+import pytest
+
+from repro.metrics.recorder import MetricsRecorder
+from repro.protocols.types import Consistency
+from repro.sim.events import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import SplitRng
+from repro.sim.topology import symmetric_lan
+from repro.sim.units import ms, sec
+from repro.workload.clients import spawn_clients
+from repro.workload.plan import ClientPlan
+from repro.workload.session import RetryPolicy
+from repro.workload.ycsb import WorkloadConfig
+
+from tests.workload.test_session import WindowServer
+
+WORKLOAD = WorkloadConfig(read_fraction=0.5, conflict_rate=0.0, records=10)
+
+
+def build_net(sites=2):
+    sim = Simulator()
+    net = Network(sim, symmetric_lan(sites, rtt_ms_value=1.0),
+                  rng=SplitRng(2), config=NetworkConfig())
+    return sim, net
+
+
+def spawn(plan, sites=("s0", "s1"), stop_at=None):
+    sim, net = build_net(len(sites))
+    servers = {site: WindowServer(f"srv_{site}", sim, net, site=site)
+               for site in sites}
+    metrics = MetricsRecorder()
+    clients = spawn_clients(
+        sim, net, list(sites), {s: f"srv_{s}" for s in sites},
+        per_region=plan.per_region, workload=WORKLOAD, rng_root=SplitRng(1),
+        metrics=metrics, stop_at=stop_at, plan=plan)
+    return sim, servers, clients, metrics
+
+
+def test_plan_reproduces_legacy_fleet():
+    sim, servers, clients, metrics = spawn(ClientPlan(per_region=3))
+    assert len(clients) == 6
+    assert [c.name for c in clients][:3] == ["c_s0_0", "c_s0_1", "c_s0_2"]
+    assert {c.site for c in clients} == {"s0", "s1"}
+    # legacy layout: one private host per client
+    assert len({id(c.host) for c in clients}) == 6
+    sim.run(until=ms(100))
+    assert all(c.completed > 0 for c in clients)
+
+
+def test_plan_threads_session_knobs():
+    retry = RetryPolicy(jitter=0.0)
+    plan = ClientPlan(per_region=1, depth=5, retry=retry,
+                      read_consistency=Consistency.LINEARIZABLE)
+    sim, servers, clients, metrics = spawn(plan)
+    for client in clients:
+        assert client.depth == 5
+        assert client.retry is retry
+        assert client.read_consistency is Consistency.LINEARIZABLE
+
+
+def test_plan_shares_client_hosts_per_site():
+    plan = ClientPlan(per_region=4, hosts_per_site=2)
+    sim, servers, clients, metrics = spawn(plan)
+    by_site = {}
+    for client in clients:
+        by_site.setdefault(client.site, set()).add(client.host.name)
+    # 4 clients per site share exactly 2 machines, named per convention
+    assert by_site["s0"] == {"ch0.s0", "ch1.s0"}
+    assert by_site["s1"] == {"ch0.s1", "ch1.s1"}
+    host = next(c.host for c in clients if c.host.name == "ch0.s0")
+    assert len(host.nodes) == 2
+    sim.run(until=ms(100))
+    assert all(c.completed > 0 for c in clients)
+
+
+def test_shared_client_host_crashes_as_one_machine():
+    plan = ClientPlan(per_region=4, hosts_per_site=2)
+    sim, servers, clients, metrics = spawn(plan)
+    sim.run(until=ms(20))
+    victim = next(c.host for c in clients if c.host.name == "ch0.s0")
+    victim.crash()
+    cohabitants = [c for c in clients if c.host is victim]
+    assert len(cohabitants) == 2
+    assert all(not c.alive for c in cohabitants)
+    assert all(c.alive for c in clients if c.host is not victim)
+
+
+def test_plan_open_loop_splits_offered_load():
+    plan = ClientPlan(per_region=2, offered_load=400.0)
+    assert plan.rate_per_client(["s0", "s1"]) == pytest.approx(100.0)
+    sim, servers, clients, metrics = spawn(plan, stop_at=sec(1))
+    sim.run(until=sec(1))
+    arrivals = sum(c.arrivals for c in clients)
+    assert 280 <= arrivals <= 560  # ~400 expected over 1 s

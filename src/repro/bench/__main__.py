@@ -7,6 +7,8 @@
     python -m repro.bench reshard --reshard-at 4.0 --reshard-to 8
     python -m repro.bench txn --txn-shards 1 2 4 --cross-ratio 0 0.5
     python -m repro.bench coalesce --coalesce both --coalesce-shards 4 8
+    python -m repro.bench tail --scale 0.2 --metrics-out out.jsonl
+    python -m repro.bench pipeline --obs
 
 Installed via setup.py this is also the `repro-bench` console script.
 """
@@ -33,6 +35,7 @@ FIGURES = {
     "fig10c": lambda scale, seed: ex.fig10c_latency_8b(scale, seed).render(),
     "fig10d": lambda scale, seed: ex.fig10d_latency_4kb(scale, seed).render(),
     "pipeline": lambda scale, seed: ex.pipeline_figures(scale, seed),
+    "tail": lambda scale, seed: ex.tail_figure(scale, seed),
     "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
     "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
     "txn": lambda scale, seed: ex.txn_figures(scale, seed),
@@ -60,6 +63,20 @@ def main(argv=None) -> int:
                              "the pipeline figure's latency-vs-load curve "
                              "(default: 200 400 800 1600; NOT scaled by "
                              "--scale — the knee is the point)")
+    parser.add_argument("--obs", action="store_true",
+                        help="collect observability (request spans, queue "
+                             "gauges, sim profile) on figures that support "
+                             "it — currently the pipeline open-loop curve; "
+                             "the tail figure always collects")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="tail figure: also dump the run's raw "
+                             "telemetry (records/spans/gauges/profile) as "
+                             "JSONL to FILE")
+    parser.add_argument("--tail-load", type=float, default=1600.0,
+                        metavar="R",
+                        help="tail figure: offered open-loop load in ops/s "
+                             "(default: 1600 — past the Raft knee, so "
+                             "queueing dominates the tail)")
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8],
                         metavar="N",
                         help="shard counts for the sharding figure "
@@ -105,6 +122,8 @@ def main(argv=None) -> int:
         parser.error("--txn-shards values must be >= 1")
     if any(not 0.0 <= ratio <= 1.0 for ratio in args.cross_ratio):
         parser.error("--cross-ratio values must be in [0, 1]")
+    if args.tail_load <= 0:
+        parser.error("--tail-load must be positive")
     if any(count < 1 for count in args.coalesce_shards):
         parser.error("--coalesce-shards values must be >= 1")
 
@@ -115,7 +134,10 @@ def main(argv=None) -> int:
     figures = dict(FIGURES)
     figures["pipeline"] = lambda scale, seed: ex.pipeline_figures(
         scale, seed, depths=tuple(args.pipeline_depth),
-        loads=tuple(args.offered_load))
+        loads=tuple(args.offered_load), obs=args.obs)
+    figures["tail"] = lambda scale, seed: ex.tail_figure(
+        scale, seed, offered_load=args.tail_load,
+        metrics_out=args.metrics_out)
     figures["sharding"] = lambda scale, seed: ex.sharding_scaling(
         scale, seed, shard_counts=tuple(args.shards),
         placements=placements).render()

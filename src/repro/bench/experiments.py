@@ -17,7 +17,8 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import ExperimentSpec, run_experiment
-from repro.bench.report import FigureTable
+from repro.bench.report import FigureTable, render_timelines
+from repro.obs import PHASE_LABELS, tail_budget
 from repro.protocols.types import Consistency
 from repro.shard.cluster import (
     ReshardResult,
@@ -336,34 +337,41 @@ def pipeline_open_loop(scale: float = 1.0, seed: int = 1,
                        depth: int = 8,
                        protocols: Tuple[Tuple[str, str], ...] = (
                            ("Raft", "raft"), ("MultiPaxos", "multipaxos")),
-                       ) -> FigureTable:
+                       obs: bool = False) -> FigureTable:
     """The latency-vs-offered-load curve: Poisson arrivals at a target
     aggregate rate, latency measured from submission (queueing included).
     Offered loads are NOT scaled by `scale` — service capacity does not
-    scale either, and the knee is the point of the figure."""
+    scale either, and the knee is the point of the figure.  With `obs` the
+    runs collect request spans and each protocol's highest-load p99 request
+    gets a one-line latency budget in the notes (see the `tail` figure for
+    the full breakdown)."""
     table = FigureTable(
         figure="Pipeline-openloop",
         title=f"Open-loop latency vs offered load (depth-{depth} sessions, "
               "3 sites, 50% reads; latency from submission)",
         columns=["offered ops/s",
                  *[f"{label} {col}" for label, _ in protocols
-                   for col in ("ops/s", "mean ms", "p99 ms")],
+                   for col in ("ops/s", "mean ms", "p99 ms", "p999 ms")],
                  "linearizable"],
     )
     curves: Dict[str, List[Tuple[float, float, float]]] = {}
+    budgets: Dict[str, Dict[str, Dict[str, object]]] = {}
     for load in loads:
         cells: List[float] = []
         clean = True
         for label, protocol in protocols:
             result = run_experiment(pipeline_spec(
                 scale, seed, protocol, depth, offered_load=float(load),
-                clients_per_region=4))
+                clients_per_region=4).with_(obs=obs))
             achieved = result.completion_throughput_ops
             mean_ms = result.overall_latency["mean"]
             p99_ms = result.overall_latency["p99"]
-            cells.extend([achieved, mean_ms, p99_ms])
+            p999_ms = result.overall_latency["p999"]
+            cells.extend([achieved, mean_ms, p99_ms, p999_ms])
             curves.setdefault(label, []).append((load, achieved, mean_ms))
             clean = clean and not result.violations
+            if result.obs is not None:
+                budgets[label] = result.obs.tail_budget(pcts=(99.0,))
         table.add_row(f"{load:g}", *cells, "yes" if clean else "NO")
     for label, points in curves.items():
         sat = max(points, key=lambda p: p[1])
@@ -375,16 +383,145 @@ def pipeline_open_loop(scale: float = 1.0, seed: int = 1,
     table.notes.append("open-loop arrivals do not slow down with the "
                        "server: offered > capacity shows up as queueing "
                        "delay, the knee closed-loop figures cannot show")
+    for label, report in budgets.items():
+        entry = report.get("p99")
+        if not entry:
+            continue
+        bucket, us = max(entry["budget_us"].items(), key=lambda kv: kv[1])
+        table.notes.append(
+            f"{label} p99 budget at {loads[-1]:g} offered (--obs): "
+            f"{bucket} {us / 1000:.0f} ms of "
+            f"{entry['latency_us'] / 1000:.0f} ms — run the `tail` figure "
+            f"for the phase-by-phase breakdown")
     return table
 
 
 def pipeline_figures(scale: float = 1.0, seed: int = 1,
                      depths: Tuple[int, ...] = (1, 2, 4, 8),
-                     loads: Tuple[float, ...] = (200, 400, 800, 1600)) -> str:
+                     loads: Tuple[float, ...] = (200, 400, 800, 1600),
+                     obs: bool = False) -> str:
     """The full `pipeline` CLI figure: depth sweep + open-loop curve."""
     return (pipeline_depth_sweep(scale, seed, depths=depths).render()
             + "\n\n"
-            + pipeline_open_loop(scale, seed, loads=loads).render())
+            + pipeline_open_loop(scale, seed, loads=loads, obs=obs).render())
+
+
+# ---------------------------------------------------------------------------
+# Tail: where does the tail live?  One open-loop run past the saturation
+# knee with full observability on (repro.obs) — the latency budget the
+# open-loop curve's p99 column cannot show.
+# ---------------------------------------------------------------------------
+
+#: Gauge families shown under the tail figure, headline (peak) series each.
+_TAIL_GAUGE_FAMILIES: Tuple[str, ...] = (
+    "session_submit_queue", "session_in_flight", "cpu_backlog_us",
+    "nic_backlog_us", "mux_buffered", "commit_lag", "lock_table",
+)
+
+
+def _headline_gauges(gauges: Dict[str, List[Tuple[int, float]]],
+                     families: Tuple[str, ...] = _TAIL_GAUGE_FAMILIES,
+                     ) -> List[str]:
+    """Pick the peak series of each gauge family (a family covers all
+    per-host/per-replica series, e.g. `cpu_backlog_us.*`)."""
+    picked: List[str] = []
+    for family in families:
+        candidates = [name for name in gauges
+                      if name == family or name.startswith(f"{family}.")]
+        if not candidates:
+            continue
+        picked.append(max(candidates, key=lambda name: max(
+            (value for _, value in gauges[name]), default=0.0)))
+    return picked
+
+
+def tail_figure(scale: float = 1.0, seed: int = 1,
+                offered_load: float = 1600.0, depth: int = 8,
+                protocol: str = "raft",
+                metrics_out: Optional[str] = None) -> str:
+    """The `tail` CLI figure: one open-loop run past the knee with spans,
+    gauges and the sim profiler all on.  Reports the exemplar request at
+    p50/p99/p999 of the end-to-end latency distribution broken down phase
+    by phase (the phases sum to the latency exactly — interval
+    attribution), the queue gauges the waiting happened in, and the
+    profiler's ranked wall-clock report.  `metrics_out` additionally dumps
+    the raw telemetry (records/spans/gauges/profile) as JSONL."""
+    spec = pipeline_spec(scale, seed, protocol, depth,
+                         offered_load=float(offered_load),
+                         clients_per_region=4).with_(obs=True)
+    result = run_experiment(spec)
+    obs = result.obs
+    recon = obs.reconstruct()
+    spans = recon.spans()
+    budget = tail_budget(spans)
+    if not budget:
+        message = (f"Tail: no complete spans reconstructed "
+                   f"({len(recon.incomplete())} in flight at run end) — "
+                   f"run longer (--scale) or raise the span ring capacity")
+        if metrics_out:
+            lines = obs.dump(metrics_out, meta={"figure": "tail"})
+            message += f"\ntelemetry: {lines} JSONL lines -> {metrics_out}"
+        return message
+    pct_names = list(budget)
+    table = FigureTable(
+        figure="Tail",
+        title=f"Phase-by-phase latency budget (ms), {protocol} at "
+              f"{offered_load:g} offered ops/s past the knee, "
+              f"depth-{depth} sessions, 3 sites",
+        columns=["phase", *pct_names, "the interval covers"],
+    )
+    seen = set()
+    for entry in budget.values():
+        seen.update(entry["phases_us"])
+    for phase in PHASE_LABELS:
+        if phase not in seen:
+            continue
+        cells = [
+            ("-" if phase not in budget[p]["phases_us"]
+             else f"{budget[p]['phases_us'][phase] / 1000:.1f}")
+            for p in pct_names
+        ]
+        table.add_row(phase, *cells, PHASE_LABELS[phase])
+    table.add_row(
+        "end-to-end",
+        *[f"{budget[p]['latency_us'] / 1000:.1f}" for p in pct_names],
+        "the phases above sum to this (interval attribution)")
+    for p in pct_names:
+        entry = budget[p]
+        phase_sum = sum(entry["phases_us"].values())
+        drift = (abs(phase_sum - entry["latency_us"])
+                 / max(entry["latency_us"], 1))
+        bucket, us = max(entry["budget_us"].items(), key=lambda kv: kv[1])
+        table.notes.append(
+            f"{p} exemplar {entry['trace']} "
+            f"({entry['attempts']} attempt(s)): {bucket} dominates with "
+            f"{us / 1000:.1f} of {entry['latency_us'] / 1000:.1f} ms "
+            f"({us / max(entry['latency_us'], 1) * 100:.0f}%); "
+            f"phase-sum drift {drift * 100:.2f}%")
+    table.notes.append(
+        f"{len(spans)} complete spans "
+        f"({len(recon.incomplete())} still in flight at run end, "
+        f"{obs.span_log.dropped} phase records ring-evicted); achieved "
+        f"{result.completion_throughput_ops:.0f} ops/s, measured latency "
+        f"mean {result.overall_latency['mean']:.0f} / "
+        f"p99 {result.overall_latency['p99']:.0f} / "
+        f"p999 {result.overall_latency['p999']:.0f} ms")
+    parts = [table.render()]
+    headline = _headline_gauges(obs.metrics.gauges)
+    if headline:
+        parts.append("queue gauges (bucket maxima over the run; one line "
+                     "per family's peak series):\n"
+                     + render_timelines(obs.metrics.gauges, names=headline))
+    if obs.profiler is not None:
+        parts.append(obs.profiler.render())
+    if metrics_out:
+        lines = obs.dump(metrics_out, meta={
+            "figure": "tail", "protocol": protocol, "scale": scale,
+            "seed": seed, "offered_load": offered_load, "depth": depth,
+            "achieved_ops": result.completion_throughput_ops,
+        })
+        parts.append(f"telemetry: {lines} JSONL lines -> {metrics_out}")
+    return "\n\n".join(parts)
 
 
 # ---------------------------------------------------------------------------

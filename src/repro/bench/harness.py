@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.kvstore.checker import HistoryChecker, HistoryEvent
 from repro.metrics.recorder import MetricsRecorder
+from repro.obs import Observability, ObsConfig, install_standard_gauges
 from repro.protocols.config import ClusterConfig, geo_cluster
 from repro.protocols.leaderlease import LeaderLeaseReplica
 from repro.protocols.mencius import (
@@ -85,6 +86,11 @@ class ExperimentSpec:
     read_consistency: Consistency = Consistency.DEFAULT
     # Share sim Hosts among each site's clients (None = private hosts).
     client_hosts_per_site: Optional[int] = None
+    # Observability (repro.obs): collect request-lifecycle spans, queue
+    # gauges, and a sim profile for this run.  Off by default — when off,
+    # the only cost is one branch per instrumented point.
+    obs: bool = False
+    obs_config: Optional[ObsConfig] = None
 
     def with_(self, **changes) -> "ExperimentSpec":
         return replace(self, **changes)
@@ -117,6 +123,9 @@ class ExperimentResult:
     # Acks landing in the window per second, whatever their submission
     # time — the saturated-open-loop throughput measure.
     completion_throughput_ops: float = 0.0
+    # The run's telemetry collector when the spec asked for it (spans,
+    # gauges, profiler); None for plain runs.
+    obs: Optional[Observability] = None
 
     def latency_ms(self, group: str, op: str, pct: str = "p90") -> float:
         table = self.read_latency if op == "read" else self.write_latency
@@ -163,6 +172,16 @@ class Cluster:
             for client in self.clients:
                 client.on_complete_hooks.append(self._record_event)
 
+        self.obs: Optional[Observability] = None
+        if spec.obs:
+            self.obs = Observability(self.sim, self.metrics, spec.obs_config)
+            self.obs.install(self.replicas.values())
+            self.obs.install(self.clients)
+            install_standard_gauges(
+                self.obs.sampler, replicas=self.replicas.values(),
+                clients=self.clients, network=self.network)
+            self.obs.sampler.start(stop_at=stop_at)
+
     def _record_event(self, command, reply, start, end) -> None:
         value = command.value if command.op is OpType.PUT else reply.value
         self.checker.record_event(HistoryEvent(
@@ -199,6 +218,7 @@ class Cluster:
                 window_start, window_end),
             completion_throughput_ops=self.metrics.completion_throughput(
                 window_start, window_end),
+            obs=self.obs,
         )
 
 

@@ -55,3 +55,49 @@ def _fmt(value: Any) -> str:
 
 def render_all(tables: Sequence[FigureTable]) -> str:
     return "\n\n".join(table.render() for table in tables)
+
+
+# ---------------------------------------------------------------------------
+# Gauge timelines: one text line per time series (repro.obs.GaugeSampler
+# output), bucketed maxima mapped onto a density ramp.
+# ---------------------------------------------------------------------------
+
+GAUGE_RAMP = " .:-=+*#%@"
+
+
+def render_timeline(name: str, samples: Sequence[Any],
+                    buckets: int = 48, label_width: int = 30) -> str:
+    """One gauge series as `name |...:==##| peak V` — each cell is the
+    bucket's maximum scaled against the series peak."""
+    label = name.ljust(label_width)
+    if not samples:
+        return f"{label} |{' ' * buckets}| (no samples)"
+    t0, t1 = samples[0][0], samples[-1][0]
+    span = max(t1 - t0, 1)
+    peak = max(value for _, value in samples)
+    cells = [0.0] * buckets
+    for t, value in samples:
+        index = min(buckets - 1, (t - t0) * buckets // span)
+        cells[index] = max(cells[index], value)
+    chars = "".join(_ramp_char(value, peak) for value in cells)
+    return (f"{label} |{chars}| peak {peak:g} "
+            f"({t0 / 1e6:.1f}s..{t1 / 1e6:.1f}s)")
+
+
+def _ramp_char(value: float, peak: float) -> str:
+    if peak <= 0 or value <= 0:
+        return GAUGE_RAMP[0]
+    index = 1 + int((value / peak) * (len(GAUGE_RAMP) - 2))
+    return GAUGE_RAMP[min(index, len(GAUGE_RAMP) - 1)]
+
+
+def render_timelines(gauges: Dict[str, Sequence[Any]],
+                     names: Optional[Sequence[str]] = None,
+                     buckets: int = 48) -> str:
+    """Render several gauge series stacked (same bucket count, so the
+    timelines line up).  `names` selects and orders; default is sorted."""
+    selected = list(names) if names is not None else sorted(gauges)
+    width = max((len(name) for name in selected), default=0)
+    return "\n".join(render_timeline(name, gauges.get(name, ()),
+                                     buckets=buckets, label_width=width)
+                     for name in selected)

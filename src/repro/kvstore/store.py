@@ -501,6 +501,11 @@ class KVStore:
         """Current prepared-lock table (key -> holding handle)."""
         return dict(self._locks)
 
+    @property
+    def lock_count(self) -> int:
+        """Current prepared-lock table size (the repro.obs gauge probe)."""
+        return len(self._locks)
+
     def prepared_handles(self) -> List[str]:
         return sorted(self._staged)
 

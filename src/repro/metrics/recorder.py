@@ -8,7 +8,7 @@ split by whether the client talked to the leader's region or a follower's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.metrics.stats import summarize
 from repro.protocols.types import OpType
@@ -44,6 +44,9 @@ class MetricsRecorder:
         # Named event counters (redirects, capped redirects, ...): cheap
         # shared tallies for paths that do not produce a RequestRecord.
         self.counters: Dict[str, int] = {}
+        # Time-series gauges (repro.obs.GaugeSampler): series name ->
+        # [(time_us, value), ...] in sample order.
+        self.gauges: Dict[str, List[Tuple[int, float]]] = {}
 
     def add(self, record: RequestRecord) -> None:
         if record.ok:
@@ -53,6 +56,13 @@ class MetricsRecorder:
 
     def incr(self, name: str, by: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + by
+
+    def gauge(self, name: str, time_us: int, value: float) -> None:
+        self.gauges.setdefault(name, []).append((time_us, value))
+
+    def gauge_summary(self, name: str) -> Dict[str, float]:
+        """Summary statistics over one gauge series' sampled values."""
+        return summarize([value for _, value in self.gauges.get(name, [])])
 
     def window(self, start_us: int, end_us: int) -> List[RequestRecord]:
         return [r for r in self.records if r.start >= start_us and r.end <= end_us]
@@ -141,5 +151,7 @@ class MetricsRecorder:
             merged.failures += recorder.failures
             for name, count in recorder.counters.items():
                 merged.incr(name, count)
+            for name, samples in recorder.gauges.items():
+                merged.gauges.setdefault(name, []).extend(samples)
         merged.records.sort(key=lambda r: r.end)
         return merged

@@ -20,14 +20,16 @@ def percentile(values: Sequence[float], pct: float) -> float:
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """Standard latency summary: count/mean/p50/p90/p99/max."""
+    """Standard latency summary: count/mean/p50/p90/p99/p999/max."""
     if not values:
-        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                "p999": 0.0, "max": 0.0}
     return {
         "count": len(values),
         "mean": sum(values) / len(values),
         "p50": percentile(values, 50),
         "p90": percentile(values, 90),
         "p99": percentile(values, 99),
+        "p999": percentile(values, 99.9),
         "max": max(values),
     }

@@ -1,0 +1,106 @@
+"""`repro.obs`: request-lifecycle spans, time-series gauges, sim profiling.
+
+Three legs, one façade:
+
+* **Spans** — every client request carries a trace id; instrumented seams
+  (session submit/admit/send, replica receive/append/commit/reply, shard
+  redirects, 2PC) record phase timestamps into a shared ring-buffer
+  `TraceLog`, and `SpanReconstructor`/`tail_budget` turn them into
+  per-request latency budgets (`repro.obs.spans`).
+* **Gauges** — a `GaugeSampler` on the sim event loop samples queue depths
+  (CPU/NIC/mux/session/locks/commit-lag) into the `MetricsRecorder`
+  (`repro.obs.gauges`).
+* **Profiler** — an opt-in `SimProfiler` attributing the host's wall-clock
+  to event kinds (`repro.obs.profiler`).
+
+Everything is OFF by default: nodes carry `obs = None` and pay one branch
+per instrumented point; the simulator pays one branch per event.  The
+bench harness (`ExperimentSpec(obs=True)`, `repro.bench tail`, `--obs`)
+builds an `Observability`, installs it on the fleet, and renders/exports
+the results (`--metrics-out` JSONL via `repro.obs.sink`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.gauges import (DEFAULT_INTERVAL_US, GaugeSampler,
+                              install_standard_gauges)
+from repro.obs.profiler import SimProfiler
+from repro.obs.sink import dump_jsonl, load_jsonl
+from repro.obs.spans import (BUDGET_OF, PHASE_KIND, PHASE_LABELS, Span,
+                             SpanReconstructor, tail_budget)
+from repro.sim.trace import TraceLog
+
+__all__ = [
+    "BUDGET_OF", "DEFAULT_INTERVAL_US", "GaugeSampler", "ObsConfig",
+    "Observability", "PHASE_KIND", "PHASE_LABELS", "SimProfiler", "Span",
+    "SpanReconstructor", "dump_jsonl", "install_standard_gauges",
+    "load_jsonl", "tail_budget",
+]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Knobs for one run's observability."""
+
+    #: Ring-buffer capacity of the span log, in phase records (a request
+    #: produces ~10; the ring keeps the newest — the interesting — end).
+    span_capacity: int = 2_000_000
+    #: Simulated time between gauge samples.
+    gauge_interval_us: int = DEFAULT_INTERVAL_US
+    #: Attach the wall-clock profiler to the simulator.
+    profile: bool = True
+
+
+class Observability:
+    """One run's telemetry: span log + gauge sampler + profiler."""
+
+    def __init__(self, sim, metrics, config: Optional[ObsConfig] = None) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.config = config or ObsConfig()
+        self.span_log = TraceLog(enabled=True,
+                                 capacity=self.config.span_capacity,
+                                 ring=True)
+        self.sampler = GaugeSampler(sim, metrics,
+                                    interval_us=self.config.gauge_interval_us)
+        self.profiler: Optional[SimProfiler] = None
+        if self.config.profile:
+            self.profiler = SimProfiler().attach(sim)
+
+    # -- recording (the hot path; nodes call this via `Node.obs_phase`) ------
+
+    def phase(self, time: int, node: str, trace: str, phase: str,
+              **detail) -> None:
+        self.span_log.record(time, node, PHASE_KIND,
+                             trace=trace, phase=phase, **detail)
+
+    # -- wiring --------------------------------------------------------------
+
+    def install(self, nodes) -> None:
+        """Point a fleet's `Node.obs` at this collector."""
+        for node in nodes:
+            node.obs = self
+
+    # -- analysis ------------------------------------------------------------
+
+    def reconstruct(self) -> SpanReconstructor:
+        return SpanReconstructor(self.span_log)
+
+    def tail_budget(self, pcts=(50.0, 99.0, 99.9)):
+        return tail_budget(self.reconstruct().spans(), pcts)
+
+    def dump(self, path: str, meta: Optional[dict] = None,
+             include_records: bool = True) -> int:
+        """Export the run's telemetry as JSONL; returns lines written."""
+        return dump_jsonl(
+            path,
+            meta=meta,
+            records=self.metrics.records if include_records else (),
+            spans=self.reconstruct().spans(complete_only=False),
+            gauges=self.metrics.gauges,
+            counters=self.metrics.counters,
+            profile=self.profiler.report() if self.profiler else (),
+        )

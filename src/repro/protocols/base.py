@@ -103,9 +103,14 @@ class ReplicaBase(Node):
         if self.ownership_guard is not None and command.shard_checked:
             hint = self.ownership_guard(command)
             if hint is not None:
+                if self.obs is not None:
+                    self.obs_phase(command.trace_id, "reply", ok=False,
+                                   wrong_shard=True)
                 self.send(src, self._wrong_shard_reply(command, hint,
                                                        message.epoch))
                 return
+        if self.obs is not None:
+            self.obs_phase(command.trace_id, "server_recv")
         self._clients[command.request_id] = src
         self.submit_command(command)
 
@@ -183,10 +188,12 @@ class ReplicaBase(Node):
             reply.epoch = self.shard_info.epoch
             reply.shard_map = self.shard_info.shard_map()
         client = self._clients.pop(request_id, None)
+        relay = None if client is not None else self._relays.pop(request_id, None)
+        if self.obs is not None and (client is not None or relay is not None):
+            self.obs_phase(command.trace_id, "reply", ok=ok)
         if client is not None:
             self.send(client, reply)
             return
-        relay = self._relays.pop(request_id, None)
         if relay is not None:
             self.send(relay, ReplyRelay(replies=[reply]))
 
@@ -199,6 +206,8 @@ class ReplicaBase(Node):
             # No leader known: drop; closed-loop clients retry via timeout.
             self.complete(command, ok=False, value=None)
             return
+        if self.obs is not None:
+            self.obs_phase(command.trace_id, "forward", leader=leader)
         self._forward_buffer.append(command)
         if len(self._forward_buffer) >= self.config.forward_batch_max:
             self._flush_forwards()
@@ -220,6 +229,9 @@ class ReplicaBase(Node):
 
     def _on_forward_batch(self, src: str, message: ForwardBatch) -> None:
         for command in message.commands:
+            if self.obs is not None:
+                self.obs_phase(command.trace_id, "leader_recv",
+                               origin=message.origin)
             self._relays[command.request_id] = message.origin
             self.submit_command(command)
 
@@ -249,6 +261,8 @@ class ReplicaBase(Node):
         if command.is_nop:
             return
         if command.request_id in self._clients or command.request_id in self._relays:
+            if self.obs is not None:
+                self.obs_phase(command.trace_id, "commit", index=index)
             hint = None
             if result.wrong_shard and self.ownership_guard is not None:
                 # The key migrated away between this command entering the

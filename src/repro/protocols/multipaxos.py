@@ -208,6 +208,8 @@ class MultiPaxosReplica(ReplicaBase):
             return
         instance = self.next_instance
         self.next_instance += 1
+        if self.obs is not None:
+            self.obs_phase(command.trace_id, "append", index=instance)
         self._accept_buffer[instance] = command
         if len(self._accept_buffer) >= MAX_ACCEPT_BATCH:
             self._flush_accepts()

@@ -84,10 +84,26 @@ class Command:
     acked_low_water: int = -1
     # Per-operation consistency level (reads only; see `Consistency`).
     consistency: Consistency = Consistency.DEFAULT
+    # Observability: the request-lifecycle span this command belongs to
+    # (repro.obs).  None means "my own request id" — only commands issued
+    # on *behalf* of another request carry an explicit trace (2PC child
+    # commands are stamped with the parent transaction's trace so all of
+    # a transaction's prepares/commits join one span).
+    trace: Optional[str] = None
 
     @property
     def request_id(self) -> Tuple[str, int]:
         return (self.client_id, self.seq)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """Span identity for `repro.obs`: the stamped parent trace if any,
+        else this command's own (client_id, seq) identity."""
+        if self.trace is not None:
+            return self.trace
+        if not self.client_id:
+            return None
+        return f"{self.client_id}:{self.seq}"
 
     @property
     def allows_local_read(self) -> bool:

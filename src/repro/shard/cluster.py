@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.kvstore.checker import HistoryChecker
 from repro.metrics.recorder import MetricsRecorder
+from repro.obs import Observability, ObsConfig, install_standard_gauges
 from repro.protocols.config import geo_cluster
 from repro.protocols.mux import GroupMux, MuxDirectory
 from repro.protocols.types import OpType
@@ -106,6 +107,9 @@ class ShardedSpec:
     read_consistency: Consistency = Consistency.DEFAULT
     # Share sim Hosts among each site's clients (None = private hosts).
     client_hosts_per_site: Optional[int] = None
+    # Observability (repro.obs): spans + gauges + profiler for this run.
+    obs: bool = False
+    obs_config: Optional[ObsConfig] = None
 
     def with_(self, **changes) -> "ShardedSpec":
         return replace(self, **changes)
@@ -210,6 +214,22 @@ class ShardedCluster:
             hook = checker_hook(self.checkers)
             for client in self.clients:
                 client.on_complete_hooks.append(hook)
+
+        self.obs: Optional[Observability] = None
+        if spec.obs:
+            self.obs = Observability(self.sim, self.metrics, spec.obs_config)
+            for shard, replicas in self.groups.items():
+                self.obs.install(replicas.values())
+                install_standard_gauges(
+                    self.obs.sampler, replicas=replicas.values(),
+                    network=self.network, group=f"g{shard}")
+            self.obs.install(self.clients)
+            # Transactional deployments: the coordinators are part of the
+            # serving path, so their 2PC phases join the spans too.
+            self.obs.install(getattr(self, "coordinators", []))
+            install_standard_gauges(self.obs.sampler, clients=self.clients,
+                                    muxes=self.muxes.values())
+            self.obs.sampler.start(stop_at=sec(spec.duration_s))
 
         # Live-reshard state
         self.coordinator: Optional[ReshardCoordinator] = None

@@ -246,6 +246,9 @@ class ShardRoutedClient(ClosedLoopClient):
         self.redirects += 1
         self.metrics.incr("redirects")
         pending.server = target
+        if self.obs is not None:
+            self.obs_phase(pending.command.trace_id, "redirect",
+                           target=target, hops=pending.redirect_hops)
         self._send(pending)
         return True
 
@@ -313,10 +316,22 @@ class ShardRoutedClient(ClosedLoopClient):
         pending = _PendingTxn(request, self.sim.now,
                               self.timer(f"txn-retry:{self.txn_seq}"))
         self._txn_pending[self.txn_seq] = pending
+        if self.obs is not None:
+            # 2PC spans live in the "t" namespace: the coordinator derives
+            # the same id from (client, txn_seq) and stamps it into every
+            # child command, so all of the transaction's prepares/commits
+            # across shards fold into this one span.
+            self.obs_phase(self._txn_trace(self.txn_seq), "submit", op="txn2pc")
         self._send_txn(pending)
+
+    def _txn_trace(self, txn_seq: int) -> str:
+        return f"{self.name}:t{txn_seq}"
 
     def _send_txn(self, pending: _PendingTxn) -> None:
         pending.attempts += 1
+        if self.obs is not None:
+            self.obs_phase(self._txn_trace(pending.request.txn_seq), "send",
+                           server=self.coordinator, attempt=pending.attempts)
         self.send(self.coordinator, pending.request)
         pending.retry_timer.arm(
             self.retry.retry_delay(pending.attempts - 1, self.rng),
@@ -360,6 +375,8 @@ class ShardRoutedClient(ClosedLoopClient):
             return  # stale reply from an already-answered transaction
         pending.retry_timer.cancel()
         del self._txn_pending[message.txn_seq]
+        if self.obs is not None:
+            self.obs_phase(self._txn_trace(message.txn_seq), "complete")
         self._txn_floor.ack(message.txn_seq)
         request = pending.request
         start, end = pending.submitted_at, self.sim.now

@@ -69,12 +69,17 @@ class _TxnState:
 
     __slots__ = ("txn_id", "client_node", "ops", "ts", "handle", "participants",
                  "home", "phase", "pending", "waiting", "reads", "seq",
-                 "retries")
+                 "retries", "trace")
 
     def __init__(self, txn_id: str, client_node: Optional[str], ops: TxnOps,
                  ts: int, handle: str, participants: Dict[int, TxnOps],
                  seq_base: int, retries: int = 0) -> None:
         self.txn_id = txn_id
+        # Span id (repro.obs): same derivation the issuing client uses, so
+        # coordinator-side phases and the stamped child commands' replica
+        # phases all join the client's transaction span.
+        client, txn_seq = txn_id.rsplit(":", 1)
+        self.trace = f"{client}:t{txn_seq}"
         self.client_node = client_node
         self.ops = ops
         self.ts = ts
@@ -190,6 +195,8 @@ class TxnCoordinator(Node):
         if active is not None:
             active.client_node = src  # duplicate request: re-register reply path
             return
+        if self.obs is not None:
+            self.obs_phase(f"{msg.client}:t{msg.txn_seq}", "server_recv")
         self._start_attempt(txn_id, src, list(msg.ops), msg.ts)
 
     def _start_attempt(self, txn_id: str, client_node: Optional[str],
@@ -213,13 +220,16 @@ class TxnCoordinator(Node):
         value = json.dumps(payload, sort_keys=True)
         return Command(op=op, key=f"txn:{state.handle}", value=value,
                        client_id=f"{TXN_CLIENT_PREFIX}{state.handle}",
-                       seq=state.seq, value_size=len(value))
+                       seq=state.seq, value_size=len(value),
+                       trace=state.trace)
 
     def _send_command(self, shard: int, command: Command) -> None:
         self.send(self.router.server_for(shard, self.site),
                   ClientRequest(command=command, epoch=self.router.epoch))
 
     def _send_prepare(self, state: _TxnState, shard: int) -> None:
+        if self.obs is not None:
+            self.obs_phase(state.trace, "txn_prepare", shard=shard)
         command = self._command(state, OpType.TXN_PREPARE, {
             "handle": state.handle, "txn": state.txn_id, "coord": self.name,
             "inc": self.incarnation, "ts": state.ts,
@@ -322,6 +332,8 @@ class TxnCoordinator(Node):
         home shard before any COMMIT is sent.  The reply carries whichever
         decision the home log recorded FIRST, and we obey it."""
         state.phase = "decide"
+        if self.obs is not None:
+            self.obs_phase(state.trace, "txn_decide", home=state.home)
         command = self._command(state, OpType.TXN_DECIDE, self._decision_record(
             state, "commit"))
         state.pending = {state.home: command}
@@ -345,6 +357,9 @@ class TxnCoordinator(Node):
 
     def _phase2(self, state: _TxnState, commit: bool) -> None:
         op = OpType.TXN_COMMIT if commit else OpType.TXN_ABORT
+        if self.obs is not None:
+            self.obs_phase(state.trace,
+                           "txn_commit" if commit else "txn_abort")
         state.pending = {}
         state.waiting.clear()
         for shard in sorted(state.participants):
@@ -367,6 +382,8 @@ class TxnCoordinator(Node):
                              server=self.name)
             self._cache_reply(state.txn_id, reply)
             if state.client_node is not None:
+                if self.obs is not None:
+                    self.obs_phase(state.trace, "reply", ok=True)
                 self.send(state.client_node, reply)
             return
         if not state.ops:

@@ -60,6 +60,9 @@ class Simulator:
         self._queue: List[Event] = []
         self._running = False
         self.events_processed = 0
+        # Opt-in wall-clock profiler (repro.obs.profiler.SimProfiler).
+        # None (the default) costs one attribute load + branch per event.
+        self.profiler = None
 
     @property
     def now(self) -> int:
@@ -99,7 +102,10 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = event.time
-                event.callback(*event.args)
+                if self.profiler is None:
+                    event.callback(*event.args)
+                else:
+                    self.profiler.dispatch(event)
                 processed += 1
                 self.events_processed += 1
         finally:

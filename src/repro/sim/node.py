@@ -186,6 +186,9 @@ class Node:
         self.site = site if site is not None else name
         self.costs = costs or NodeCosts()
         self.trace = trace or TraceLog(enabled=False)
+        # Request-lifecycle observability (repro.obs.Observability); None
+        # (the default) makes every `obs_phase` call one branch.
+        self.obs = None
         self.alive = True
         self.incarnation = 0
         self.stable: Dict[str, Any] = {}  # survives crashes
@@ -239,6 +242,13 @@ class Node:
     def on_message(self, src: str, message: Any) -> None:
         """Override in subclasses."""
         raise NotImplementedError
+
+    def obs_phase(self, trace: Optional[str], phase: str, **detail: Any) -> None:
+        """Record a request-lifecycle phase timestamp (no-op unless an
+        `Observability` collector is installed and the command is traced)."""
+        obs = self.obs
+        if obs is not None and trace is not None:
+            obs.phase(self.sim.now, self.name, trace, phase, **detail)
 
     # -- timers ---------------------------------------------------------------
 

@@ -4,12 +4,20 @@ Disabled by default (zero overhead beyond one branch); tests and examples can
 enable it to assert on protocol behaviour ("the follower forwarded to the
 leader", "no append was sent after the partition") without reaching into
 replica internals.
+
+Capacity policy: by default a full log drops the *newest* records (cheap,
+and fine for "did X happen early in the run" assertions).  Long-running
+observability consumers (`repro.obs`) want the opposite — the interesting
+records are at the end of the run — so `ring=True` turns the log into a
+ring buffer that evicts the *oldest* record instead.  Both modes keep the
+`dropped` count so a truncated log is never mistaken for a complete one.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -25,12 +33,14 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only list of `TraceRecord`s with simple query helpers."""
+    """Append-only sequence of `TraceRecord`s with simple query helpers."""
 
-    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None,
+                 ring: bool = False) -> None:
         self.enabled = enabled
         self.capacity = capacity
-        self.records: List[TraceRecord] = []
+        self.ring = ring
+        self.records: Deque[TraceRecord] = deque()
         self.dropped = 0
 
     def record(self, time: int, node: str, kind: str, **detail: Any) -> None:
@@ -38,7 +48,9 @@ class TraceLog:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1
-            return
+            if not self.ring:
+                return  # drop-newest: the record never enters the log
+            self.records.popleft()  # ring: evict the oldest instead
         self.records.append(TraceRecord(time, node, kind, detail))
 
     def filter(self, node: Optional[str] = None, kind: Optional[str] = None) -> Iterator[TraceRecord]:

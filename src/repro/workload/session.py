@@ -140,11 +140,12 @@ class PendingRequest:
 
 class _QueuedOp:
     __slots__ = ("kind", "key", "value", "consistency", "submitted_at",
-                 "value_size", "on_done")
+                 "value_size", "on_done", "trace")
 
     def __init__(self, kind: str, key: str, value: Optional[str],
                  consistency: Consistency, submitted_at: int,
-                 value_size: Optional[int], on_done) -> None:
+                 value_size: Optional[int], on_done,
+                 trace: Optional[str] = None) -> None:
         self.kind = kind
         self.key = key
         self.value = value
@@ -152,6 +153,9 @@ class _QueuedOp:
         self.submitted_at = submitted_at
         self.value_size = value_size
         self.on_done = on_done
+        # Span id allocated at submit time (before the seq exists), so the
+        # queueing delay ahead of window admission is part of the span.
+        self.trace = trace
 
 
 _OPS = {"get": OpType.GET, "put": OpType.PUT, "txn": OpType.TXN}
@@ -273,8 +277,15 @@ class Session(Node):
             consistency = (self.read_consistency if kind == "get"
                            else Consistency.DEFAULT)
         self.submitted += 1
+        trace = None
+        if self.obs is not None:
+            # "s" namespace: allocated per submission, disjoint from the
+            # default `client:seq` trace ids commands fall back to.
+            trace = f"{self.name}:s{self.submitted}"
         qop = _QueuedOp(kind, key, value, consistency, self.sim.now,
-                        value_size, on_done)
+                        value_size, on_done, trace=trace)
+        if trace is not None:
+            self.obs_phase(trace, "submit", op=kind)
         if self.window_free:
             self._admit(qop)
         else:
@@ -298,13 +309,16 @@ class Session(Node):
         command = Command(
             op=_OPS[qop.kind], key=qop.key, value=qop.value,
             client_id=self.name, seq=seq, value_size=value_size,
-            acked_low_water=self.acked_floor, consistency=qop.consistency)
+            acked_low_water=self.acked_floor, consistency=qop.consistency,
+            trace=qop.trace)
         pending = PendingRequest(
             command, self._route(command), qop.submitted_at,
             retry_timer=self.timer(f"retry:{seq}"),
             backoff_timer=self.timer(f"backoff:{seq}"),
             on_done=qop.on_done)
         self._pending[seq] = pending
+        if qop.trace is not None:
+            self.obs_phase(qop.trace, "admit", seq=seq)
         self._send(pending)
 
     def _route(self, command: Command) -> str:
@@ -317,6 +331,9 @@ class Session(Node):
 
     def _send(self, pending: PendingRequest) -> None:
         pending.attempts += 1
+        if self.obs is not None:
+            self.obs_phase(pending.command.trace_id, "send",
+                           server=pending.server, attempt=pending.attempts)
         self.send(pending.server, self._request_message(pending))
         pending.retry_timer.arm(
             self.retry.retry_delay(pending.attempts - 1, self.rng),
@@ -336,6 +353,9 @@ class Session(Node):
             # The request IS answered (a rejection): the lost-reply resend
             # must stand down or it would race the backoff and double-send.
             pending.retry_timer.cancel()
+            if self.obs is not None:
+                self.obs_phase(pending.command.trace_id, "reject",
+                               server=message.server)
             if self._on_reject(pending, message):
                 return  # a redirect policy re-sent it
             # No leader yet (or leadership changed mid-flight): back off and
@@ -359,6 +379,8 @@ class Session(Node):
         command = pending.command
         pending.cancel_timers()
         del self._pending[command.seq]
+        if self.obs is not None:
+            self.obs_phase(command.trace_id, "complete")
         self.completed += 1
         self._ack_floor.ack(command.seq)
         for hook in self.on_complete_hooks:

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.bench.report import FigureTable, render_all
+from repro.bench.report import (FigureTable, GAUGE_RAMP, render_all,
+                                render_timeline, render_timelines)
 
 
 def table():
@@ -44,3 +45,31 @@ def test_float_formatting():
     t = FigureTable(figure="F", title="t", columns=["a"])
     t.add_row(3.14159)
     assert "3.1" in t.render()
+
+
+def test_timeline_scales_to_peak():
+    samples = [(i * 1_000_000, float(i)) for i in range(10)]
+    line = render_timeline("queue", samples, buckets=10)
+    assert line.startswith("queue")
+    assert "peak 9" in line
+    body = line.split("|")[1]
+    assert len(body) == 10
+    assert body[0] == GAUGE_RAMP[0]  # zero sample -> blank cell
+    assert body[-1] == GAUGE_RAMP[-1]  # the peak bucket saturates the ramp
+
+
+def test_timeline_constant_series_is_flat():
+    samples = [(i * 1000, 5.0) for i in range(20)]
+    body = render_timeline("flat", samples, buckets=8).split("|")[1]
+    assert set(body) == {GAUGE_RAMP[-1]}
+
+
+def test_timeline_empty_series():
+    assert "(no samples)" in render_timeline("empty", [])
+
+
+def test_timelines_align_labels():
+    gauges = {"a": [(0, 1.0), (10, 2.0)], "much_longer_name": [(0, 3.0)]}
+    lines = render_timelines(gauges).splitlines()
+    assert len(lines) == 2
+    assert len({line.index("|") for line in lines}) == 1  # columns line up

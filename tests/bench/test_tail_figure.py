@@ -1,0 +1,58 @@
+"""The `tail` figure: phase budget table, gauges, profiler, JSONL export.
+
+This is the CI obs smoke in miniature: run past the knee at a small scale,
+assert the budget's phases sum to the end-to-end latency, that queueing
+dominates the tail, and that the telemetry file parses.
+"""
+
+import json
+
+from repro.bench import experiments as ex
+from repro.bench.__main__ import main as bench_main
+
+
+def test_tail_figure_end_to_end(tmp_path):
+    out = str(tmp_path / "tail.jsonl")
+    text = ex.tail_figure(0.2, seed=1, metrics_out=out)
+    assert "Tail: Phase-by-phase latency budget" in text
+    assert "end-to-end" in text
+    for pct in ("p50", "p99", "p999"):
+        assert f"{pct} exemplar" in text
+    # Interval attribution: the reported phases sum to the reported
+    # latency exactly, so every drift note reads 0.00%.
+    assert "drift 0.00%" in text
+    assert text.count("drift") == text.count("drift 0.00%")
+    # Past the knee the tail IS the queue.
+    assert "queueing dominates" in text
+    assert "SimProfiler:" in text
+    assert "queue gauges" in text
+    with open(out) as src:
+        rows = [json.loads(line) for line in src]
+    assert rows[0]["type"] == "meta" and rows[0]["figure"] == "tail"
+    spans = [r for r in rows if r["type"] == "span"]
+    assert spans
+    profile = [r for r in rows if r["type"] == "profile"]
+    assert profile and all(r["count"] > 0 for r in profile)
+
+
+def test_tail_figure_via_cli(tmp_path, capsys):
+    out = str(tmp_path / "cli.jsonl")
+    assert bench_main(["tail", "--scale", "0.2",
+                       "--metrics-out", out]) == 0
+    printed = capsys.readouterr().out
+    assert "Tail: Phase-by-phase latency budget" in printed
+    assert f"-> {out}" in printed
+    assert [json.loads(line) for line in open(out)]
+
+
+def test_open_loop_table_has_p999_column():
+    table = ex.pipeline_open_loop(0.2, seed=1, loads=(300,),
+                                  protocols=(("Raft", "raft"),))
+    assert "Raft p999 ms" in table.columns
+    assert table.cell("300", "Raft p999 ms") >= table.cell("300", "Raft p99 ms")
+
+
+def test_open_loop_obs_note():
+    table = ex.pipeline_open_loop(0.2, seed=1, loads=(1200,),
+                                  protocols=(("Raft", "raft"),), obs=True)
+    assert any("p99 budget" in note for note in table.notes)

@@ -41,7 +41,20 @@ def test_summarize():
 
 
 def test_summarize_empty():
-    assert summarize([])["count"] == 0
+    summary = summarize([])
+    assert summary["count"] == 0
+    assert summary["p999"] == 0.0
+
+
+def test_summarize_p999():
+    """The extreme-tail percentile the obs figures report: nearest-rank,
+    one real sample from the top 0.1% of the distribution."""
+    values = [float(i) for i in range(1, 1235)]
+    summary = summarize(values)
+    assert summary["p999"] == 1233.0  # ceil(0.999 * 1234) = 1233
+    assert summary["p99"] == 1222.0
+    assert summary["p99"] <= summary["p999"] <= summary["max"]
+    assert summary["count"] == 1234
 
 
 @given(st.lists(st.floats(min_value=0, max_value=1e6,

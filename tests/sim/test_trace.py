@@ -27,6 +27,32 @@ def test_capacity_drops_overflow():
     assert log.dropped == 3
 
 
+def test_default_mode_keeps_the_oldest():
+    """At capacity the default log drops NEW records (the head of the run
+    is what a startup/election investigation wants)."""
+    log = TraceLog(capacity=2)
+    for i in range(5):
+        log.record(i, "n", "k")
+    assert [r.time for r in log] == [0, 1]
+    assert log.dropped == 3
+
+
+def test_ring_mode_keeps_the_newest():
+    """A ring log evicts the OLDEST record instead (a flight-recorder: the
+    span collector wants the end of the run, not the start)."""
+    log = TraceLog(capacity=2, ring=True)
+    for i in range(5):
+        log.record(i, "n", "k")
+    assert [r.time for r in log] == [3, 4]
+    assert log.dropped == 3
+
+
+def test_ring_mode_disabled_still_records_nothing():
+    log = TraceLog(enabled=False, capacity=2, ring=True)
+    log.record(1, "n", "k")
+    assert len(log) == 0 and log.dropped == 0
+
+
 def test_clear():
     log = TraceLog()
     log.record(1, "a", "x")

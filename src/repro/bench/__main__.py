@@ -9,17 +9,28 @@
     python -m repro.bench coalesce --coalesce both --coalesce-shards 4 8
     python -m repro.bench tail --scale 0.2 --metrics-out out.jsonl
     python -m repro.bench pipeline --obs
+    python -m repro.bench perf --scale 1.0 --perf-out BENCH_perf.json \
+        --perf-baseline benchmarks/results/BENCH_perf.json
 
 Installed via setup.py this is also the `repro-bench` console script.
+
+`perf` is the simulator-core microbenchmark (events/sec, sim-s per
+wall-s, profiler breakdown); it is excluded from the default "all
+figures" run — ask for it by name.  With `--perf-baseline` the run is
+compared against a committed BENCH_perf.json and exits non-zero when
+normalized events/sec drops more than `--perf-fail-threshold` below it
+(the CI perf smoke contract).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.bench import experiments as ex
+from repro.bench import perf
 from repro.bench.report import render_all
 from repro.shard.placement import PLACEMENTS
 from repro.specs import mapping, variants
@@ -40,7 +51,12 @@ FIGURES = {
     "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
     "txn": lambda scale, seed: ex.txn_figures(scale, seed),
     "coalesce": lambda scale, seed: ex.coalesce_figure(scale, seed).render(),
+    "perf": None,  # bound in main() (needs the parsed perf flags)
 }
+
+#: Figures run when none are named: everything but the perf microbench,
+#: which exists for before/after comparison, not the paper's evaluation.
+DEFAULT_FIGURES = [name for name in FIGURES if name != "perf"]
 
 
 def main(argv=None) -> int:
@@ -48,8 +64,9 @@ def main(argv=None) -> int:
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures.")
     parser.add_argument("figures", nargs="*", choices=[[], *FIGURES][1:] or None,
-                        default=list(FIGURES),
-                        help="which figures to run (default: all)")
+                        default=list(DEFAULT_FIGURES),
+                        help="which figures to run (default: all paper "
+                             "figures; `perf` only runs when named)")
     parser.add_argument("--scale", type=float, default=0.6,
                         help="client/duration scale (1.0 = EXPERIMENTS.md)")
     parser.add_argument("--seed", type=int, default=1)
@@ -109,6 +126,18 @@ def main(argv=None) -> int:
                         default=[2, 4, 8], metavar="N",
                         help="shard counts for the coalesce figure "
                              "(default: 2 4 8)")
+    parser.add_argument("--perf-out", metavar="FILE", default=None,
+                        help="perf figure: write the full report (all legs, "
+                             "profiles, calibration) as JSON to FILE")
+    parser.add_argument("--perf-baseline", metavar="FILE", default=None,
+                        help="perf figure: compare against a committed "
+                             "BENCH_perf.json (its post_refactor numbers)")
+    parser.add_argument("--perf-fail-threshold", type=float, default=0.30,
+                        metavar="R",
+                        help="perf figure: with --perf-baseline, exit "
+                             "non-zero when normalized events/sec drops "
+                             "more than R below the baseline (default: "
+                             "0.30)")
     args = parser.parse_args(argv)
     if any(depth < 1 for depth in args.pipeline_depth):
         parser.error("--pipeline-depth values must be >= 1")
@@ -126,6 +155,8 @@ def main(argv=None) -> int:
         parser.error("--tail-load must be positive")
     if any(count < 1 for count in args.coalesce_shards):
         parser.error("--coalesce-shards values must be >= 1")
+    if not 0.0 <= args.perf_fail_threshold < 1.0:
+        parser.error("--perf-fail-threshold must be in [0, 1)")
 
     placements = (tuple(sorted(PLACEMENTS, reverse=True))
                   if args.placement == "both" else (args.placement,))
@@ -151,11 +182,38 @@ def main(argv=None) -> int:
         scale, seed, shard_counts=tuple(args.coalesce_shards),
         modes=coalesce_modes).render()
 
+    perf_state: dict = {}
+    if args.perf_baseline is not None:
+        with open(args.perf_baseline) as handle:
+            perf_state["baseline"] = json.load(handle)
+
+    def perf_figure(scale, seed):
+        report = perf.run_perf(scale, seed)
+        perf_state["report"] = report
+        return perf.render_perf(report, perf_state.get("baseline"))
+
+    figures["perf"] = perf_figure
+
     for name in args.figures:
         start = time.time()
         print(figures[name](args.scale, args.seed))
         print(f"[{name}: {time.time() - start:.1f}s]\n")
-    return 0
+
+    exit_code = 0
+    report = perf_state.get("report")
+    if report is not None:
+        if args.perf_out is not None:
+            with open(args.perf_out, "w") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+        baseline = perf_state.get("baseline")
+        if baseline is not None:
+            ok, message = perf.check_regression(
+                report, baseline, args.perf_fail_threshold)
+            print(message)
+            if not ok:
+                exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":

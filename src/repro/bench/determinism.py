@@ -1,0 +1,154 @@
+"""Determinism canary (`python -m repro.bench.determinism`).
+
+The simulator's contract is bit-for-bit reproducibility: the same seed
+must produce the same event order, the same replica logs, and the same
+applied state, every run, on every machine.  The timer-wheel refactor
+(near-store batching, bucket cascade, lazy cancellation, compaction)
+preserves that contract by construction — ties break on insertion
+sequence number at every level — and this module is the tripwire that
+keeps it true.
+
+It runs a fixed single-group workload TWICE in the same process and
+digests every replica's full log (term, ballot, op, client, seq, key),
+its applied table, and the run's completion/event counts into one
+SHA-256.  The two in-process digests must always match (schedule-order
+determinism); with ``PYTHONHASHSEED=0`` the digest is also stable
+across interpreter launches and machines, so a golden copy lives in
+``benchmarks/results/determinism_canary.json`` and CI compares every
+build against it (`--check`).
+
+    python -m repro.bench.determinism                 # run twice, print
+    python -m repro.bench.determinism --check FILE    # also compare golden
+    python -m repro.bench.determinism --write FILE    # refresh the golden
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from typing import Any, Dict, Tuple
+
+from repro.bench.harness import Cluster
+from repro.bench.perf import single_group_spec
+
+#: The canary workload: small enough for CI (sub-second), large enough
+#: to elect a leader, replicate a few hundred entries, and exercise the
+#: wheel (election timers), the near store (replication traffic), and
+#: cancellation churn (timer resets) on the way.
+CANARY_SCALE = 0.25
+CANARY_SEED = 0
+
+
+def state_digest(scale: float = CANARY_SCALE,
+                 seed: int = CANARY_SEED) -> Tuple[str, Dict[str, Any]]:
+    """Run the canary workload once; return (sha256 hex digest, summary).
+
+    The digest covers, in canonical JSON (sorted keys, no whitespace):
+    per-replica logs entry by entry, per-replica applied tables and
+    counters, completed-op and simulator-event counts, and the final
+    simulated clock.
+    """
+    spec = single_group_spec(scale, seed)
+    cluster = Cluster(spec)
+    result = cluster.run()
+    replicas = {}
+    for name in sorted(cluster.replicas):
+        replica = cluster.replicas[name]
+        replicas[name] = {
+            "log": [
+                [entry.term, entry.ballot, entry.command.op.name,
+                 entry.command.client_id, entry.command.seq,
+                 entry.command.key]
+                for entry in replica.log
+            ],
+            "last_applied": replica.last_applied,
+            "applied_count": replica.store.applied_count,
+            "table": sorted(replica.store._table.items()),
+        }
+    state = {
+        "scale": scale,
+        "seed": seed,
+        "completed": result.completed,
+        "events": cluster.sim.events_processed,
+        "sim_now": cluster.sim.now,
+        "replicas": replicas,
+    }
+    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode()).hexdigest()
+    summary = {
+        "scale": scale,
+        "seed": seed,
+        "digest": digest,
+        "completed": result.completed,
+        "events": cluster.sim.events_processed,
+        "log_lengths": {name: len(r["log"]) for name, r in replicas.items()},
+    }
+    return digest, summary
+
+
+def run_canary(scale: float = CANARY_SCALE,
+               seed: int = CANARY_SEED) -> Dict[str, Any]:
+    """Run the workload twice; raise if the two digests differ."""
+    digest_a, summary = state_digest(scale, seed)
+    digest_b, _ = state_digest(scale, seed)
+    if digest_a != digest_b:
+        raise AssertionError(
+            f"same-seed runs diverged: {digest_a} != {digest_b}")
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.determinism",
+        description="Run the determinism canary (twice) and optionally "
+                    "compare/refresh the committed golden digest.")
+    parser.add_argument("--scale", type=float, default=CANARY_SCALE)
+    parser.add_argument("--seed", type=int, default=CANARY_SEED)
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="compare against a committed golden digest; "
+                             "exit non-zero on mismatch")
+    parser.add_argument("--write", metavar="FILE", default=None,
+                        help="write the fresh digest as the new golden")
+    args = parser.parse_args(argv)
+
+    summary = run_canary(args.scale, args.seed)
+    print(f"determinism canary: two same-seed runs agree "
+          f"(digest {summary['digest'][:16]}..., "
+          f"{summary['events']} events, {summary['completed']} ops)")
+
+    if args.write is not None:
+        summary["python_hash_seed"] = os.environ.get("PYTHONHASHSEED", "")
+        with open(args.write, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote golden digest to {args.write}")
+
+    if args.check is not None:
+        with open(args.check) as handle:
+            golden = json.load(handle)
+        if (golden.get("scale") != args.scale
+                or golden.get("seed") != args.seed):
+            print(f"golden digest is for scale={golden.get('scale')} "
+                  f"seed={golden.get('seed')}, ran scale={args.scale} "
+                  f"seed={args.seed}: not comparable", file=sys.stderr)
+            return 2
+        if os.environ.get("PYTHONHASHSEED") != "0":
+            # The cross-interpreter digest is only pinned under a pinned
+            # hash seed; without it only the in-process double run (above)
+            # is meaningful.
+            print("PYTHONHASHSEED != 0: skipping golden comparison")
+            return 0
+        if golden["digest"] != summary["digest"]:
+            print(f"DETERMINISM DRIFT: committed {golden['digest']}\n"
+                  f"                   fresh     {summary['digest']}",
+                  file=sys.stderr)
+            return 1
+        print("golden digest matches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

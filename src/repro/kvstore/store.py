@@ -61,7 +61,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.protocols.types import Command, OpType
 
 
-@dataclass
+@dataclass(slots=True)
 class ApplyResult:
     ok: bool
     value: Optional[str] = None
@@ -72,6 +72,14 @@ class ApplyResult:
     # holds a lock on one of its keys.  Not dedup-recorded: the client's
     # retry with the same sequence number must apply once the lock clears.
     conflict: bool = False
+
+
+# Shared success results for the hot plain-write path.  ApplyResult is
+# never mutated after construction (results are cached in dedup windows
+# and exported by value), so the no-payload successes can be singletons.
+_OK = ApplyResult(ok=True)
+_WRONG_SHARD = ApplyResult(ok=False, wrong_shard=True)
+_CONFLICT = ApplyResult(ok=False, conflict=True)
 
 
 class DedupSession:
@@ -108,7 +116,7 @@ class DedupSession:
         Evicted seqs (<= low_water) were acked: the bare ok marker is
         enough, the client discards the reply anyway."""
         if seq <= self.low_water:
-            return ApplyResult(ok=True)
+            return _OK
         entry = self.entries.get(seq)
         return entry[1] if entry is not None else None
 
@@ -120,8 +128,13 @@ class DedupSession:
         if low_water <= self.low_water:
             return
         self.low_water = low_water
-        self.entries = {seq: entry for seq, entry in self.entries.items()
-                        if seq > low_water}
+        entries = self.entries
+        # In place, not a dict rebuild: this runs on nearly every apply
+        # (the floor advances with the client's pipeline) and the window
+        # holds only a pipeline-depth of slots.
+        acked = [seq for seq in entries if seq <= low_water]
+        for seq in acked:
+            del entries[seq]
 
     # -- migration wire format ----------------------------------------------
 
@@ -201,13 +214,15 @@ class KVStore:
     def apply(self, command: Command) -> ApplyResult:
         """Apply a committed command; duplicate (client, seq) pairs return
         the original result without re-executing."""
-        if command.op is OpType.NOP:
-            return ApplyResult(ok=True)
+        op = command.op
+        if op is OpType.NOP:
+            return _OK
         client = command.client_id
         # At-most-once first, ownership second: a duplicate whose key moved
         # to another shard after the original applied still gets its cached
         # result (the ownership check would wrongly fail it and trigger a
         # re-execution on the new owner once the client re-routes).
+        session = None
         if client:
             session = self._sessions.get(client)
             if session is not None:
@@ -215,36 +230,51 @@ class KVStore:
                 if cached is not None:
                     return cached
 
-        if command.op is OpType.MIGRATE_OUT:
+        # PUT/GET first: the data fast path is ~all of a benchmark run,
+        # with its bookkeeping inlined (refusals return before it).
+        if op is OpType.PUT or op is OpType.GET:
+            key = command.key
+            key_filter = self.key_filter
+            if key_filter is not None and not key_filter(key):
+                self.filtered_count += 1
+                return _WRONG_SHARD
+            if self._locks and key in self._locks:
+                # A prepared transaction holds this key: plain reads/writes
+                # wait it out via the client's ordinary backoff-retry
+                # machinery.
+                return _CONFLICT
+            if op is OpType.PUT:
+                self._put_local(key, command.value if command.value is not None else "")
+                result = _OK
+            else:
+                result = ApplyResult(ok=True, value=self._table.get(key))
+            self.applied_count += 1
+            if client:
+                if session is None:
+                    session = self._sessions[client] = DedupSession()
+                session.entries[command.seq] = (key, result)
+                if command.acked_low_water > session.low_water:
+                    session.evict_upto(command.acked_low_water)
+            return result
+
+        if op is OpType.MIGRATE_OUT:
             result = self._apply_migrate_out(command)
-        elif command.op is OpType.MIGRATE_IN:
+        elif op is OpType.MIGRATE_IN:
             result = self._apply_migrate_in(command)
-        elif command.op is OpType.TXN_PREPARE:
+        elif op is OpType.TXN_PREPARE:
             result = self._apply_txn_prepare(command)
-        elif command.op is OpType.TXN_COMMIT:
+        elif op is OpType.TXN_COMMIT:
             result = self._apply_txn_finish(command, commit=True)
-        elif command.op is OpType.TXN_ABORT:
+        elif op is OpType.TXN_ABORT:
             result = self._apply_txn_finish(command, commit=False)
-        elif command.op is OpType.TXN_DECIDE:
+        elif op is OpType.TXN_DECIDE:
             result = self._apply_txn_decide(command)
-        elif command.op is OpType.TXN_RECOVER:
+        elif op is OpType.TXN_RECOVER:
             result = self._apply_txn_recover(command)
-        elif command.op is OpType.TXN:
+        elif op is OpType.TXN:
             result = self._apply_txn_single(command)
-        elif not self.owns(command.key):
-            self.filtered_count += 1
-            result = ApplyResult(ok=False, wrong_shard=True)
-        elif command.key in self._locks:
-            # A prepared transaction holds this key: plain reads/writes wait
-            # it out via the client's ordinary backoff-retry machinery.
-            result = ApplyResult(ok=False, conflict=True)
-        elif command.op is OpType.PUT:
-            self._put_local(command.key, command.value if command.value is not None else "")
-            result = ApplyResult(ok=True)
-        elif command.op is OpType.GET:
-            result = ApplyResult(ok=True, value=self._table.get(command.key))
         else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unknown op {command.op}")
+            raise ValueError(f"unknown op {op}")
 
         if result.conflict or result.wrong_shard:
             # Retryable refusals — a held lock, a draining migration, a
@@ -255,7 +285,8 @@ class KVStore:
 
         self.applied_count += 1
         if client:
-            session = self._sessions.setdefault(client, DedupSession())
+            if session is None:
+                session = self._sessions[client] = DedupSession()
             # Non-data commands (migration, 2PC steps) record no key: the
             # coordinator's dedup state stays on the group it talked to.
             session.record(command.seq,
@@ -265,8 +296,12 @@ class KVStore:
 
     def _put_local(self, key: str, value: str) -> None:
         self._table[key] = value
-        self._versions[key] = self._versions.get(key, 0) + 1
-        self._write_log.setdefault(key, []).append(value)
+        versions = self._versions
+        versions[key] = versions.get(key, 0) + 1
+        log = self._write_log.get(key)
+        if log is None:
+            log = self._write_log[key] = []
+        log.append(value)
 
     # -- transactions (2PC participant) --------------------------------------
 

@@ -15,7 +15,7 @@ from repro.protocols.types import OpType
 from repro.sim.units import to_ms, to_sec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     client: str
     site: str

@@ -52,6 +52,9 @@ class SimProfiler:
     def dispatch(self, event) -> None:
         """Run one event's callback under timing (called by Simulator.run
         in place of the plain dispatch when attached)."""
+        # Classify BEFORE running: Timer._fire consumes the armed callback,
+        # so the timer kind is only readable pre-dispatch.
+        kind = self._kind(event)
         t0 = time.perf_counter()
         try:
             event.callback(*event.args)
@@ -59,7 +62,6 @@ class SimProfiler:
             dt = time.perf_counter() - t0
             self.events += 1
             self.wall_s += dt
-            kind = self._kind(event)
             cell = self.by_kind.get(kind)
             if cell is None:
                 cell = self.by_kind[kind] = [0, 0.0]
@@ -82,11 +84,20 @@ class SimProfiler:
             return f"handle:{type(args[1]).__name__}"
         if name.endswith("._deliver") and len(args) >= 3:
             return f"deliver:{type(args[2]).__name__}"
-        if name.endswith("._fire") and args:
-            inner = args[0]
-            inner_name = (getattr(inner, "__qualname__", None)
-                          or type(inner).__name__)
-            return f"timer:{inner_name}"
+        if name.endswith("._fire"):
+            # Timer._fire is argless: the armed callback lives on the timer
+            # until the moment it runs (which is why `dispatch` classifies
+            # before invoking).
+            timer = getattr(callback, "__self__", None)
+            inner = getattr(timer, "_callback", None)
+            if inner is None and args:
+                inner = args[0]
+            if inner is not None:
+                inner_name = (getattr(inner, "__qualname__", None)
+                              or type(inner).__name__)
+                return f"timer:{inner_name}"
+            if timer is not None and getattr(timer, "name", None):
+                return f"timer:{timer.name}"
         return name
 
     @staticmethod

@@ -248,7 +248,8 @@ class ReplicaBase(Node):
         originating request if it is ours to answer."""
         command = entry.command
         result = self.store.apply(command)
-        self.last_applied = max(self.last_applied, index)
+        if index > self.last_applied:
+            self.last_applied = index
         if not result.conflict:
             # Lock-conflict refusals mutate nothing and will be retried as
             # a NEW log entry, so apply observers must not see them — in
@@ -260,7 +261,8 @@ class ReplicaBase(Node):
                 hook(self.name, index, command)
         if command.is_nop:
             return
-        if command.request_id in self._clients or command.request_id in self._relays:
+        rid = command.request_id
+        if rid in self._clients or rid in self._relays:
             if self.obs is not None:
                 self.obs_phase(command.trace_id, "commit", index=index)
             hint = None

@@ -3,12 +3,23 @@
 All messages implement `size_bytes()` so the network's bandwidth model and
 the nodes' CPU model see realistic payload sizes (4 KB entries really cost
 4 KB of serialization).
+
+Hot-path representation: every message class is a `slots=True` dataclass
+(no per-instance `__dict__`), entry batches are tuples built once by the
+sender, and non-constant `size_bytes()` results are memoized per instance
+in a `_size` slot.  The three charging sites — node CPU cost, the
+network's size estimate, and the mux envelope — all read that one cached
+number, so a message's size is computed exactly once no matter how many
+layers handle it.  The memo is safe because messages are frozen-in-
+practice: senders finish populating fields before the first send, and
+nothing mutates a message once it is in flight.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import (Any, Dict, FrozenSet, Iterable, List, NamedTuple,
+                    Optional, Tuple)
 
 from repro.protocols.types import Ballot, Command, Entry
 # The envelope charges through the cost model's own canonical fallbacks
@@ -19,9 +30,18 @@ from repro.sim.node import payload_command_count, payload_size_bytes
 
 HEADER_BYTES = 48
 
+#: Wire cost of referencing an entry already carried elsewhere in the same
+#: envelope (see `HostEnvelope`): a (group, index) back-reference.
+DEDUP_REF_BYTES = 8
 
-def _entries_size(entries: List[Entry]) -> int:
+
+def _entries_size(entries: Iterable[Entry]) -> int:
     return sum(entry.wire_size() for entry in entries)
+
+
+def _memo() -> Any:
+    """A per-instance size cache slot (-1 = not computed yet)."""
+    return field(default=-1, init=False, repr=False, compare=False)
 
 
 # --------------------------------------------------------------------------
@@ -29,7 +49,7 @@ def _entries_size(entries: List[Entry]) -> int:
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardMap:
     """The partition map at `epoch`, as shipped to stale clients.
 
@@ -46,16 +66,20 @@ class ShardMap:
         return 16
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientRequest:
     command: Command
     # The epoch of the partition map the client routed with (None for
     # unsharded deployments).  A server on a newer epoch ships its map back
     # with the rejection instead of just a shard id.
     epoch: Optional[int] = None
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + self.command.wire_size()
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + self.command.wire_size()
+        return size
 
     def command_count(self) -> float:
         # Client-facing handling is the expensive path (connection, parse,
@@ -63,7 +87,7 @@ class ClientRequest:
         return 3.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientReply:
     request_id: Tuple[str, int]
     ok: bool
@@ -79,13 +103,18 @@ class ClientReply:
     # routing table rather than one key.
     epoch: Optional[int] = None
     shard_map: Optional[ShardMap] = None
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        extra = self.shard_map.size_bytes() if self.shard_map is not None else 0
-        return HEADER_BYTES + self.value_size + extra
+        size = self._size
+        if size < 0:
+            extra = (self.shard_map.size_bytes()
+                     if self.shard_map is not None else 0)
+            size = self._size = HEADER_BYTES + self.value_size + extra
+        return size
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnRequest:
     """Client -> transaction coordinator: run `ops` atomically.
 
@@ -105,17 +134,21 @@ class TxnRequest:
     # coordinator may evict those committed-reply cache slots (the txn
     # counterpart of `Command.acked_low_water`).
     acked_low_water: int = -1
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + sum(24 + len(k) + (len(v) if v else 0)
-                                  for _, k, v in self.ops)
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + sum(
+                24 + len(k) + (len(v) if v else 0) for _, k, v in self.ops)
+        return size
 
     def command_count(self) -> float:
         # Same client-facing cost profile as a ClientRequest.
         return 3.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnReply:
     """Coordinator -> client: the transaction's outcome.
 
@@ -129,13 +162,17 @@ class TxnReply:
     committed: bool = False
     reads: Dict[str, Optional[str]] = field(default_factory=dict)
     server: str = ""
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + sum(8 + (len(v) if v else 0)
-                                  for v in self.reads.values())
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + sum(
+                8 + (len(v) if v else 0) for v in self.reads.values())
+        return size
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardBatch:
     """A follower forwarding a batch of client commands to the leader
     (the etcd behaviour the paper keeps enabled: 'when a follower receives
@@ -144,22 +181,32 @@ class ForwardBatch:
 
     origin: str
     commands: List[Command]
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + sum(command.wire_size() for command in self.commands)
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + sum(
+                command.wire_size() for command in self.commands)
+        return size
 
     def command_count(self) -> int:
         return len(self.commands)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplyRelay:
     """Leader -> origin follower: results for forwarded commands."""
 
     replies: List[ClientReply]
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + sum(reply.size_bytes() for reply in self.replies)
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + sum(
+                reply.size_bytes() for reply in self.replies)
+        return size
 
 
 # --------------------------------------------------------------------------
@@ -167,7 +214,7 @@ class ReplyRelay:
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestVote:
     term: int
     candidate: str
@@ -178,7 +225,7 @@ class RequestVote:
         return HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestVoteReply:
     term: int
     voter: str
@@ -188,37 +235,51 @@ class RequestVoteReply:
     extra_entries: Dict[int, Entry] = field(default_factory=dict)
     # Mencius/Coordinated Raft* only: the voter's skip tags for those entries.
     extra_skip_tags: Dict[int, bool] = field(default_factory=dict)
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + _entries_size(list(self.extra_entries.values()))
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + _entries_size(
+                self.extra_entries.values())
+        return size
 
 
-@dataclass
+@dataclass(slots=True)
 class AppendEntries:
     term: int
     leader: str
     prev_index: int
     prev_term: int
-    entries: List[Entry]
+    # Built once by the sender as a tuple; never mutated in flight.
+    entries: Tuple[Entry, ...]
     leader_commit: int
     # Raft*-Mencius: whether the sender is the default leader for these
     # indexes, and piggybacked skip announcements (owner -> skipped-below).
     is_default: bool = False
     skips: Dict[str, int] = field(default_factory=dict)
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + _entries_size(self.entries)
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + _entries_size(self.entries)
+        return size
 
     def command_count(self) -> float:
         # Replicated entry processing is cheap relative to client handling.
         return 0.25 * len(self.entries)
+
+    def entry_batch(self) -> Iterable[Entry]:
+        """Entries eligible for cross-group envelope dedup."""
+        return self.entries
 
     @property
     def last_index(self) -> int:
         return self.prev_index + len(self.entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class AppendEntriesReply:
     term: int
     follower: str
@@ -239,7 +300,7 @@ class AppendEntriesReply:
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Prepare:
     """Phase1a: <'prepare', ballot, unchosen>."""
 
@@ -251,7 +312,7 @@ class Prepare:
         return HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Promise:
     """Phase1b reply: <'prepareOK', ballot, instances with id >= unchosen>."""
 
@@ -261,12 +322,17 @@ class Promise:
     log_tail: int
     # Mencius (Coordinated Paxos): skip tags for the reported instances.
     skip_tags: Dict[int, bool] = field(default_factory=dict)
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + _entries_size(list(self.instances.values()))
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + _entries_size(
+                self.instances.values())
+        return size
 
 
-@dataclass
+@dataclass(slots=True)
 class Accept:
     """Phase2a: <'accept', instance, value, ballot>; batched over instances."""
 
@@ -277,15 +343,20 @@ class Accept:
     # Mencius: proposer is default leader for these instances.
     is_default: bool = False
     skips: Dict[str, int] = field(default_factory=dict)
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + sum(command.wire_size() for command in self.instances.values())
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + sum(
+                command.wire_size() for command in self.instances.values())
+        return size
 
     def command_count(self) -> float:
         return 0.25 * len(self.instances)
 
 
-@dataclass
+@dataclass(slots=True)
 class Accepted:
     """Phase2b reply: <'acceptOK', instance, value, ballot>."""
 
@@ -300,7 +371,7 @@ class Accepted:
         return HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Learn:
     """Commit notification broadcast by the proposer."""
 
@@ -317,7 +388,7 @@ class Learn:
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaseGrant:
     """`grantor` grants `holder` a read lease until `expiry` (sim time)."""
 
@@ -329,7 +400,7 @@ class LeaseGrant:
         return HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaseAck:
     """`holder` acknowledges a grant; a grantor treats holders that stop
     acking as inactive once their grant expires (so writes stop waiting on
@@ -348,7 +419,7 @@ class LeaseAck:
 # --------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class SkipNotice:
     """`owner` announces all its unused owned indexes below `below` are
     no-op.  Per coordinated Paxos, a default leader proposing no-op lets
@@ -361,7 +432,7 @@ class SkipNotice:
         return HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitNotice:
     """`owner` announces indexes in `indexes` are committed (Mencius commit
     dissemination; other replicas need it to order execution)."""
@@ -373,7 +444,7 @@ class CommitNotice:
         return HEADER_BYTES + 4 * len(self.indexes)
 
 
-@dataclass
+@dataclass(slots=True)
 class MenciusAppend:
     """A (default or recovery) leader proposes values for specific global
     indexes.  `ballot` 0 marks the default leader's coordinated instances;
@@ -388,15 +459,25 @@ class MenciusAppend:
     next_own: int
     committed: List[int] = field(default_factory=list)
     is_default: bool = True
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + _entries_size(list(self.items.values())) + 4 * len(self.committed)
+        size = self._size
+        if size < 0:
+            size = self._size = (HEADER_BYTES
+                                 + _entries_size(self.items.values())
+                                 + 4 * len(self.committed))
+        return size
 
     def command_count(self) -> float:
         return 0.25 * len(self.items)
 
+    def entry_batch(self) -> Iterable[Entry]:
+        """Entries eligible for cross-group envelope dedup."""
+        return self.items.values()
 
-@dataclass
+
+@dataclass(slots=True)
 class MenciusAck:
     """Acceptance of `MenciusAppend` items; piggybacks the acker's own skip
     frontier and fresh commits."""
@@ -413,7 +494,7 @@ class MenciusAck:
         return HEADER_BYTES + 4 * (len(self.indexes) + len(self.committed))
 
 
-@dataclass
+@dataclass(slots=True)
 class MenciusCatchup:
     """A lagging replica asks a peer for the resolved range above `start`."""
 
@@ -424,20 +505,25 @@ class MenciusCatchup:
         return HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class MenciusState:
     """Catch-up reply: resolved entries (status committed/skipped only)."""
 
     items: Dict[int, Tuple[Entry, str]]
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + _entries_size([e for e, _ in self.items.values()])
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + _entries_size(
+                e for e, _ in self.items.values())
+        return size
 
     def command_count(self) -> float:
         return 0.25 * len(self.items)
 
 
-@dataclass
+@dataclass(slots=True)
 class MenciusPrepare:
     """Recovery phase-1 for a suspected-crashed owner's index range."""
 
@@ -451,7 +537,7 @@ class MenciusPrepare:
         return HEADER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class MenciusPromise:
     """Recovery phase-1 reply: accepted entries for the probed range."""
 
@@ -462,9 +548,14 @@ class MenciusPromise:
     end: int
     accepted: Dict[int, Entry] = field(default_factory=dict)
     skipped: List[int] = field(default_factory=list)
+    _size: int = _memo()
 
     def size_bytes(self) -> int:
-        return HEADER_BYTES + _entries_size(list(self.accepted.values()))
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + _entries_size(
+                self.accepted.values())
+        return size
 
 
 # --------------------------------------------------------------------------
@@ -472,10 +563,12 @@ class MenciusPromise:
 # --------------------------------------------------------------------------
 
 
-@dataclass
-class MuxedMessage:
+class MuxedMessage(NamedTuple):
     """One protocol message in flight through a host mux: the real replica
-    endpoints plus the group tag the receiving mux demultiplexes on."""
+    endpoints plus the group tag the receiving mux demultiplexes on.
+
+    A NamedTuple, not a dataclass: the mux allocates one per intercepted
+    send, and a tuple is the cheapest object with named fields."""
 
     src: str
     dst: str
@@ -483,7 +576,21 @@ class MuxedMessage:
     payload: Any
 
 
-@dataclass
+# Per-type cache: whether a payload class exposes `entry_batch()` (entries
+# eligible for cross-group dedup inside one envelope).
+_HAS_BATCH: Dict[type, bool] = {}
+
+
+def _payload_entry_batch(payload: Any) -> Optional[Iterable[Entry]]:
+    tp = type(payload)
+    has = _HAS_BATCH.get(tp)
+    if has is None:
+        has = callable(getattr(payload, "entry_batch", None))
+        _HAS_BATCH[tp] = has
+    return payload.entry_batch() if has else None
+
+
+@dataclass(slots=True)
 class HostBeacon:
     """The merged keepalive of every colocated leader on one host.
 
@@ -499,7 +606,7 @@ class HostBeacon:
         return HEADER_BYTES + 12 * len(self.beats)
 
 
-@dataclass
+@dataclass(slots=True)
 class HostEnvelope:
     """Everything one host sends another in one coalescing flush tick.
 
@@ -513,18 +620,56 @@ class HostEnvelope:
     messages without their own `size_bytes` / `command_count` contribute
     the cost model's fallbacks (64 B, 0 commands) rather than silently
     vanishing from the bill.
+
+    The one wire saving batching DOES earn: an entry that appears more
+    than once in the same envelope (the same Command object at the same
+    term/ballot, e.g. two followers of one group on one host, or groups
+    replicating a shared migration record) is carried once; later
+    occurrences cost a `DEDUP_REF_BYTES` back-reference.  The per-flush
+    saving is surfaced as `payload_dedup_bytes()` and accumulated by the
+    mux into the `coalesce_payload_dedup_bytes` counter.
     """
 
     src_host: str
     dst_host: str
-    items: List[MuxedMessage] = field(default_factory=list)
+    items: Tuple[MuxedMessage, ...] = ()
     beacon: Optional[HostBeacon] = None
+    _size: int = _memo()
+    _dedup: int = _memo()
 
-    def size_bytes(self) -> int:
-        inner = sum(payload_size_bytes(m.payload) for m in self.items)
+    def _compute(self) -> None:
+        inner = 0
+        saved = 0
+        seen = None
+        for item in self.items:
+            payload = item.payload
+            inner += payload_size_bytes(payload)
+            batch = _payload_entry_batch(payload)
+            if batch is None:
+                continue
+            if seen is None:
+                seen = set()
+            for entry in batch:
+                key = (id(entry.command), entry.term, entry.ballot)
+                if key in seen:
+                    saved += max(0, entry.wire_size() - DEDUP_REF_BYTES)
+                else:
+                    seen.add(key)
         if self.beacon is not None:
             inner += self.beacon.size_bytes()
-        return HEADER_BYTES + inner
+        self._dedup = saved
+        self._size = HEADER_BYTES + inner - saved
+
+    def size_bytes(self) -> int:
+        if self._size < 0:
+            self._compute()
+        return self._size
+
+    def payload_dedup_bytes(self) -> int:
+        """Wire bytes saved by entry dedup across this envelope's items."""
+        if self._dedup < 0:
+            self._compute()
+        return self._dedup
 
     def command_count(self) -> float:
         return sum(payload_command_count(m.payload) for m in self.items)

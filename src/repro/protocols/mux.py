@@ -120,12 +120,17 @@ class GroupMux(Node):
             # Colocated endpoints: nothing to amortize, deliver locally.
             network.send(src, dst, message)
             return
-        if network.link_blocked(src, dst):
+        if network._blocked and network.link_blocked(src, dst):
             # Mirror the raw transport: a blocked link drops at send time.
             network.messages_sent += 1
             network.messages_dropped += 1
             return
-        self._buffers.setdefault(dst_mux, []).append(
+        buffer = self._buffers.get(dst_mux)
+        if buffer is None:
+            # One list per destination host for the mux's lifetime: flush
+            # empties it in place instead of reallocating per tick.
+            buffer = self._buffers[dst_mux] = []
+        buffer.append(
             MuxedMessage(src=src, dst=dst,
                          group=self.directory.group_of[dst], payload=message))
         if not self._flush_timer.armed:
@@ -136,16 +141,26 @@ class GroupMux(Node):
         if not self.alive:
             return
         self._flush_timer.cancel()
-        buffers, self._buffers = self._buffers, {}
+        buffers = self._buffers
         beacons, self._pending_beacons = self._pending_beacons, {}
-        for dst_mux in sorted(set(buffers) | set(beacons)):
-            items = buffers.get(dst_mux, [])
+        targets = {dst for dst, items in buffers.items() if items}
+        targets.update(beacons)
+        for dst_mux in sorted(targets):
+            buffer = buffers.get(dst_mux)
+            if buffer:
+                items = tuple(buffer)
+                buffer.clear()
+            else:
+                items = ()
             envelope = HostEnvelope(
                 src_host=self.host.name,
                 dst_host=self.directory.muxes[dst_mux].host.name,
                 items=items, beacon=beacons.get(dst_mux))
             self._count("coalesce_envelopes")
             self._count("coalesce_messages", len(items))
+            saved = envelope.payload_dedup_bytes()
+            if saved:
+                self._count("coalesce_payload_dedup_bytes", saved)
             if envelope.beacon is not None:
                 self._count("coalesce_beacons")
                 self._count("coalesce_beacon_beats", len(envelope.beacon.beats))

@@ -302,10 +302,21 @@ class RaftReplica(ReplicaBase):
         """
         next_idx = self.next_index.get(peer, self.last_index + 1)
         start = max(next_idx, self._sent_hwm.get(peer, -1) + 1)
-        entries = [entry.copy() for entry in self.log[start:start + MAX_BATCH_ENTRIES]]
-        commit_news = self.commit_index > self._sent_commit.get(peer, -1)
-        if not entries and not commit_news and not heartbeat:
-            return
+        if start > self.last_index:
+            # Nothing new to ship — the common case for a flush tick on an
+            # idle pipeline.  Bail before touching the log unless a commit
+            # advance (or an explicit heartbeat) must be advertised.
+            if (not heartbeat
+                    and self.commit_index <= self._sent_commit.get(peer, -1)):
+                return
+            entries = ()
+        else:
+            # The message aliases the leader's log entries, and receivers
+            # adopt those references into their own logs: safe because an
+            # `Entry` is never mutated in place anywhere — Raft*'s ballot
+            # rewrite replaces entry objects rather than writing through
+            # shared ones.
+            entries = tuple(self.log[start:start + MAX_BATCH_ENTRIES])
         if entries:
             prev = start - 1
         else:
@@ -358,9 +369,9 @@ class RaftReplica(ReplicaBase):
                     # Conflict: erase the extraneous suffix (the step that has
                     # no MultiPaxos counterpart, §3).
                     del self.log[index:]
-                    self.log.append(entry.copy())
+                    self.log.append(entry)
             else:
-                self.log.append(entry.copy())
+                self.log.append(entry)
         return True, msg.prev_index + len(msg.entries)
 
     def _advance_commit_follower(self, new_commit: int) -> None:

@@ -104,19 +104,24 @@ class RaftStarReplica(RaftReplica):
         insert = msg.prev_index + 1
         for offset, entry in enumerate(msg.entries):
             index = insert + offset
-            replacement = entry.copy()
             if index <= self.last_index:
-                self.log[index] = replacement  # overwrite, never truncate
+                self.log[index] = entry  # overwrite, never truncate
             else:
-                self.log.append(replacement)
+                self.log.append(entry)
         self._rewrite_ballots(msg.term)
         return True, msg.last_index
 
     def _rewrite_ballots(self, term: int) -> None:
         """Difference 2: all entries' ballots become the appending term
-        (Figure 2b lines 6-7)."""
-        for entry in self.log:
-            entry.ballot = term
+        (Figure 2b lines 6-7).  Entries are *replaced*, never mutated in
+        place — log entries are shared with in-flight messages and peer
+        logs (the transport ships references, not copies), so an in-place
+        write here would rewrite another replica's state."""
+        log = self.log
+        for index, entry in enumerate(log):
+            if entry.ballot != term:
+                log[index] = Entry(term=entry.term, command=entry.command,
+                                   ballot=term)
 
     def _append_to_log(self, command: Command) -> None:
         super()._append_to_log(command)

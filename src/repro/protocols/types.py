@@ -60,7 +60,7 @@ class Consistency(enum.Enum):
     LEASE_LOCAL = "lease_local"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Command:
     """A client command to the replicated state machine.
 
@@ -114,8 +114,7 @@ class Command:
     def wire_size(self) -> int:
         """Approximate bytes on the wire."""
         base = 24 + len(self.key)
-        if self.op in (OpType.PUT, OpType.MIGRATE_IN, OpType.TXN,
-                       OpType.TXN_PREPARE):
+        if self.op in _VALUE_CARRYING_OPS:
             # MIGRATE_IN carries the exported range snapshot as its value,
             # TXN/TXN_PREPARE the transaction's operation list; `value_size`
             # is set to the blob's real size at construction so replicating
@@ -139,14 +138,12 @@ class Command:
     def is_data(self) -> bool:
         """A client data operation, subject to shard ownership routing
         (migration and no-op commands bypass the ownership guard)."""
-        return self.op in (OpType.PUT, OpType.GET)
+        return self.op in _DATA_OPS
 
     @property
     def is_txn(self) -> bool:
         """Any transaction-layer command (repro.shard.txn)."""
-        return self.op in (OpType.TXN, OpType.TXN_PREPARE, OpType.TXN_COMMIT,
-                           OpType.TXN_ABORT, OpType.TXN_DECIDE,
-                           OpType.TXN_RECOVER)
+        return self.op in _TXN_OPS
 
     @property
     def shard_checked(self) -> bool:
@@ -154,13 +151,24 @@ class Command:
         data operations plus single-shard transactions.  2PC commands are
         coordinator-routed and ownership-checked inside the store at
         prepare time instead."""
-        return self.op in (OpType.PUT, OpType.GET, OpType.TXN)
+        return self.op in _SHARD_CHECKED_OPS
+
+
+# Hot-path op sets, built once (an inline tuple literal of enum members is
+# rebuilt on every membership test).
+_VALUE_CARRYING_OPS = frozenset(
+    {OpType.PUT, OpType.MIGRATE_IN, OpType.TXN, OpType.TXN_PREPARE})
+_DATA_OPS = frozenset({OpType.PUT, OpType.GET})
+_TXN_OPS = frozenset(
+    {OpType.TXN, OpType.TXN_PREPARE, OpType.TXN_COMMIT, OpType.TXN_ABORT,
+     OpType.TXN_DECIDE, OpType.TXN_RECOVER})
+_SHARD_CHECKED_OPS = frozenset({OpType.PUT, OpType.GET, OpType.TXN})
 
 
 NOP = Command(op=OpType.NOP, client_id="__nop__", seq=0, value_size=0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ballot:
     """A globally unique, totally ordered proposal number.
 
@@ -187,7 +195,7 @@ class Ballot:
         return (self.round, self.proposer) >= (other.round, other.proposer)
 
 
-@dataclass
+@dataclass(slots=True)
 class Entry:
     """A log entry.
 

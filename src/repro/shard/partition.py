@@ -20,10 +20,20 @@ from typing import Callable, List, Sequence, Tuple
 HASH_SPACE = 1 << 32
 
 
+# key -> ring point, filled on first sight.  Workloads draw from a bounded
+# keyspace, and routers/stores hash the same keys over and over (every
+# routing decision and every ownership check), so the sha1 runs once per
+# distinct key per process.
+_POINT_CACHE: dict = {}
+
+
 def key_point(key: str) -> int:
     """Map a key to its stable point on the hash ring."""
-    digest = hashlib.sha1(key.encode()).digest()
-    return int.from_bytes(digest[:4], "big")
+    point = _POINT_CACHE.get(key)
+    if point is None:
+        digest = hashlib.sha1(key.encode()).digest()
+        point = _POINT_CACHE[key] = int.from_bytes(digest[:4], "big")
+    return point
 
 
 class Partitioner:

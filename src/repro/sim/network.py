@@ -78,6 +78,14 @@ class Network:
         self._egress_key: Dict[str, str] = {}  # node name -> host NIC key
         self._site_egress_free: Dict[str, int] = {}
         self._last_arrival: Dict[Tuple[str, str], int] = {}
+        # Resolved-route cache: (src, dst) -> (src_site, dst_site, local,
+        # base one-way latency).  Sites and the topology are fixed after
+        # registration, so the per-send site lookups and latency-table
+        # probes collapse to one dict hit.
+        self._paths: Dict[Tuple[str, str], Tuple[str, str, bool, int]] = {}
+        # NIC serialization cost in microseconds per byte (the config is
+        # never rewritten after construction).
+        self._us_per_byte = 1_000_000 / self.config.bandwidth_bytes_per_sec
         self._blocked: Set[Tuple[str, str]] = set()
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -139,47 +147,62 @@ class Network:
         Messages to unknown destinations raise; messages across blocked links
         or hit by random loss are silently dropped (that is the point).
         """
-        if dst not in self._nodes:
+        nodes = self._nodes
+        if dst not in nodes:
             raise UnknownNodeError(dst)
+        config = self.config
         self.messages_sent += 1
-        if (src, dst) in self._blocked:
+        pair = (src, dst)
+        if self._blocked and pair in self._blocked:
             self.messages_dropped += 1
             return
-        if self.config.loss_rate > 0 and self.rng.random() < self.config.loss_rate:
+        if config.loss_rate > 0 and self.rng.random() < config.loss_rate:
             self.messages_dropped += 1
             return
 
-        size = size_bytes if size_bytes is not None else _estimate_size(message)
+        # The memoized per-message size (protocols.messages) makes this a
+        # cache read for every message past its first charging site.
+        size = size_bytes if size_bytes is not None else payload_size_bytes(message)
         self.bytes_sent += size
 
-        src_site = self._nodes[src].site
-        dst_site = self._nodes[dst].site
+        topology = self.topology
+        path = self._paths.get(pair)
+        if path is None:
+            src_site = nodes[src].site
+            dst_site = nodes[dst].site
+            local = (src == dst
+                     or (config.deliver_local_instantly and src_site == dst_site))
+            base = 0 if local else topology.latency(src_site, dst_site)
+            path = self._paths[pair] = (src_site, dst_site, local, base)
+        src_site, dst_site, local, base = path
 
-        if src == dst or (self.config.deliver_local_instantly and src_site == dst_site):
-            self.sim.schedule(self.topology.local_us, self._deliver, src, dst, message)
+        if local:
+            self.sim.schedule(topology.local_us, self._deliver, src, dst, message)
             return
 
         now = self.sim.now
-        serialization = int(size / self.config.bandwidth_bytes_per_sec * 1_000_000)
+        serialization = int(size * self._us_per_byte)
         nic = self._egress_key.get(src, src)
-        depart = max(now, self._egress_free.get(nic, 0)) + serialization
-        self._egress_free[nic] = depart
-        if self.config.site_bandwidth_bytes_per_sec is not None and src_site != dst_site:
+        egress_free = self._egress_free
+        depart = max(now, egress_free.get(nic, 0)) + serialization
+        egress_free[nic] = depart
+        if config.site_bandwidth_bytes_per_sec is not None and src_site != dst_site:
             # The message also serializes through the site's shared uplink,
             # after it leaves the node's NIC.
             site_serialization = int(
-                size / self.config.site_bandwidth_bytes_per_sec * 1_000_000)
+                size / config.site_bandwidth_bytes_per_sec * 1_000_000)
             depart = max(depart, self._site_egress_free.get(src_site, 0)) + site_serialization
             self._site_egress_free[src_site] = depart
 
-        base = self.topology.latency(src_site, dst_site)
-        jitter = self.topology.jitter_fraction
-        factor = 1.0 + (self.rng.uniform(0, jitter) if jitter > 0 else 0.0)
+        jitter = topology.jitter_fraction
+        # jitter * random() draws the exact value uniform(0, jitter) would
+        # (same underlying random() call), minus the method overhead.
+        factor = 1.0 + (jitter * self.rng.random() if jitter > 0 else 0.0)
         arrive = depart + int(base * factor)
-        if self.config.fifo:
-            key = (src, dst)
-            arrive = max(arrive, self._last_arrival.get(key, arrive - 1) + 1)
-            self._last_arrival[key] = arrive
+        if config.fifo:
+            last_arrival = self._last_arrival
+            arrive = max(arrive, last_arrival.get(pair, arrive - 1) + 1)
+            last_arrival[pair] = arrive
         self.sim.schedule(arrive - now, self._deliver, src, dst, message)
 
     def _deliver(self, src: str, dst: str, message) -> None:

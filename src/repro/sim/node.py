@@ -33,19 +33,40 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.network import Network
 
 
+# Per-type dispatch caches: whether a message class defines size_bytes /
+# command_count.  The getattr probe runs once per *class*, not per call —
+# the hot path is a dict hit on `type(message)`.  Message classes memoize
+# the computed size per *instance* (see protocols.messages), so the three
+# charging sites (node CPU cost, network size estimate, mux envelope)
+# all read one cached number.
+_HAS_SIZE: Dict[type, bool] = {}
+_HAS_COUNT: Dict[type, bool] = {}
+# Combined (has_size, has_count) shape per type for `NodeCosts.cost`, the
+# one site that needs both answers: one dict hit instead of two.
+_COST_SHAPE: Dict[type, tuple] = {}
+
+
 def payload_size_bytes(message: Any) -> int:
     """Wire size of an arbitrary message: its `size_bytes()` if it has
     one, else a small constant header.  THE canonical fallback — the CPU
     model, the network's size estimate, and the mux envelope all charge
     through here so a batch costs exactly what its parts would."""
-    size_fn = getattr(message, "size_bytes", None)
-    return int(size_fn()) if callable(size_fn) else 64
+    tp = type(message)
+    has = _HAS_SIZE.get(tp)
+    if has is None:
+        has = callable(getattr(message, "size_bytes", None))
+        _HAS_SIZE[tp] = has
+    return int(message.size_bytes()) if has else 64
 
 
 def payload_command_count(message: Any) -> float:
     """Command-work units a message carries (`command_count()`, else 0)."""
-    count_fn = getattr(message, "command_count", None)
-    return float(count_fn()) if callable(count_fn) else 0.0
+    tp = type(message)
+    has = _HAS_COUNT.get(tp)
+    if has is None:
+        has = callable(getattr(message, "command_count", None))
+        _HAS_COUNT[tp] = has
+    return float(message.command_count()) if has else 0.0
 
 
 @dataclass
@@ -70,8 +91,15 @@ class NodeCosts:
     per_byte: float = 0.01
 
     def cost(self, message: Any) -> int:
-        size = payload_size_bytes(message)
-        count = payload_command_count(message)
+        tp = type(message)
+        shape = _COST_SHAPE.get(tp)
+        if shape is None:
+            shape = _COST_SHAPE[tp] = (
+                callable(getattr(message, "size_bytes", None)),
+                callable(getattr(message, "command_count", None)),
+            )
+        size = int(message.size_bytes()) if shape[0] else 64
+        count = float(message.command_count()) if shape[1] else 0.0
         return int(self.per_message + self.per_command * count + self.per_byte * size)
 
 
@@ -137,33 +165,75 @@ class Host:
 
 
 class Timer:
-    """A cancellable, re-armable timer bound to a node incarnation."""
+    """A cancellable, re-armable timer bound to a node incarnation.
+
+    Re-arming is lazy: the timer tracks its intended deadline, and an
+    in-flight queue event that fires at or before the new deadline is
+    *kept* — when it fires early it just reschedules itself for the
+    remaining gap.  A timer that is pushed out on every message (the
+    election timeout, reset per AppendEntries) therefore costs one queue
+    event per timeout *window*, not one cancelled entry per reset, which
+    is what kept the old event queue full of dead heartbeat entries.
+    """
+
+    __slots__ = ("node", "name", "_event", "_deadline", "_callback",
+                 "_incarnation")
 
     def __init__(self, node: "Node", name: str) -> None:
         self.node = node
         self.name = name
         self._event: Optional["Event"] = None
+        self._deadline = -1  # -1 = disarmed
+        self._callback: Optional[Callable[[], None]] = None
         self._incarnation = node.incarnation
 
     def arm(self, delay: int, callback: Callable[[], None]) -> None:
         """(Re)arm the timer `delay` microseconds from now."""
-        self.cancel()
-        self._incarnation = self.node.incarnation
-        self._event = self.node.sim.schedule(delay, self._fire, callback)
+        node = self.node
+        deadline = node.sim.now + int(delay)
+        self._incarnation = node.incarnation
+        self._deadline = deadline
+        self._callback = callback
+        event = self._event
+        if event is not None:
+            if not event.cancelled and event.time <= deadline:
+                # The queued event fires no later than the new deadline:
+                # keep it.  If it wakes early it sees now < deadline and
+                # sleeps again for the gap (see `_fire`).
+                return
+            event.cancel()
+        self._event = node.sim.schedule(delay, self._fire)
 
     def cancel(self) -> None:
+        self._deadline = -1
+        self._callback = None
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
     @property
     def armed(self) -> bool:
-        return self._event is not None and not self._event.cancelled
+        return self._deadline >= 0
 
-    def _fire(self, callback: Callable[[], None]) -> None:
+    def _fire(self) -> None:
         self._event = None
-        if not self.node.alive or self.node.incarnation != self._incarnation:
+        node = self.node
+        if not node.alive or node.incarnation != self._incarnation:
+            self._deadline = -1
+            self._callback = None
             return
+        deadline = self._deadline
+        if deadline < 0:
+            return
+        now = node.sim.now
+        if now < deadline:
+            # Deadline was extended since this event was queued: sleep for
+            # the remaining gap instead of firing.
+            self._event = node.sim.schedule(deadline - now, self._fire)
+            return
+        callback = self._callback
+        self._deadline = -1
+        self._callback = None
         callback()
 
 
@@ -207,7 +277,9 @@ class Node:
         """Send a message; does nothing if this node is crashed."""
         if not self.alive:
             return
-        self.trace.record(self.sim.now, self.name, "send", dst=dst, msg=type(message).__name__)
+        if self.trace.enabled:
+            self.trace.record(self.sim.now, self.name, "send", dst=dst,
+                              msg=type(message).__name__)
         if self.mux is not None and self.mux.covers(dst):
             self.mux.enqueue(self.name, dst, message)
             return
@@ -218,16 +290,25 @@ class Node:
         if not self.alive:
             return
         cost = self.costs.cost(message)
-        done = self.host.run_for(cost)
+        sim = self.sim
+        host = self.host
+        now = sim._now
+        start = host._cpu_free
+        if start < now:
+            start = now
+        done = start + cost
+        host._cpu_free = done
+        host.cpu_busy_us += cost
         self.cpu_busy_us += cost
-        incarnation = self.incarnation
-        self.sim.schedule(done - self.sim.now, self._handle, src, message, incarnation)
+        sim.schedule(done - now, self._handle, src, message, self.incarnation)
 
     def _handle(self, src: str, message: Any, incarnation: int) -> None:
         if not self.alive or self.incarnation != incarnation:
             return
         self.messages_handled += 1
-        self.trace.record(self.sim.now, self.name, "recv", src=src, msg=type(message).__name__)
+        if self.trace.enabled:
+            self.trace.record(self.sim.now, self.name, "recv", src=src,
+                              msg=type(message).__name__)
         self.on_message(src, message)
 
     def deliver_direct(self, src: str, message: Any) -> None:
@@ -236,7 +317,9 @@ class Node:
         if not self.alive:
             return
         self.messages_handled += 1
-        self.trace.record(self.sim.now, self.name, "recv", src=src, msg=type(message).__name__)
+        if self.trace.enabled:
+            self.trace.record(self.sim.now, self.name, "recv", src=src,
+                              msg=type(message).__name__)
         self.on_message(src, message)
 
     def on_message(self, src: str, message: Any) -> None:

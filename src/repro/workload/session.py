@@ -190,6 +190,9 @@ class Session(Node):
         self.retry = retry if retry is not None else RetryPolicy()
         self.read_consistency = read_consistency
 
+        # The workload's value size never changes mid-run: resolve the
+        # per-op default once instead of a getattr per admission.
+        self._default_value_size = getattr(workload, "value_size", 8)
         self.seq = 0                 # last allocated sequence number
         self.submitted = 0           # operations accepted (window + queue)
         self.completed = 0
@@ -299,22 +302,21 @@ class Session(Node):
 
     def _admit(self, qop: _QueuedOp) -> None:
         seq = self._next_seq()
-        workload_size = getattr(self.workload, "value_size", 8)
         if qop.value_size is not None:
             value_size = qop.value_size
         elif qop.kind == "txn" and qop.value is not None:
             value_size = len(qop.value)
         else:
-            value_size = workload_size
+            value_size = self._default_value_size
         command = Command(
             op=_OPS[qop.kind], key=qop.key, value=qop.value,
             client_id=self.name, seq=seq, value_size=value_size,
-            acked_low_water=self.acked_floor, consistency=qop.consistency,
+            acked_low_water=self._ack_floor.floor, consistency=qop.consistency,
             trace=qop.trace)
         pending = PendingRequest(
             command, self._route(command), qop.submitted_at,
-            retry_timer=self.timer(f"retry:{seq}"),
-            backoff_timer=self.timer(f"backoff:{seq}"),
+            retry_timer=self.timer("retry"),
+            backoff_timer=self.timer("backoff"),
             on_done=qop.on_done)
         self._pending[seq] = pending
         if qop.trace is not None:

@@ -1,0 +1,58 @@
+"""The `perf` microbench: leg shape, determinism, and the CI regression
+contract."""
+
+from repro.bench.perf import (
+    check_regression,
+    compare_to_baseline,
+    render_perf,
+    run_core_churn,
+    run_perf,
+)
+
+
+def test_core_churn_is_deterministic():
+    a = run_core_churn(scale=0.05, seed=0, duration_s=0.5)
+    b = run_core_churn(scale=0.05, seed=0, duration_s=0.5)
+    assert a["events"] == b["events"] > 0
+    assert a["completed_ops"] == b["completed_ops"] > 0
+
+
+def test_core_churn_seed_varies_schedule():
+    a = run_core_churn(scale=0.05, seed=0, duration_s=0.5)
+    b = run_core_churn(scale=0.05, seed=12345, duration_s=0.5)
+    # Same shape of work, different deterministic phase.
+    assert a["events"] == b["events"]
+
+
+def test_run_perf_report_shape():
+    report = run_perf(scale=0.05, seed=0, profile=False)
+    assert set(report["legs"]) == {"core-churn", "single-group",
+                                   "hosted-mux"}
+    for leg in report["legs"].values():
+        assert leg["events"] > 0
+        assert leg["events_per_sec"] > 0
+    assert report["events"] == sum(
+        leg["events"] for leg in report["legs"].values())
+    assert report["events_per_sec_normalized"] > 0
+    assert "events/s" in render_perf(report)
+
+
+def _fake_report(eps: float, norm: float) -> dict:
+    return {"scale": 1.0, "seed": 0, "legs": {}, "events": 1, "wall_s": 1.0,
+            "events_per_sec": eps, "sim_s_per_wall_s": 1.0,
+            "calibration": 1.0, "events_per_sec_normalized": norm}
+
+
+def test_check_regression_contract():
+    baseline = {"pre_refactor": _fake_report(100.0, 0.01),
+                "post_refactor": _fake_report(400.0, 0.04)}
+    # Within 30% of the committed post number: ok.
+    ok, message = check_regression(_fake_report(300.0, 0.03), baseline, 0.30)
+    assert ok and message.startswith("ok")
+    # More than 30% below it: fail.
+    ok, message = check_regression(_fake_report(100.0, 0.01), baseline, 0.30)
+    assert not ok and "REGRESSION" in message
+    # The comparison is against post_refactor, not the pre number.
+    comp = compare_to_baseline(_fake_report(400.0, 0.04), baseline)
+    assert comp["baseline_label"] == "post_refactor"
+    assert comp["speedup_normalized"] == 1.0

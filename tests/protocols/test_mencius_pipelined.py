@@ -1,0 +1,31 @@
+"""Pipelined sessions over Mencius, both execution modes.
+
+Mencius is leaderless — every replica owns a rotating share of the log —
+so deep per-session windows exercise a different hot path than the
+leader-based pipeline figure: concurrent in-flight commands fan out to
+every owner at once, and the commutative execution mode re-orders
+non-conflicting commands between skip announcements.  Both modes must
+stay linearizable under depth-8 sessions, and the deeper window must
+out-run the closed loop (in-flight requests, not client count, set
+throughput — the same claim the pipeline figure makes for Raft)."""
+
+import pytest
+
+from repro.bench.experiments import pipeline_spec
+from repro.bench.harness import run_experiment
+
+
+@pytest.mark.parametrize("mode", ["ordered", "commutative"])
+def test_depth8_beats_depth1_and_stays_linearizable(mode):
+    throughput = {}
+    for depth in (1, 8):
+        spec = pipeline_spec(0.35, seed=3, protocol="mencius",
+                             depth=depth).with_(execution_mode=mode)
+        result = run_experiment(spec)
+        assert result.violations == [], (
+            f"mode={mode} depth={depth}: {result.violations[:3]}")
+        assert result.completed > 0
+        throughput[depth] = result.throughput_ops
+    assert throughput[8] > throughput[1], (
+        f"mode={mode}: depth-8 ({throughput[8]:.0f} ops/s) did not beat "
+        f"depth-1 ({throughput[1]:.0f} ops/s)")

@@ -1,0 +1,94 @@
+"""Lazy timer re-arm: an extended deadline keeps the queued event.
+
+The election-timeout pattern — re-armed on every received heartbeat —
+must cost one queue event per timeout *window*, not one cancelled entry
+per reset.  These tests pin that contract (and the semantics around it:
+shortened deadlines still fire early, extended events sleep for the
+remaining gap instead of firing)."""
+
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.node import Node, NodeCosts
+from repro.sim.rng import SplitRng
+from repro.sim.topology import symmetric_lan
+from repro.sim.units import ms
+
+
+def build():
+    sim = Simulator()
+    net = Network(sim, symmetric_lan(2, rtt_ms_value=0.0), rng=SplitRng(1))
+    node = Node("s0", sim, net,
+                costs=NodeCosts(per_message=0, per_command=0, per_byte=0))
+    return sim, node
+
+
+def test_extension_keeps_queued_event():
+    sim, node = build()
+    fired = []
+    timer = node.timer("election")
+    timer.arm(ms(10), lambda: fired.append(sim.now))
+    queued = timer._event
+    # Push the deadline out repeatedly: the in-flight event is kept.
+    for _ in range(50):
+        timer.arm(ms(10), lambda: fired.append(sim.now))
+        assert timer._event is queued
+    sim.run()
+    assert fired == [ms(10)]
+
+
+def test_reset_per_tick_costs_one_event_per_window():
+    sim, node = build()
+    fired = []
+    timer = node.timer("election")
+    timer.arm(ms(10), lambda: fired.append(sim.now))
+
+    resets = 100
+
+    def tick(n):
+        if n:
+            timer.arm(ms(10), lambda: fired.append(sim.now))
+            sim.schedule(ms(1), tick, n - 1)
+
+    sim.schedule(ms(1), tick, resets)
+    sim.run()
+    # The timer fires once, 10ms after the last reset.
+    assert fired == [ms(1) * resets + ms(10)]
+    # Lazy re-arm: the timer consumed ~one queue event per elapsed 10ms
+    # window (the early wake-ups that re-slept), nowhere near one per
+    # reset.  Total events = 101 ticks + timer wake-ups.
+    wakeups = sim.events_processed - (resets + 1)
+    assert wakeups <= resets // 5 + 2
+
+
+def test_shortened_deadline_fires_early():
+    sim, node = build()
+    fired = []
+    timer = node.timer("t")
+    timer.arm(ms(10), lambda: fired.append(sim.now))
+    timer.arm(ms(2), lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [ms(2)]
+
+
+def test_extended_event_wakes_early_and_resleeps():
+    sim, node = build()
+    fired = []
+    timer = node.timer("t")
+    timer.arm(ms(5), lambda: fired.append(("old", sim.now)))
+    # Extend before the original wake-up: the old event stays queued, wakes
+    # at 5ms, sees the pushed-out deadline, and re-sleeps for the gap.
+    timer.arm(ms(20), lambda: fired.append(("new", sim.now)))
+    sim.run()
+    assert fired == [("new", ms(20))]
+
+
+def test_cancel_after_extension_suppresses_wakeup_fire():
+    sim, node = build()
+    fired = []
+    timer = node.timer("t")
+    timer.arm(ms(5), lambda: fired.append(sim.now))
+    timer.arm(ms(20), lambda: fired.append(sim.now))
+    timer.cancel()
+    assert not timer.armed
+    sim.run()
+    assert fired == []

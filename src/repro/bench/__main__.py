@@ -6,6 +6,7 @@
     python -m repro.bench sharding --shards 1 4 --placement spread
     python -m repro.bench reshard --reshard-at 4.0 --reshard-to 8
     python -m repro.bench txn --txn-shards 1 2 4 --cross-ratio 0 0.5
+    python -m repro.bench failover --scale 0.6
     python -m repro.bench coalesce --coalesce both --coalesce-shards 4 8
     python -m repro.bench tail --scale 0.2 --metrics-out out.jsonl
     python -m repro.bench pipeline --obs
@@ -50,6 +51,8 @@ FIGURES = {
     "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
     "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
     "txn": lambda scale, seed: ex.txn_figures(scale, seed),
+    "failover": lambda scale, seed: ex.coordinator_failover(
+        scale, seeds=(seed, seed + 1, seed + 2))[0].render(),
     "coalesce": lambda scale, seed: ex.coalesce_figure(scale, seed).render(),
     "perf": None,  # bound in main() (needs the parsed perf flags)
 }

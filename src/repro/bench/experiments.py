@@ -28,7 +28,8 @@ from repro.shard.cluster import (
     run_sharded_experiment,
 )
 from repro.shard.nemesis import Nemesis
-from repro.shard.txn import TxnResult, TxnSpec, run_txn_experiment
+from repro.shard.txn import (TxnCluster, TxnResult, TxnSpec,
+                             run_txn_experiment)
 from repro.sim.topology import ec2_three_regions
 from repro.sim.units import ms
 from repro.workload.ycsb import WorkloadConfig
@@ -837,6 +838,10 @@ def txn_fault_nemesis(cluster, seed: int = 1) -> Nemesis:
     nemesis.leader_kill_at(0.3 * duration)
     nemesis.coordinator_kill_at(0.45 * duration, 0)
     nemesis.leader_partition_at(0.6 * duration)
+    # Machine-granular: a coordinator host (with its control replica)
+    # stays dark past lease expiry, so a peer MUST fence and sweep it —
+    # the figure's "coordinator failovers" row counts these takeovers.
+    nemesis.coordinator_host_kill_at(0.7 * duration, role="txn")
     return nemesis
 
 
@@ -857,7 +862,8 @@ def txn_faults(scale: float = 1.0, seed: int = 1, num_shards: int = 4,
         figure="Txn-faults",
         title=f"{int(cross_shard_ratio * 100)}% cross-shard transactions "
               f"under faults ({protocol}, {num_shards} shards): leader kill "
-              "mid-prepare, coordinator kill mid-commit, leader partition",
+              "mid-prepare, coordinator kill mid-commit, leader partition, "
+              "coordinator HOST kill (failover to a standby)",
         columns=["metric", "value"],
     )
     table.add_row("committed txns", result.committed_total)
@@ -866,6 +872,7 @@ def txn_faults(scale: float = 1.0, seed: int = 1, num_shards: int = 4,
                   f"{result.commits_2pc} / {result.attempt_aborts} / "
                   f"{result.waits}")
     table.add_row("coordinator recoveries", result.recoveries)
+    table.add_row("coordinator failovers (host kill)", result.failovers)
     table.add_row("acks lost / duplicated", f"{result.acks_lost} / "
                                             f"{result.acks_duplicated}")
     table.add_row("acked writes re-executed", result.duplicate_executions)
@@ -875,6 +882,125 @@ def txn_faults(scale: float = 1.0, seed: int = 1, num_shards: int = 4,
     for at_s, what in nemesis.log:
         table.notes.append(f"t={at_s:.2f}s {what}")
     return table, result
+
+
+def _host_kill_takeover_ms(nemesis: Nemesis, takeovers) -> float:
+    """Wall time from the schedule's (only) host kill to the first role
+    takeover that follows it, in milliseconds."""
+    kills = [at_s for at_s, what in nemesis.log
+             if what.startswith("host_kill: crashed")]
+    if not kills:
+        return float("nan")
+    after = [at for at, _role in takeovers if at / 1e6 >= kills[0]]
+    if not after:
+        return float("nan")
+    return min(after) / 1e3 - kills[0] * 1e3
+
+
+def _txn_failover_trial(scale: float, seed: int, protocol: str):
+    """One transactional run whose busiest-site coordinator HOST dies with
+    2PC in flight; returns (failover ms, result, nemesis)."""
+    spec = txn_spec(scale, seed, num_shards=2, cross_shard_ratio=0.6,
+                    protocol=protocol)
+    cluster = TxnCluster(spec)
+    nemesis = Nemesis(cluster, seed=seed, host_down_s=0.4 * spec.duration_s)
+    nemesis.coordinator_host_kill_at(0.45 * spec.duration_s, role="txn")
+    cluster.nemesis = nemesis
+    result = cluster.run()
+    latency_ms = _host_kill_takeover_ms(
+        nemesis, [t for c in cluster.coordinators for t in c.takeovers])
+    return latency_ms, result, nemesis
+
+
+def _reshard_failover_trial(scale: float, seed: int, protocol: str):
+    """One live 2->4 reshard whose lease-holding driver's host dies
+    mid-plan (donor leaders are crashed first so the plan is still in
+    flight); returns (failover ms, result, nemesis)."""
+    spec = reshard_spec(scale, seed, protocol=protocol)
+    spec.duration_s += 4.0  # room to finish the stretched migration
+    holder: Dict[str, object] = {}
+
+    def install(cluster) -> None:
+        nemesis = Nemesis(cluster, seed=seed, leader_down_s=1.0,
+                          host_down_s=0.35 * spec.duration_s)
+        nemesis.leader_kill_at(spec.reshard_at_s + 0.1, shard=0)
+        nemesis.leader_kill_at(spec.reshard_at_s + 0.1, shard=1)
+        nemesis.coordinator_host_kill_at(spec.reshard_at_s + 1.6,
+                                         role="reshard")
+        cluster.nemesis = nemesis
+        holder["cluster"] = cluster
+        holder["nemesis"] = nemesis
+
+    result = run_reshard_experiment(spec, nemesis=install)
+    plane = holder["cluster"].coordinator
+    latency_ms = _host_kill_takeover_ms(
+        holder["nemesis"],
+        [t for c in plane.coordinators for t in c.takeovers])
+    return latency_ms, result, holder["nemesis"]
+
+
+def coordinator_failover(scale: float = 1.0,
+                         seeds: Tuple[int, ...] = (1, 2, 3),
+                         protocol: str = "raft"
+                         ) -> Tuple[FigureTable, Dict[str, object]]:
+    """The control-plane failover figure: kill the MACHINE under each
+    plane's active coordinator mid-flight and measure how fast a hot
+    standby takes over through the control journal.
+
+    Per seed, two trials: (1) a 60 %-cross-shard transactional run whose
+    coordinator host dies with 2PC in flight — a peer must fence and
+    sweep it within milliseconds of lease expiry; (2) a live 2->4 reshard
+    whose lease-holding driver's host dies mid-plan — a standby claims
+    the role and resumes from the journaled cursor.  The machines stay
+    dark for seconds, far longer than any measured failover, so
+    completion proves the takeover, not the restart.  Seeds where the
+    kill also lands on the control-log LEADER's host pay one extra
+    election — that regime shows up as the slow tail of the sweep."""
+    table = FigureTable(
+        figure="Coordinator-failover",
+        title=f"Control-plane failover under machine kills ({protocol}): "
+              "the active coordinator's host dies, a hot standby takes "
+              "over through the replicated decision log",
+        columns=["seed", "txn failover (ms)", "txn safe",
+                 "reshard failover (ms)", "reshard done + safe"],
+    )
+    txn_ms: List[float] = []
+    reshard_ms: List[float] = []
+    txn_results: List[TxnResult] = []
+    reshard_results: List[ReshardResult] = []
+    for seed in seeds:
+        t_ms, t_result, t_nemesis = _txn_failover_trial(scale, seed, protocol)
+        r_ms, r_result, r_nemesis = _reshard_failover_trial(scale, seed,
+                                                            protocol)
+        txn_ms.append(t_ms)
+        reshard_ms.append(r_ms)
+        txn_results.append(t_result)
+        reshard_results.append(r_result)
+        r_ok = (r_result.reshard_completed and r_result.acks_lost == 0
+                and r_result.acks_duplicated == 0
+                and r_result.duplicate_executions == 0
+                and r_result.linearizable)
+        table.add_row(seed, t_ms, _txn_safety(t_result), r_ms,
+                      "yes" if r_ok else "NO")
+        for at_s, what in t_nemesis.log:
+            if "host_kill" in what:
+                table.notes.append(f"seed {seed} txn t={at_s:.2f}s {what}")
+        for at_s, what in r_nemesis.log:
+            if "host_kill" in what:
+                table.notes.append(f"seed {seed} reshard t={at_s:.2f}s {what}")
+    med = lambda xs: sorted(xs)[len(xs) // 2]  # noqa: E731
+    table.notes.append(
+        f"median failover: txn {med(txn_ms):.0f} ms, reshard "
+        f"{med(reshard_ms):.0f} ms (lease expiry 320 ms + one committed "
+        f"take/claim record); the slow tail is a kill that also took the "
+        f"control-log leader's host — one election more")
+    table.notes.append(
+        f"txn failovers {[r.failovers for r in txn_results]}, reshard "
+        f"owner takeovers {[r.failovers for r in reshard_results]} — every "
+        f"run failed over, none waited out the machine restart")
+    summary = {"txn_failover_ms": txn_ms, "reshard_failover_ms": reshard_ms,
+               "txn_results": txn_results, "reshard_results": reshard_results}
+    return table, summary
 
 
 def txn_figures(scale: float = 1.0, seed: int = 1,

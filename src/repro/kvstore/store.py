@@ -187,6 +187,7 @@ class KVStore:
         self._staged: Dict[str, Dict[str, str]] = {}   # handle -> writes
         self._txn_meta: Dict[str, Dict] = {}      # handle -> prepare metadata
         self._decisions: Dict[str, Dict] = {}     # handle -> decision record
+        self._txn_commits: Dict[str, Dict] = {}   # txn id -> winning commit
         self._txn_fence: Dict[str, int] = {}      # coordinator -> min incarnation
         # Hash ranges a refused MIGRATE_OUT is draining: new prepares for
         # fenced keys die so the existing locks can clear and the export's
@@ -406,11 +407,28 @@ class KVStore:
         """Record the coordinator's decision; the FIRST decision for a
         handle wins and the reply always carries the winner, so a recovered
         coordinator racing its own pre-crash decision converges on one
-        outcome."""
+        outcome.
+
+        Commits are additionally first-wins *per transaction*: with
+        coordinator failover a client can retry one txn through a second
+        coordinator while the first attempt's commit is still in flight.
+        The second attempt's commit-decide finds the transaction already
+        committed under another handle and is bound to ABORT, with the
+        winning record attached so the losing coordinator can answer the
+        client from the winner's result.  Abort decisions bind only their
+        own handle — a presumed-abort of one attempt must not block the
+        transaction from committing on a later attempt."""
         meta = json.loads(command.value or "{}")
-        existing = self._decisions.get(meta["handle"])
+        handle, txn = meta["handle"], meta.get("txn")
+        existing = self._decisions.get(handle)
         if existing is None:
-            self._decisions[meta["handle"]] = meta
+            if meta.get("outcome") == "commit" and txn is not None:
+                winner = self._txn_commits.get(txn)
+                if winner is None:
+                    self._txn_commits[txn] = meta
+                elif winner["handle"] != handle:
+                    meta = dict(meta, outcome="abort", winner=winner)
+            self._decisions[handle] = meta
             existing = meta
         return ApplyResult(ok=True, value=json.dumps(existing, sort_keys=True))
 
@@ -453,6 +471,14 @@ class KVStore:
                 write_log[key] = self._write_log.pop(key)
         sessions = {}
         for client in sorted(self._sessions):
+            # System clients (coordinators, reshard drivers — "__"-prefixed)
+            # keep their dedup windows on the donor: the reshard driver's
+            # own cached step replies must stay answerable from here, or a
+            # failed-over driver redoing an export would re-execute it
+            # against the already-emptied range and install an empty
+            # snapshot.
+            if client.startswith("__"):
+                continue
             session = self._sessions[client]
             taken = {seq: entry for seq, entry in session.entries.items()
                      if entry[0] is not None and lo <= key_point(entry[0]) < hi}

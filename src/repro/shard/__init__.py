@@ -24,9 +24,16 @@ a first-class scaling knob.  This package is that layer:
 * `txn` — cross-shard transactions: two-phase commit where every protocol
   step goes through a participant group's committed log, with a
   decision-log-recovering `TxnCoordinator` and wait-die locking;
+* `control` — the replicated control plane: each coordinator fleet
+  journals leases, fences, and decisions through its own consensus group
+  (`ControlGroup` + `ReplicatedCoordinator`), so a coordinator host loss
+  fails over to a hot standby in milliseconds;
 * `nemesis` — seeded fault injection (leader kills/partitions,
-  coordinator crashes) for proving the above under failure.
+  coordinator crashes, coordinator *host* kills) for proving the above
+  under failure.
 """
+
+from repro.shard.control import ControlGroup, ReplicatedCoordinator
 
 from repro.shard.cluster import (
     ReshardResult,
@@ -55,16 +62,23 @@ from repro.shard.partition import (
     plan_transition,
 )
 from repro.shard.placement import PLACEMENTS, LeaderPlacement, colocated, spread
-from repro.shard.reshard import ReshardCoordinator, ShardOwnership
+from repro.shard.reshard import (
+    ReshardControlPlane,
+    ReshardCoordinator,
+    ShardOwnership,
+)
 from repro.shard.router import ShardRouter, ShardRoutedClient
 
 __all__ = [
+    "ControlGroup",
     "HashRangePartitioner",
     "LeaderPlacement",
     "Nemesis",
     "PLACEMENTS",
     "Partitioner",
     "RangeMove",
+    "ReplicatedCoordinator",
+    "ReshardControlPlane",
     "ReshardCoordinator",
     "ReshardResult",
     "ReshardSpec",

@@ -42,7 +42,12 @@ from repro.protocols.mux import GroupMux, MuxDirectory
 from repro.protocols.types import OpType
 from repro.shard.partition import VersionedPartitioner
 from repro.shard.placement import leader_sites
-from repro.shard.reshard import ReshardCoordinator, ShardOwnership
+from repro.shard.control import ControlGroup
+from repro.shard.reshard import (
+    ReshardControlPlane,
+    ReshardCoordinator,
+    ShardOwnership,
+)
 from repro.shard.router import ShardRouter, checker_hook, spawn_sharded_clients
 from repro.sim.events import Simulator
 from repro.sim.network import Network, NetworkConfig
@@ -231,8 +236,9 @@ class ShardedCluster:
                                     muxes=self.muxes.values())
             self.obs.sampler.start(stop_at=sec(spec.duration_s))
 
-        # Live-reshard state
-        self.coordinator: Optional[ReshardCoordinator] = None
+        # Live-reshard state (`coordinator` is the fleet facade: plan,
+        # control group, and completion state of the active transition)
+        self.coordinator: Optional[ReshardControlPlane] = None
         self.reshard_started_at: Optional[int] = None
         self.reshard_completed_at: Optional[int] = None
         self._target: Optional[VersionedPartitioner] = None
@@ -352,12 +358,33 @@ class ShardedCluster:
         self._target = target
         self.reshard_started_at = self.sim.now
         self.reshard_completed_at = None
-        self.coordinator = ReshardCoordinator(
-            f"reshard_e{target.epoch}", self.sim, self.network,
-            self.topology.sites[0], target, moves,
-            on_done=self._finish_reshard)
+        # The transition is driven by a fleet: one coordinator per site
+        # arbitrated by a dedicated control group, the first site's member
+        # holding the initial owner lease.  The control hosts join the
+        # cluster's host table so machine-level faults can hit the active
+        # driver — a standby then claims the role and resumes from the
+        # journaled cursor.
+        sites = self.topology.sites
+        tag = f"rsctl_e{target.epoch}"
+        members = [f"reshard_e{target.epoch}_{site}" for site in sites]
+        control = ControlGroup(tag, self.sim, self.network, sites,
+                               self.spec.protocol, members=members,
+                               initial_owner=members[0])
+        for host in control.hosts.values():
+            self.hosts[host.name] = host
+        plane = ReshardControlPlane(target, moves, control,
+                                    on_done=self._finish_reshard)
+        self.coordinator = plane
+        for site in sites:
+            ReshardCoordinator(
+                f"reshard_e{target.epoch}_{site}", self.sim, self.network,
+                site, control, target, moves, plane,
+                self.rng.stream(f"reshard:{target.epoch}:{site}"),
+                metrics=self.metrics)
 
     def _finish_reshard(self) -> None:
+        if self.reshard_completed_at is not None:
+            return  # a second fleet member observing the committed cursor
         self.versioned = self._target
         self.partitioner = self.versioned
         self.reshard_completed_at = self.sim.now
@@ -451,6 +478,7 @@ class ReshardResult:
     final_epoch: Optional[int]
     violations: Dict[int, List[str]]
     leaders: Dict[int, str]
+    failovers: int = 0  # reshard-driver lease takeovers during the run
 
     @property
     def reshard_completed(self) -> bool:
@@ -555,4 +583,6 @@ def run_reshard_experiment(spec: ReshardSpec,
         final_epoch=cluster.router.epoch,
         violations=violations,
         leaders=dict(cluster.leaders),
+        failovers=(cluster.coordinator.failovers
+                   if cluster.coordinator is not None else 0),
     )

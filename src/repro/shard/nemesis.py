@@ -13,11 +13,16 @@ against a built (not yet run) `ShardedCluster`/`TxnCluster`:
 * **coordinator_kill** — crash a transaction coordinator mid-2PC and
   recover it, forcing the fenced decision-log replay in
   `repro.shard.txn.TxnCoordinator.on_recover`;
-* **host_kill** — host-multiplexed clusters only: crash a whole machine,
-  taking every colocated group replica (and the host's mux, with whatever
-  it had buffered for the next coalescing flush) down together, then
-  recover them all.  With shared hosts the machine is the real crash
-  unit — one box failing degrades every group it hosted at once.
+* **host_kill** — crash a whole machine, taking every colocated node (group
+  replicas, a coordinator and its control replica, the host's mux with
+  whatever it had buffered) down together, then recover them all.  With
+  shared hosts the machine is the real crash unit — one box failing
+  degrades every group it hosted at once;
+* **coordinator_host_kill** — the targeted failover fault: crash the HOST
+  of an alive transaction coordinator (or of the reshard fleet's current
+  lease-holding driver), machine-granular, so the coordinator and its
+  local control replica die together and a hot standby in another site
+  must take over through the control journal.
 
 Everything is driven by a named stream off the experiment seed, so a
 failing schedule replays exactly.  `tests/shard/nemesis.py` provides the
@@ -32,7 +37,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.sim.rng import SplitRng
 from repro.sim.units import sec
 
-KINDS = ("leader_kill", "leader_partition", "coordinator_kill", "host_kill")
+KINDS = ("leader_kill", "leader_partition", "coordinator_kill", "host_kill",
+         "coordinator_host_kill")
 
 
 class Nemesis:
@@ -71,6 +77,14 @@ class Nemesis:
     def host_kill_at(self, at_s: float, host: Optional[str] = None) -> None:
         self.cluster.sim.schedule_at(sec(at_s), self._host_kill, host)
 
+    def coordinator_host_kill_at(self, at_s: float,
+                                 role: str = "txn") -> None:
+        """Kill the machine under an alive coordinator at `at_s`: a random
+        txn coordinator's host (``role="txn"``) or the host of the reshard
+        fleet's current lease-holding driver (``role="reshard"``)."""
+        self.cluster.sim.schedule_at(sec(at_s), self._coordinator_host_kill,
+                                     role)
+
     def random_schedule(self, events: int, start_s: float, end_s: float,
                         kinds: Sequence[str] = ("leader_kill",
                                                 "leader_partition")) -> None:
@@ -86,6 +100,8 @@ class Nemesis:
                 self.coordinator_kill_at(at_s)
             elif kind == "host_kill":
                 self.host_kill_at(at_s)
+            elif kind == "coordinator_host_kill":
+                self.coordinator_host_kill_at(at_s)
             else:  # pragma: no cover - caller typo
                 raise ValueError(f"unknown nemesis kind {kind!r}")
 
@@ -167,6 +183,28 @@ class Nemesis:
             if revived:
                 self._note(f"host_kill: recovered {host_name}")
         self.cluster.sim.schedule(sec(self.host_down_s), recover)
+
+    def _coordinator_host_kill(self, role: str) -> None:
+        host = None
+        if role == "reshard":
+            plane = getattr(self.cluster, "coordinator", None)
+            active = (plane.active
+                      if plane is not None and not plane.done else None)
+            if active is not None and active.alive:
+                host = active.host
+        else:
+            coordinators = [c for c in getattr(self.cluster,
+                                               "coordinators", [])
+                            if c.alive and c.host is not None]
+            if coordinators:
+                victim = self.rng.choice(
+                    sorted(coordinators, key=lambda c: c.name))
+                host = victim.host
+        if host is None or not host.alive:
+            self._note(f"coordinator_host_kill ({role}): "
+                       f"no live coordinator host, skipped")
+            return
+        self._host_kill(host.name)
 
     def _coordinator_kill(self, index: Optional[int]) -> None:
         coordinators = getattr(self.cluster, "coordinators", [])

@@ -18,12 +18,27 @@ a hint under that newest map, and — when the requester's epoch is behind —
 the map itself, which is how clients configured before a reshard repair
 their routing tables.
 
-`ReshardCoordinator` is a simulated node driving the plan move by move
-under live load, with the same retry discipline as ordinary clients (named
-timers, at-most-once via (client, seq) dedup).  Mid-transition the two
-sides can disagree about a boundary key — the donor has exported it, the
-recipient has not yet imported it — which is exactly the redirect
-ping-pong the router's hop cap and backoff fall-back exist for.
+The coordinator is no longer a single reliable node.  A transition is
+driven by a **fleet**: one `ReshardCoordinator` per site, arbitrated by a
+`ControlGroup` (see `repro.shard.control`).  Exactly one fleet member — the
+lease-holding *owner* — issues migration steps; every cursor advance is a
+journal record through the control log, so when the owner's host dies a
+standby claims the role (first committed claim wins) and resumes at the
+committed cursor in milliseconds.  Resumption is idempotent end to end:
+
+* step sequence numbers are **deterministic** (`export of move i` is seq
+  ``2i+1``, ``import`` is ``2i+2``) in a per-transition dedup namespace
+  (``__reshard__:e<epoch>``), so a re-issued step from any fleet member is
+  answered from the data groups' dedup caches instead of re-executing;
+* in particular a takeover mid-import re-issues the *export* first — the
+  donor's cached reply returns the original snapshot (system clients'
+  dedup sessions are never migrated, see `KVStore.export_range`) — and
+  then the import, neither applying twice.
+
+Each step is sent with the jittered-exponential `RetryPolicy` every other
+client uses, and rotates across the target group's replicas in other sites
+after `ROTATE_AFTER` unanswered sends — a dead first-hop host no longer
+wedges the migration.
 """
 
 from __future__ import annotations
@@ -31,8 +46,10 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.metrics.recorder import MetricsRecorder
 from repro.protocols.messages import ClientReply, ClientRequest, ShardMap
 from repro.protocols.types import Command, OpType
+from repro.shard.control import ControlGroup, ReplicatedCoordinator
 from repro.shard.partition import (
     HashRangePartitioner,
     RangeMove,
@@ -42,10 +59,18 @@ from repro.shard.partition import (
     ranges_contain,
     subtract_range,
 )
-from repro.sim.node import Node, NodeCosts
+from repro.sim.node import NodeCosts
 from repro.sim.units import ms, sec
+from repro.workload.session import RetryPolicy
 
 RESHARD_CLIENT = "__reshard__"
+
+#: Step retries: the old coordinator resent at a constant 1 s / backed off
+#: at a constant 50 ms forever; this is the jittered-exponential schedule
+#: (base comparable to one WAN round trip, capped well below the old
+#: lockstep's worst case).
+RESHARD_RETRY = RetryPolicy(retry_timeout=ms(500), retry_cap=sec(4),
+                            backoff_base=ms(50), backoff_cap=ms(800))
 
 
 class ShardOwnership:
@@ -108,94 +133,250 @@ class ShardOwnership:
                 HashRangePartitioner(meta["num_shards"]), meta["epoch"])
 
 
-class ReshardCoordinator(Node):
-    """Drives a transition plan through the groups' logs, move by move."""
+class ReshardControlPlane:
+    """The fleet facade a cluster holds as `cluster.coordinator`: the
+    transition's plan plus its completion state, fed by whichever fleet
+    member finishes (or observes the committed `done` cursor) first."""
 
-    RETRY = sec(1)
-    BACKOFF = ms(50)
-
-    def __init__(self, name, sim, network, site: str,
-                 target: VersionedPartitioner, moves: List[RangeMove],
+    def __init__(self, target: VersionedPartitioner, moves: List[RangeMove],
+                 control: ControlGroup,
                  on_done: Optional[Callable[[], None]] = None) -> None:
-        # Like clients, the coordinator is not the measured resource.
-        super().__init__(name, sim, network, site=site,
-                         costs=NodeCosts(per_message=0, per_byte=0.0))
         self.target = target
         self.moves = list(moves)
+        self.control = control
         self.on_done = on_done
-        self.seq = 0
+        self.coordinators: List["ReshardCoordinator"] = []
         self.completed_at: Optional[int] = None
-        self._move_idx = 0
-        self._phase = ""  # "export" | "import"
-        self._command: Optional[Command] = None
-        self._dst = ""
-        self._retry_timer = self.timer("reshard-retry")
-        self.sim.schedule(0, self._next_move)
 
     @property
     def done(self) -> bool:
         return self.completed_at is not None
+
+    @property
+    def active(self) -> Optional["ReshardCoordinator"]:
+        """The current lease-holding driver (by the sites[0] view)."""
+        owner = self.control.view_of(self.control.sites[0]).owner
+        for coordinator in self.coordinators:
+            if coordinator.name == owner:
+                return coordinator
+        return None
+
+    @property
+    def failovers(self) -> int:
+        return sum(c.failovers for c in self.coordinators)
+
+    def finish(self, now: int) -> None:
+        if self.completed_at is not None:
+            return
+        self.completed_at = now
+        if self.on_done is not None:
+            self.on_done()
+
+
+class ReshardCoordinator(ReplicatedCoordinator):
+    """One fleet member.  The lease-holding owner drives the plan move by
+    move; standbys watch the owner's lease and claim the role on expiry,
+    resuming from the journaled cursor.
+
+    The cursor is a step index ``s``: step ``2i`` is move ``i``'s export,
+    ``2i+1`` its import, ``2 * len(moves)`` is done.  ``adv`` records
+    carry the *next* step to perform and max-merge, so duplicate journal
+    appends (and full-log replay after a control-replica restart) are
+    inert."""
+
+    ROTATE_AFTER = 2  # unanswered sends per replica before rotating sites
+
+    def __init__(self, name, sim, network, site: str, control: ControlGroup,
+                 target: VersionedPartitioner, moves: List[RangeMove],
+                 plane: ReshardControlPlane, rng,
+                 retry: RetryPolicy = RESHARD_RETRY,
+                 metrics: Optional[MetricsRecorder] = None) -> None:
+        # Like clients, the coordinator is not the measured resource.
+        super().__init__(name, sim, network, site, control, rng,
+                         metrics=metrics,
+                         costs=NodeCosts(per_message=0, per_byte=0.0))
+        self.target = target
+        self.moves = list(moves)
+        self.plane = plane
+        self.retry = retry
+        # Per-transition dedup namespace: successive reshards must not hit
+        # each other's cached step replies.
+        self.client_id = f"{RESHARD_CLIENT}:e{target.epoch}"
+        self._step = self.stable.get("step", 0)
+        self._command: Optional[Command] = None
+        self._ring: List[str] = []
+        self._ring_idx = 0
+        self._sends = 0
+        self._rejections = 0
+        self._claiming = False
+        self._retry_timer = self.timer("reshard-retry")
+        plane.coordinators.append(self)
+        if self.is_owner:
+            self.sim.schedule(0, self._drive)
+
+    # -- role ---------------------------------------------------------------
+
+    @property
+    def is_owner(self) -> bool:
+        return self.view.owner == self.name
+
+    @property
+    def done(self) -> bool:
+        return self._step >= 2 * len(self.moves) or self.plane.done
+
+    @property
+    def completed_at(self) -> Optional[int]:
+        return self.plane.completed_at
+
+    def on_lease_tick(self) -> None:
+        if self.done:
+            return
+        if self.is_owner:
+            self.journal_lease()
+            # Stall fallback: a takeover that raced a crash, or a recovery
+            # with no step in flight, resumes here.
+            if self._command is None:
+                self._drive()
+        elif (self.view.owner is not None and not self._claiming
+              and self.lease_expired(self.view.owner)):
+            self._claiming = True
+            self.journal({"k": "claim", "e": self.view.owner_epoch + 1,
+                          "o": self.name})
+
+    def on_control_record(self, record: Dict) -> None:
+        kind = record.get("k")
+        if kind == "adv":
+            self._learn_step(record["s"])
+            if record["s"] >= 2 * len(self.moves):
+                self.plane.finish(self.sim.now)
+        elif kind == "claim" and record.get("o") == self.name:
+            self._claiming = False
+            if (self.view.owner == self.name
+                    and self.view.owner_epoch == record["e"]):
+                # We won the takeover (first committed claim at this
+                # epoch).  Guard against control-log replay re-counting.
+                won = self.stable.setdefault("won_epochs", set())
+                if record["e"] not in won:
+                    won.add(record["e"])
+                    if record["e"] > 1:
+                        self.record_failover("reshard-owner")
+                self._drive()
+
+    def _learn_step(self, step: int) -> None:
+        if step > self._step:
+            self._step = step
+            self.stable["step"] = step
+
+    # -- driving the plan ----------------------------------------------------
 
     def _meta(self, move: RangeMove) -> Dict:
         return {"lo": move.start, "hi": move.end,
                 "epoch": self.target.epoch,
                 "num_shards": self.target.num_shards}
 
-    def _next_move(self) -> None:
-        if self._move_idx >= len(self.moves):
-            self.completed_at = self.sim.now
-            self._command = None
-            if self.on_done is not None:
-                self.on_done()
+    def _drive(self) -> None:
+        if (not self.alive or not self.is_owner
+                or self._command is not None or self.plane.done):
             return
-        move = self.moves[self._move_idx]
+        if self._step >= 2 * len(self.moves):
+            self.plane.finish(self.sim.now)
+            return
+        # Always (re)enter through the move's export: at an odd step (a
+        # takeover mid-import) the donor's dedup cache returns the original
+        # snapshot, which is the blob the import needs.
+        move_idx = self._step // 2
+        move = self.moves[move_idx]
         value = json.dumps(self._meta(move), sort_keys=True)
-        self._phase = "export"
         self._issue(move.donor, Command(
-            op=OpType.MIGRATE_OUT, key=f"reshard:{self.target.epoch}:{move.start}",
-            value=value, client_id=RESHARD_CLIENT, seq=self._next_seq(),
+            op=OpType.MIGRATE_OUT,
+            key=f"reshard:{self.target.epoch}:{move.start}",
+            value=value, client_id=self.client_id, seq=2 * move_idx + 1,
             value_size=len(value)))
 
-    def _next_seq(self) -> int:
-        self.seq += 1
-        return self.seq
+    def _begin_import(self, move_idx: int, blob: str) -> None:
+        move = self.moves[move_idx]
+        self._issue(move.recipient, Command(
+            op=OpType.MIGRATE_IN,
+            key=f"reshard:{self.target.epoch}:{move.start}",
+            value=blob, client_id=self.client_id, seq=2 * move_idx + 2,
+            value_size=len(blob)))
 
     def _issue(self, shard: int, command: Command) -> None:
         self._command = command
         # First hop is the group's replica in the coordinator's own site;
         # forwarding finds the leader, elections just delay the reply.
-        self._dst = f"g{shard}_r_{self.site}"
+        # The ring continues through the other sites' replicas, so a dead
+        # first-hop host cannot wedge the step.
+        sites = self.control.sites
+        start = sites.index(self.site) if self.site in sites else 0
+        ordered = sites[start:] + sites[:start]
+        self._ring = [f"g{shard}_r_{site}" for site in ordered]
+        self._ring_idx = 0
+        self._sends = 0
+        self._rejections = 0
         self._send()
 
     def _send(self) -> None:
-        if self._command is None:
+        if self._command is None or not self.alive:
             return
-        self.send(self._dst, ClientRequest(command=self._command,
-                                           epoch=self.target.epoch))
-        self._retry_timer.arm(self.RETRY, self._send)
+        if self._sends and self._sends % self.ROTATE_AFTER == 0:
+            self._ring_idx = (self._ring_idx + 1) % len(self._ring)
+        self._sends += 1
+        self.send(self._ring[self._ring_idx],
+                  ClientRequest(command=self._command,
+                                epoch=self.target.epoch))
+        self._retry_timer.arm(
+            self.retry.retry_delay(self._sends - 1, self.rng), self._send)
 
     def on_message(self, src: str, message) -> None:
+        if self.handle_control_reply(message):
+            return
         if not isinstance(message, ClientReply) or self._command is None:
             return
         if message.request_id != self._command.request_id:
-            return  # stale reply from a retried step
+            return  # stale reply from a retried or superseded step
         if not message.ok:
             # No leader yet (e.g. a freshly spun-up group mid-election):
-            # back off, then retry the same step — dedup makes it safe.
-            self._retry_timer.arm(self.BACKOFF, self._send)
+            # jittered-exponential backoff, then retry — dedup makes the
+            # re-apply safe, and the send ring keeps rotating.
+            self._rejections += 1
+            self._retry_timer.arm(
+                self.retry.backoff_delay(self._rejections, self.rng),
+                self._send)
             return
         self._retry_timer.cancel()
-        move = self.moves[self._move_idx]
-        if self._phase == "export":
+        command, self._command = self._command, None
+        move_idx = (command.seq - 1) // 2
+        if command.op is OpType.MIGRATE_OUT:
             payload = json.loads(message.value or "{}")
-            payload.update(self._meta(move))
+            payload.update(self._meta(self.moves[move_idx]))
             blob = json.dumps(payload, sort_keys=True)
-            self._phase = "import"
-            self._issue(move.recipient, Command(
-                op=OpType.MIGRATE_IN,
-                key=f"reshard:{self.target.epoch}:{move.start}",
-                value=blob, client_id=RESHARD_CLIENT, seq=self._next_seq(),
-                value_size=len(blob)))
+            self._advance(2 * move_idx + 1)
+            self._begin_import(move_idx, blob)
         else:
-            self._move_idx += 1
-            self._next_move()
+            self._advance(2 * move_idx + 2)
+            if self._step >= 2 * len(self.moves):
+                self.plane.finish(self.sim.now)
+            else:
+                self._drive()
+
+    def _advance(self, step: int) -> None:
+        """Commit a cursor advance to the control log (fire-and-forget:
+        the append retries until committed; a takeover before it commits
+        just redoes an idempotent step)."""
+        if step > self._step:
+            self._learn_step(step)
+            self.journal({"k": "adv", "s": step})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_crash(self) -> None:
+        super().on_crash()
+        self._command = None
+        self._claiming = False
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        self._step = max(self._step, self.stable.get("step", 0))
+        # If still (or again) the owner, the next lease tick resumes the
+        # plan; if a standby took over meanwhile, we watch its lease now.

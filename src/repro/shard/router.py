@@ -142,10 +142,16 @@ class ShardRoutedClient(ClosedLoopClient):
     group's local replica serves each request.
     """
 
+    #: Unanswered sends to one coordinator before rotating to the next in
+    #: the ring (when a ring was given): a dead coordinator host costs two
+    #: retry timeouts, not the whole run.
+    COORD_ROTATE_AFTER = 2
+
     def __init__(self, name, sim, network, site, router: ShardRouter,
                  workload: WorkloadConfig, sites, rng, metrics,
                  stop_at: Optional[int] = None,
                  coordinator: Optional[str] = None,
+                 coordinators: Optional[Sequence[str]] = None,
                  **session_kwargs) -> None:
         self.router = router
         self.redirects = 0
@@ -154,7 +160,17 @@ class ShardRoutedClient(ClosedLoopClient):
         # Cross-shard transactions go through this coordinator (required
         # only when transact() actually crosses shards); single-shard ones
         # ride the ordinary command path as one atomic TXN command.
-        self.coordinator = coordinator
+        # `coordinators` is the failover ring (ordered, preferred first):
+        # after COORD_ROTATE_AFTER unanswered sends the client moves to
+        # the next member and keeps retrying the same txn_seq there — the
+        # coordinators' shared at-most-once machinery makes that safe.
+        self._coordinator_ring: List[str] = (
+            list(coordinators) if coordinators
+            else ([coordinator] if coordinator else []))
+        self._coordinator_idx = 0
+        self.coordinator = (coordinator if coordinator is not None
+                            else (self._coordinator_ring[0]
+                                  if self._coordinator_ring else None))
         self.txn_seq = 0
         # txn_seqs start at 1: the vacuous acked floor is 0 (evicts nothing).
         self._txn_floor = AckFloor()
@@ -329,6 +345,12 @@ class ShardRoutedClient(ClosedLoopClient):
 
     def _send_txn(self, pending: _PendingTxn) -> None:
         pending.attempts += 1
+        if (len(self._coordinator_ring) > 1 and pending.attempts > 1
+                and (pending.attempts - 1) % self.COORD_ROTATE_AFTER == 0):
+            self._coordinator_idx = ((self._coordinator_idx + 1)
+                                     % len(self._coordinator_ring))
+            self.coordinator = self._coordinator_ring[self._coordinator_idx]
+            self.metrics.incr("coordinator_rotations")
         if self.obs is not None:
             self.obs_phase(self._txn_trace(pending.request.txn_seq), "send",
                            server=self.coordinator, attempt=pending.attempts)

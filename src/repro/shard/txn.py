@@ -16,17 +16,30 @@ properties the Howard & Mortier comparison says matter:
   dedup cache, if the crashed leader already applied it);
 * the **decision is replicated too**: before sending any COMMIT, the
   coordinator logs a `TXN_DECIDE` record in the transaction's *home*
-  shard.  A restarted coordinator replays that decision log
-  (`TXN_RECOVER`) instead of relying on its own memory — removing the
-  "single reliable node" caveat the reshard coordinator still has.
+  shard, and mirrors each commit as a journal record through the
+  coordinators' own control group (`repro.shard.control`) so every hot
+  standby caches the committed reply.
 
-Coordinator recovery is fenced by incarnation: `TXN_RECOVER` both reports
-the prepared transactions/decisions and raises the store-side fence, so a
-prepare from the crashed incarnation that was still in flight is refused
-rather than left holding orphan locks.  Undecided prepared transactions
-are resolved **presumed abort** (the recovery logs an abort decision; the
-first decision recorded in the home log wins, so a racing pre-crash
-commit decision is honored if it got there first).
+The coordinator fleet has no single reliable node left.  Each site's
+coordinator shares a host with that site's control replica, renews a
+lease through the control journal, and watches its peers' leases; when
+one expires, a standby journals a `take` that raises the victim's fence
+epoch, and the winning janitor sweeps every shard with `TXN_RECOVER` —
+which raises the store-side fence (in-flight prepares stamped below it
+are refused rather than left holding orphan locks) and reports the
+victim's prepared transactions and logged decisions.  Undecided prepared
+transactions are resolved **presumed abort** (the first decision recorded
+in the home log wins, so a racing pre-crash commit decision is honored if
+it got there first).  A recovered coordinator runs the same sweep on
+itself under a fresh fence epoch granted by the control journal.
+
+Clients hold a coordinator ring and rotate to another site's coordinator
+after a few unanswered sends, so a dead coordinator host costs
+milliseconds, not a crash-restart window.  The rotated retry is kept
+at-most-once by the store: commit decisions bind first-wins *per
+transaction*, so the second attempt's commit-decide is bound to abort
+with the winning record attached, and the losing coordinator answers the
+client from the winner.
 
 Conflicts are resolved wait-die (see `store.py`): the older transaction
 re-sends the conflicted prepare while keeping its other locks; the
@@ -55,13 +68,27 @@ from repro.metrics.recorder import MetricsRecorder, RequestRecord
 from repro.protocols.messages import ClientReply, ClientRequest, TxnReply, TxnRequest
 from repro.protocols.types import Command, OpType
 from repro.shard.cluster import ShardedCluster, ShardedSpec
+from repro.shard.control import ControlGroup, ReplicatedCoordinator
 from repro.shard.router import ShardRoutedClient, ShardRouter, TxnOps
-from repro.sim.node import Node, NodeCosts
+from repro.sim.node import NodeCosts
 from repro.sim.units import ms, sec
 from repro.workload.ycsb import WorkloadConfig
 
 TXN_CLIENT_PREFIX = "__txn__:"
 TXN_RECOVER_PREFIX = "__txnrec__:"
+
+#: Width of the per-epoch command-sequence namespace.  2**32 commands per
+#: fence epoch, and `TxnCoordinator._command` asserts the bound instead of
+#: silently colliding with the next epoch's dedup slots (the old scheme —
+#: ``incarnation * 1_000_000`` — overflowed quietly past 1M commands).
+SEQ_BITS = 32
+SEQ_SPAN = 1 << SEQ_BITS
+
+
+def seq_namespace(epoch: int) -> int:
+    """Base of the dedup sequence namespace for commands issued at fence
+    `epoch`: a lossless (epoch, seq) encoding into one integer."""
+    return epoch << SEQ_BITS
 
 
 class _TxnState:
@@ -69,11 +96,12 @@ class _TxnState:
 
     __slots__ = ("txn_id", "client_node", "ops", "ts", "handle", "participants",
                  "home", "phase", "pending", "waiting", "reads", "seq",
-                 "retries", "trace")
+                 "seq_base", "retries", "trace", "winner", "route")
 
     def __init__(self, txn_id: str, client_node: Optional[str], ops: TxnOps,
                  ts: int, handle: str, participants: Dict[int, TxnOps],
-                 seq_base: int, retries: int = 0) -> None:
+                 seq_base: int, retries: int = 0,
+                 route: Optional[str] = None) -> None:
         self.txn_id = txn_id
         # Span id (repro.obs): same derivation the issuing client uses, so
         # coordinator-side phases and the stamped child commands' replica
@@ -92,21 +120,53 @@ class _TxnState:
                                         # the re-prepare (no command in flight)
         self.reads: Dict[str, Optional[str]] = {}
         self.seq = seq_base
+        self.seq_base = seq_base
         self.retries = retries
+        # The committed decision of ANOTHER attempt of this transaction,
+        # when our commit-decide lost the per-transaction first-wins race.
+        self.winner: Optional[Dict] = None
+        # Dedup-session key for this attempt's commands.  The owning
+        # attempt uses the handle itself; a janitor cleaning up a swept
+        # handle uses a `{handle}!s{fence}` session so its decide/phase-2
+        # commands can NEVER collide with sequence numbers the victim
+        # already burned in the handle's own session (a collision would be
+        # answered from the dedup cache with a stale vote instead of
+        # applying).  Deterministic per (handle, fence): concurrent
+        # sweepers at the same fence issue identical commands and
+        # converge through dedup.
+        self.route = route or handle
 
     @property
     def all_prepared(self) -> bool:
         return not self.pending and not self.waiting
 
 
-class TxnCoordinator(Node):
+class _Sweep:
+    """One in-flight `TXN_RECOVER` fan-out: the fenced sweep of a dead (or
+    just-recovered) coordinator's shards, collecting its prepared
+    transactions and logged decisions."""
+
+    __slots__ = ("victim", "fe", "pending", "prepared", "decisions")
+
+    def __init__(self, victim: str, fe: int) -> None:
+        self.victim = victim
+        self.fe = fe
+        self.pending: Dict[int, Command] = {}   # shard -> awaiting report
+        self.prepared: Dict[str, Dict] = {}
+        self.decisions: Dict[str, Dict] = {}
+
+
+class TxnCoordinator(ReplicatedCoordinator):
     """Drives 2PC for its clients' cross-shard transactions.
 
-    One coordinator per site; clients talk to the local one.  The
-    coordinator is an ordinary simulated process with the default CPU cost
-    model (it is part of the measured serving path, unlike the bench
-    clients), and it can crash and recover: `on_recover` runs the fenced
-    decision-log replay described in the module docstring."""
+    One coordinator per site, each a hot standby for the others; clients
+    talk to the local one and rotate on silence.  The coordinator is an
+    ordinary simulated process with the default CPU cost model (it is
+    part of the measured serving path, unlike the bench clients), sharing
+    a host with its site's control replica.  Its fence epoch comes from
+    the control journal: `on_recover` re-fences itself and replays its
+    own decision log; a peer whose lease expires is fenced and swept by
+    whichever standby journals the `take` first."""
 
     RETRY = sec(1)        # lost-message resend sweep
     BACKOFF = ms(50)      # transport failures (no leader yet)
@@ -114,13 +174,18 @@ class TxnCoordinator(Node):
     DIE_BACKOFF = ms(20)  # base backoff before retrying a died attempt
 
     def __init__(self, name, sim, network, site: str, router: ShardRouter,
-                 metrics: MetricsRecorder, rng,
+                 metrics: MetricsRecorder, rng, control: ControlGroup,
                  costs: Optional[NodeCosts] = None) -> None:
-        super().__init__(name, sim, network, site=site,
-                         costs=costs or NodeCosts())
+        super().__init__(name, sim, network, site, control, rng,
+                         metrics=metrics, costs=costs or NodeCosts())
         self.router = router
-        self.metrics = metrics
-        self.rng = rng
+        # Fence epoch: commands stamped below the store-side fence are
+        # refused.  Starts at 1; every recovery (and every takeover we
+        # suffer) moves it up through the control journal.
+        self.epoch = 1
+        self._refence_want = 0
+        self._sweeps: Dict[str, _Sweep] = {}    # recover client_id -> sweep
+        self._taking: set = set()               # peers with a take in flight
         self._active: Dict[str, _TxnState] = {}     # txn_id -> state
         self._by_handle: Dict[str, _TxnState] = {}  # handle -> state
         # Committed-reply cache, windowed per client: client -> txn_seq ->
@@ -135,8 +200,6 @@ class TxnCoordinator(Node):
         self._completed: Dict[str, Dict[int, TxnReply]] = {}
         self._completed_floor: Dict[str, int] = {}
         self._queued: List[Tuple[str, TxnRequest]] = []
-        self._recover_pending: Dict[int, Command] = {}
-        self._recover_reports: Dict[str, Dict] = {"prepared": {}, "decisions": {}}
         self._recovering = False
         self._attempts = 0
         self.commits = 0
@@ -151,6 +214,8 @@ class TxnCoordinator(Node):
         if isinstance(message, TxnRequest):
             self._on_request(src, message)
         elif isinstance(message, ClientReply):
+            if self.handle_control_reply(message):
+                return
             self._on_reply(message)
 
     def _cache_reply(self, txn_id: str, reply: TxnReply) -> None:
@@ -202,12 +267,15 @@ class TxnCoordinator(Node):
     def _start_attempt(self, txn_id: str, client_node: Optional[str],
                        ops: TxnOps, ts: int, retries: int = 0) -> None:
         self._attempts += 1
-        handle = f"{txn_id}#{self.incarnation}.{self._attempts}"
+        # The coordinator name is part of the handle: with client-side
+        # coordinator rotation, two coordinators can attempt the SAME
+        # transaction concurrently, and their handles must not collide.
+        handle = f"{txn_id}#{self.name}.{self.epoch}.{self._attempts}"
         participants: Dict[int, List] = {}
         for op in ops:
             participants.setdefault(self.router.shard_of(op[1]), []).append(list(op))
         state = _TxnState(txn_id, client_node, ops, ts, handle, participants,
-                          seq_base=self.incarnation * 1_000_000, retries=retries)
+                          seq_base=seq_namespace(self.epoch), retries=retries)
         self._active[txn_id] = state
         self._by_handle[handle] = state
         for shard in sorted(participants):
@@ -217,9 +285,12 @@ class TxnCoordinator(Node):
 
     def _command(self, state: _TxnState, op: OpType, payload: Dict) -> Command:
         state.seq += 1
+        assert state.seq < state.seq_base + SEQ_SPAN, (
+            f"{state.handle}: sequence namespace overflow — more than "
+            f"2**{SEQ_BITS} commands issued at one fence epoch")
         value = json.dumps(payload, sort_keys=True)
         return Command(op=op, key=f"txn:{state.handle}", value=value,
-                       client_id=f"{TXN_CLIENT_PREFIX}{state.handle}",
+                       client_id=f"{TXN_CLIENT_PREFIX}{state.route}",
                        seq=state.seq, value_size=len(value),
                        trace=state.trace)
 
@@ -232,7 +303,7 @@ class TxnCoordinator(Node):
             self.obs_phase(state.trace, "txn_prepare", shard=shard)
         command = self._command(state, OpType.TXN_PREPARE, {
             "handle": state.handle, "txn": state.txn_id, "coord": self.name,
-            "inc": self.incarnation, "ts": state.ts,
+            "inc": self.epoch, "ts": state.ts,
             "ops": state.participants[shard],
             "participants": sorted(state.participants), "home": state.home,
         })
@@ -244,14 +315,15 @@ class TxnCoordinator(Node):
         for state in list(self._by_handle.values()):
             for shard, command in state.pending.items():
                 self._send_command(shard, command)
-        for shard, command in self._recover_pending.items():
-            self._send_command(shard, command)
+        for sweep in list(self._sweeps.values()):
+            for shard, command in sweep.pending.items():
+                self._send_command(shard, command)
         self._tick_timer.arm(self.RETRY, self._tick)
 
     def _resend_later(self, state: _TxnState, shard: int, command: Command,
                       delay: int) -> None:
         def resend() -> None:
-            if (self._by_handle.get(state.handle) is state
+            if (self._by_handle.get(state.route) is state
                     and state.pending.get(shard) is command):
                 self._send_command(shard, command)
         self.after(delay, resend)
@@ -339,8 +411,13 @@ class TxnCoordinator(Node):
         state.pending = {state.home: command}
         self._send_command(state.home, command)
 
-    def _decision_record(self, state: _TxnState, outcome: str) -> Dict:
-        return {"handle": state.handle, "txn": state.txn_id, "coord": self.name,
+    def _decision_record(self, state: _TxnState, outcome: str,
+                         coord: Optional[str] = None) -> Dict:
+        # `coord` tags the decision's owner: a janitor cleaning up a dead
+        # peer's handle logs the decision under the PEER's name, so the
+        # peer's own later sweep still sees it.
+        return {"handle": state.handle, "txn": state.txn_id,
+                "coord": coord or self.name,
                 "participants": sorted(state.participants), "outcome": outcome,
                 "reads": state.reads}
 
@@ -350,8 +427,16 @@ class TxnCoordinator(Node):
             state.phase = "commit"
             self._phase2(state, commit=True)
         else:
-            # Our commit decision lost to a recovery abort: phase-2 abort,
-            # then retry the whole transaction as a fresh attempt.
+            winner = decision.get("winner")
+            if winner is not None:
+                # Another attempt of this transaction (through another
+                # coordinator, or our own pre-crash one) already committed:
+                # abort OUR staged writes and answer from the winner.
+                state.winner = winner
+                state.reads = winner.get("reads") or {}
+            # Our commit decision lost to a recovery abort (or to a
+            # winning sibling attempt): phase-2 abort, then — winner-less
+            # aborts only — retry the transaction as a fresh attempt.
             state.phase = "abort"
             self._phase2(state, commit=False)
 
@@ -370,12 +455,31 @@ class TxnCoordinator(Node):
             self._finish_phase2(state)
 
     def _finish_phase2(self, state: _TxnState) -> None:
-        self._by_handle.pop(state.handle, None)
+        self._by_handle.pop(state.route, None)
         if self._active.get(state.txn_id) is state:
             del self._active[state.txn_id]
         if state.phase == "commit":
             self.commits += 1
             self.metrics.incr("txn_commits")
+            client, txn_seq = state.txn_id.rsplit(":", 1)
+            reply = TxnReply(client=client, txn_seq=int(txn_seq), ok=True,
+                             committed=True, reads=dict(state.reads),
+                             server=self.name)
+            self._cache_reply(state.txn_id, reply)
+            # Mirror the commit into the control journal so the hot
+            # standbys cache the reply too — a client that rotates to one
+            # after we die is answered from cache, not re-executed.
+            self.journal({"k": "txnd", "txn": state.txn_id,
+                          "reads": dict(state.reads)})
+            if state.client_node is not None:
+                if self.obs is not None:
+                    self.obs_phase(state.trace, "reply", ok=True)
+                self.send(state.client_node, reply)
+            return
+        if state.winner is not None:
+            # The transaction committed under a sibling attempt and our
+            # staged writes are dropped: to the client this IS a commit —
+            # answer with the winner's reads, and never retry.
             client, txn_seq = state.txn_id.rsplit(":", 1)
             reply = TxnReply(client=client, txn_seq=int(txn_seq), ok=True,
                              committed=True, reads=dict(state.reads),
@@ -401,6 +505,77 @@ class TxnCoordinator(Node):
                                     state.ts, retries=state.retries + 1)
         self.after(delay, retry)
 
+    # -- lease / takeover ----------------------------------------------------
+
+    def on_lease_tick(self) -> None:
+        fe = self.view.fence_of(self.name)
+        if fe > self.epoch and not self._recovering:
+            # A janitor fenced us while we were alive (partitioned from the
+            # control group, say).  Adopt the new epoch: in-flight attempts
+            # stamped below it die on the store-side fence and retry
+            # re-stamped; the janitor's sweep released their orphan locks.
+            self.epoch = fe
+        if not self._recovering:
+            self.journal_lease()
+        for peer in self.control.members:
+            if peer == self.name or peer in self._taking:
+                continue
+            if not self.lease_expired(peer):
+                continue
+            cur = self.view.fence_of(peer)
+            if self.view.taken_by.get(peer, (0, ""))[0] >= cur:
+                # The current fence already IS a takeover and the victim
+                # has not journaled since: nothing new to clean.
+                continue
+            self._taking.add(peer)
+            self.journal({"k": "take", "v": peer, "by": self.name,
+                          "fe": cur + 1})
+
+    def on_control_record(self, record: Dict) -> None:
+        kind = record.get("k")
+        if kind == "take":
+            victim = record["v"]
+            self._taking.discard(victim)
+            if victim == self.name:
+                if self._recovering:
+                    # A take beat our pending re-fence to its epoch: ask
+                    # for a higher one (adoption requires the committed
+                    # fence to be at least what we asked for).
+                    if self.view.fence_of(self.name) >= self._refence_want:
+                        self._refence()
+                else:
+                    self.epoch = max(self.epoch, self.view.fence_of(self.name))
+                return
+            if (record.get("by") == self.name
+                    and self.view.taken_by.get(victim)
+                    == (record["fe"], self.name)):
+                # We won the takeover race for this victim at this epoch.
+                # The stable guard keeps a control-log replay (which
+                # re-fires every listener) from re-counting or re-sweeping.
+                swept = self.stable.setdefault("swept", set())
+                if (victim, record["fe"]) not in swept:
+                    swept.add((victim, record["fe"]))
+                    self.record_failover("txn-janitor")
+                    self._begin_sweep(victim, record["fe"])
+        elif kind == "fence":
+            if (record.get("o") == self.name and self._recovering
+                    and self.view.fence_of(self.name) >= self._refence_want):
+                self._adopt_epoch(self.view.fence_of(self.name))
+        elif kind == "txnd":
+            self._learn_commit(record)
+
+    def _learn_commit(self, record: Dict) -> None:
+        """A fleet member journaled a commit: cache the reply so a client
+        that rotates here is answered instead of re-executed."""
+        txn_id = record["txn"]
+        client, txn_seq = txn_id.rsplit(":", 1)
+        if int(txn_seq) <= self._completed_floor.get(client, 0):
+            return  # already acked and evicted: a replayed journal record
+        if self._cached_reply(txn_id) is None:
+            self._cache_reply(txn_id, TxnReply(
+                client=client, txn_seq=int(txn_seq), ok=True, committed=True,
+                reads=record.get("reads") or {}, server=self.name))
+
     # -- crash / recovery ----------------------------------------------------
 
     def on_crash(self) -> None:
@@ -408,83 +583,121 @@ class TxnCoordinator(Node):
         # not (recovery re-caches every committed decision, so stale
         # retransmits of acked transactions still hit the cache even
         # though the eviction floors are forgotten with it).
+        super().on_crash()
         self._active.clear()
         self._by_handle.clear()
         self._completed.clear()
         self._completed_floor.clear()
         self._queued.clear()
-        self._recover_pending.clear()
+        self._sweeps.clear()
+        self._taking.clear()
 
     def on_recover(self) -> None:
+        super().on_recover()
         self.recoveries += 1
         self.metrics.incr("txn_recoveries")
         self._recovering = True
-        self._recover_reports = {"prepared": {}, "decisions": {}}
         self._tick_timer.arm(self.RETRY, self._tick)
+        self._refence()
+
+    def _refence(self) -> None:
+        """Ask the control journal for a fence epoch above everything ever
+        granted to (or taken from) this coordinator.  Adoption happens in
+        `on_control_record` when the committed fence reaches the ask; a
+        concurrent janitor take to the same epoch just pushes the ask up."""
+        self._refence_want = max(self.view.fence_of(self.name), self.epoch) + 1
+        self.journal({"k": "fence", "o": self.name, "fe": self._refence_want})
+
+    def _adopt_epoch(self, fe: int) -> None:
+        # Stable-guarded: a control-log replay re-fires the fence record,
+        # and must not restart an already-finished self-sweep.
+        adopted = self.stable.setdefault("adopted", set())
+        if fe in adopted:
+            return
+        adopted.add(fe)
+        self.epoch = fe
+        self._begin_sweep(self.name, fe)
+
+    def _begin_sweep(self, victim: str, fe: int) -> None:
+        """Fan a fenced `TXN_RECOVER` out to every shard for `victim`.
+        Store-side this raises the victim's fence to `fe` and reports its
+        prepared transactions and logged decisions; `_finish_sweep` then
+        resolves them."""
+        client_id = f"{TXN_RECOVER_PREFIX}{victim}:{fe}"
+        if client_id in self._sweeps:
+            return
+        sweep = _Sweep(victim, fe)
+        self._sweeps[client_id] = sweep
+        value = json.dumps({"coord": victim, "inc": fe}, sort_keys=True)
         for shard in range(self.router.num_shards):
-            value = json.dumps({"coord": self.name, "inc": self.incarnation},
-                               sort_keys=True)
             command = Command(
-                op=OpType.TXN_RECOVER, key=f"txnrec:{self.name}", value=value,
-                client_id=f"{TXN_RECOVER_PREFIX}{self.name}:{self.incarnation}",
-                seq=shard + 1, value_size=len(value))
-            self._recover_pending[shard] = command
+                op=OpType.TXN_RECOVER, key=f"txnrec:{victim}", value=value,
+                client_id=client_id, seq=shard + 1, value_size=len(value))
+            sweep.pending[shard] = command
             self._send_command(shard, command)
 
     def _on_recover_reply(self, msg: ClientReply) -> None:
-        shard = next((s for s, c in self._recover_pending.items()
+        client_id, _seq = msg.request_id
+        sweep = self._sweeps.get(client_id)
+        if sweep is None:
+            return
+        shard = next((s for s, c in sweep.pending.items()
                       if c.request_id == msg.request_id), None)
         if shard is None:
             return
         if not msg.ok:
-            self._send_command(shard, self._recover_pending[shard])
+            self._send_command(shard, sweep.pending[shard])
             return
         payload = json.loads(msg.value or "{}")
-        del self._recover_pending[shard]
-        reports = self._recover_reports
+        del sweep.pending[shard]
         for meta in payload.get("prepared", []):
-            reports["prepared"][meta["handle"]] = meta
+            sweep.prepared[meta["handle"]] = meta
         for record in payload.get("decisions", []):
-            reports["decisions"][record["handle"]] = record
-        if not self._recover_pending:
-            self._finish_recovery(reports["prepared"], reports["decisions"])
+            sweep.decisions[record["handle"]] = record
+        if not sweep.pending:
+            del self._sweeps[client_id]
+            self._finish_sweep(sweep)
 
-    def _finish_recovery(self, prepared: Dict[str, Dict],
-                         decisions: Dict[str, Dict]) -> None:
-        """Replay the decision log: decided-commit transactions are pushed
-        through phase 2 again (idempotent) and their replies re-cached for
-        client retries; prepared-but-undecided transactions are resolved
-        presumed-abort, releasing their locks."""
+    def _finish_sweep(self, sweep: _Sweep) -> None:
+        """Replay the victim's decision log (the victim may be ourselves):
+        decided-commit transactions are pushed through phase 2 again
+        (idempotent) and their replies re-cached for client retries;
+        prepared-but-undecided transactions are resolved presumed-abort,
+        releasing their locks."""
+        prepared, decisions = sweep.prepared, sweep.decisions
         for handle in sorted(decisions):
             record = decisions[handle]
             if record["outcome"] == "commit":
                 # Re-cache the committed reply for client retries whether or
                 # not phase 2 needs finishing.
-                client, txn_seq = record["txn"].rsplit(":", 1)
-                self._cache_reply(record["txn"], TxnReply(
-                    client=client, txn_seq=int(txn_seq), ok=True,
-                    committed=True, reads=record.get("reads") or {},
-                    server=self.name))
+                self._learn_commit(record)
             if handle not in prepared:
                 # No participant still holds state for this handle: phase 2
-                # finished before the crash.  Skipping it keeps recovery
+                # finished before the crash.  Skipping it keeps the sweep
                 # O(in-flight), not O(every decision ever logged).
                 continue
+            # Cleanup states run in their own `{handle}!s{fence}` dedup
+            # session (see `_TxnState.route`): the victim may have burned
+            # arbitrary sequence numbers in the handle's own session, and a
+            # colliding janitor command would be answered from the dedup
+            # cache with a stale vote instead of applying.
             state = _TxnState(record["txn"], None, [], 0, handle,
                               {int(s): [] for s in record["participants"]},
-                              seq_base=self.incarnation * 1_000_000)
+                              seq_base=seq_namespace(sweep.fe),
+                              route=f"{handle}!s{sweep.fe}")
             state.reads = record.get("reads") or {}
             if record["outcome"] == "commit":
                 state.phase = "commit"
-                self._active[state.txn_id] = state
-                self._by_handle[handle] = state
+                if self._active.get(state.txn_id) is None:
+                    self._active[state.txn_id] = state
+                self._by_handle[state.route] = state
                 self._phase2(state, commit=True)
             else:
-                # An abort this (or a previous) incarnation decided but never
-                # finished delivering: release the surviving locks.
+                # An abort the victim decided but never finished delivering:
+                # release the surviving locks.
                 state.phase = "abort"
                 state.retries = 10**6  # a cleanup, not a client retry loop
-                self._by_handle[handle] = state
+                self._by_handle[state.route] = state
                 self._phase2(state, commit=False)
         for handle in sorted(prepared):
             if handle in decisions:
@@ -494,17 +707,20 @@ class TxnCoordinator(Node):
                 continue  # a commit resumption for this txn is already running
             state = _TxnState(meta["txn"], None, [], meta.get("ts", 0), handle,
                               {int(s): [] for s in meta["participants"]},
-                              seq_base=self.incarnation * 1_000_000)
+                              seq_base=seq_namespace(sweep.fe),
+                              route=f"{handle}!s{sweep.fe}")
             state.phase = "decide"
-            self._by_handle[handle] = state
+            self._by_handle[state.route] = state
             command = self._command(state, OpType.TXN_DECIDE,
-                                    self._decision_record(state, "abort"))
+                                    self._decision_record(state, "abort",
+                                                          coord=sweep.victim))
             state.pending = {int(meta["home"]): command}
             self._send_command(int(meta["home"]), command)
-        self._recovering = False
-        queued, self._queued = self._queued, []
-        for src, msg in queued:
-            self._on_request(src, msg)
+        if sweep.victim == self.name:
+            self._recovering = False
+            queued, self._queued = self._queued, []
+            for src, msg in queued:
+                self._on_request(src, msg)
 
 
 # ---------------------------------------------------------------------------
@@ -550,6 +766,7 @@ class TxnResult:
     filtered: int
     leaders: Dict[int, str]
     events_processed: int
+    failovers: int = 0
 
     @property
     def strict_serializable(self) -> bool:
@@ -643,7 +860,10 @@ def spawn_txn_clients(sim, network, sites, router: ShardRouter,
             name, sim, network, site, router, workload, sites, rng, metrics,
             pools=pools, txn_size=txn_size,
             cross_shard_ratio=cross_shard_ratio,
-            coordinator=f"txnco_{site}", stop_at=stop_at, host=host,
+            coordinator=f"txnco_{site}",
+            coordinators=[f"txnco_{s}" for s in
+                          [site] + [s for s in sites if s != site]],
+            stop_at=stop_at, host=host,
             **plan.session_kwargs())
 
     return plan.spawn(sim, sites, rng_root, make)
@@ -657,11 +877,22 @@ class TxnCluster(ShardedCluster):
 
     def _spawn_clients(self) -> List:
         spec = self.spec
+        sites = self.topology.sites
+        # The coordinators' own consensus group: one control replica per
+        # site, sharing a host with that site's coordinator.  The hosts
+        # join the cluster's host table so machine-level nemesis faults
+        # (host_kill) can land on coordinators too.
+        self.txn_control = ControlGroup(
+            "txnctl", self.sim, self.network, sites, spec.protocol,
+            members=[f"txnco_{site}" for site in sites])
+        for host in self.txn_control.hosts.values():
+            self.hosts[host.name] = host
         self.coordinators = [
             TxnCoordinator(f"txnco_{site}", self.sim, self.network, site,
                            self.router, self.metrics,
-                           self.rng.stream(f"txnco:{site}"))
-            for site in self.topology.sites
+                           self.rng.stream(f"txnco:{site}"),
+                           control=self.txn_control)
+            for site in sites
         ]
         self.txn_events: List[TxnEvent] = []
         # Per-shard key pools so single-shard transactions can draw all
@@ -782,6 +1013,7 @@ class TxnCluster(ShardedCluster):
             filtered=self.filtered_count(),
             leaders=dict(self.leaders),
             events_processed=self.sim.events_processed,
+            failovers=sum(c.failovers for c in self.coordinators),
         )
 
 

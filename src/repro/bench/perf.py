@@ -1,6 +1,6 @@
 """Simulator-core microbenchmark (the `perf` figure).
 
-Measures how fast the event loop pushes simulated work through three
+Measures how fast the event loop pushes simulated work through four
 legs, from the refactored core outward:
 
 * **core-churn** — the simulator core alone, at figure scale: hundreds
@@ -16,6 +16,10 @@ legs, from the refactored core outward:
 * **hosted-mux** — four colocated shard groups on one machine per site
   with cross-group coalescing on: the `Host` CPU queue, `GroupMux`
   envelope, and beacon paths (the `coalesce` figure shape).
+* **sharded-txn** — the same colocated four-shard topology under
+  multi-key transactional load with a 2PC cross-shard fraction: the
+  coordinator, lock-table, and control-log paths stacked on top of
+  everything the hosted-mux leg exercises (the `txn` figure shape).
 
 The cluster legs carry full protocol-handler bodies, so their speedup is
 Amdahl-bounded; the core leg isolates the refactored subsystem.
@@ -35,7 +39,7 @@ machine) and `events_per_sec_normalized = events_per_sec / calibration`.
 Regression checks between machines (the CI perf job) compare the
 normalized number; same-machine before/after comparisons use the raw one.
 
-`python -m repro.bench perf` runs both legs, prints the figure, and
+`python -m repro.bench perf` runs all legs, prints the figure, and
 writes `BENCH_perf.json` (see `--perf-out`); with `--perf-baseline FILE`
 it also compares against a committed baseline and, with
 `--perf-fail-threshold R`, exits non-zero on a worse-than-R regression —
@@ -51,6 +55,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.bench.harness import Cluster, ExperimentSpec
 from repro.obs import SimProfiler
 from repro.shard.cluster import ShardedCluster, ShardedSpec
+from repro.shard.txn import TxnCluster, TxnSpec
 from repro.sim.events import Simulator
 from repro.sim.units import ms
 from repro.workload.ycsb import WorkloadConfig
@@ -77,7 +82,7 @@ def calibrate(iterations: int = 200_000) -> float:
 
 
 # ---------------------------------------------------------------------------
-# The three legs
+# The four legs
 # ---------------------------------------------------------------------------
 
 
@@ -197,6 +202,30 @@ def hosted_mux_spec(scale: float = 1.0, seed: int = 0) -> ShardedSpec:
     )
 
 
+def sharded_txn_spec(scale: float = 1.0, seed: int = 0) -> TxnSpec:
+    """Four colocated groups under multi-key transactional load: one
+    quarter of the transactions span two shards (2PC through the
+    coordinator), the rest take the single-shard atomic fast path."""
+    return TxnSpec(
+        protocol="raft",
+        num_shards=4,
+        placement="colocated",
+        clients_per_region=_scaled(24, scale),
+        workload=WorkloadConfig(read_fraction=0.1, conflict_rate=0.0,
+                                value_size=8),
+        duration_s=4.0 * max(scale, 0.25),
+        warmup_s=1.0 * max(scale, 0.25),
+        cooldown_s=0.5 * max(scale, 0.25),
+        seed=seed,
+        site_uplink_factor=None,
+        hosts_per_site=1,
+        coalesce=True,
+        coalesce_flush_interval=int(ms(2)),
+        txn_size=2,
+        cross_shard_ratio=0.25,
+    )
+
+
 def _time_cluster(cluster, duration_s: float,
                   profile: bool = False) -> Dict[str, Any]:
     """Run a built cluster to completion and report wall-clock rates."""
@@ -207,7 +236,10 @@ def _time_cluster(cluster, duration_s: float,
     result = cluster.run()
     wall_s = time.perf_counter() - start
     events = cluster.sim.events_processed
-    completed = result.completed
+    completed = getattr(result, "completed", None)
+    if completed is None:
+        # TxnResult counts committed transactions instead.
+        completed = getattr(result, "committed", 0)
     leg: Dict[str, Any] = {
         "sim_s": duration_s,
         "wall_s": round(wall_s, 4),
@@ -230,7 +262,7 @@ def _time_cluster(cluster, duration_s: float,
 
 def run_perf(scale: float = 1.0, seed: int = 0,
              profile: bool = True) -> Dict[str, Any]:
-    """Run both legs (plus, when `profile`, a second profiled pass of each
+    """Run all four legs (plus, when `profile`, a second profiled pass of each
     at the same scale — profiled runs are not wall-clock comparable, so
     timing and attribution never share a run)."""
     legs: Dict[str, Any] = {}
@@ -241,12 +273,16 @@ def run_perf(scale: float = 1.0, seed: int = 0,
     spec_b = hosted_mux_spec(scale, seed)
     legs["hosted-mux"] = _time_cluster(ShardedCluster(spec_b),
                                        spec_b.duration_s)
+    spec_c = sharded_txn_spec(scale, seed)
+    legs["sharded-txn"] = _time_cluster(TxnCluster(spec_c),
+                                        spec_c.duration_s)
     if profile:
         legs["core-churn"]["profile"] = run_core_churn(
             scale, seed, profile=True)["profile"]
         for name, spec, builder in (
                 ("single-group", single_group_spec(scale, seed), Cluster),
-                ("hosted-mux", hosted_mux_spec(scale, seed), ShardedCluster)):
+                ("hosted-mux", hosted_mux_spec(scale, seed), ShardedCluster),
+                ("sharded-txn", sharded_txn_spec(scale, seed), TxnCluster)):
             profiled = _time_cluster(builder(spec), spec.duration_s,
                                      profile=True)
             legs[name]["profile"] = profiled["profile"]
@@ -304,6 +340,10 @@ def render_perf(report: Dict[str, Any],
             f"  vs baseline ({comp['baseline_label']}): "
             f"{comp['speedup']:.2f}x events/s raw, "
             f"{comp['speedup_normalized']:.2f}x normalized")
+        if comp.get("legs"):
+            per_leg = ", ".join(f"{name} {ratio:.2f}x"
+                                for name, ratio in comp["legs"].items())
+            lines.append(f"    per-leg normalized: {per_leg}")
     return "\n".join(lines)
 
 
@@ -328,8 +368,24 @@ def compare_to_baseline(report: Dict[str, Any],
     norm = (report["events_per_sec_normalized"]
             / ref["events_per_sec_normalized"]
             if ref.get("events_per_sec_normalized") else raw)
+    # Per-leg normalized speedup: raw leg ratio corrected by the two
+    # runs' calibration scores (each run's machine-speed score scales its
+    # own events/sec, so the ratio of ratios is machine-neutral).  Legs
+    # absent from the baseline (newly added) are skipped, not infinite.
+    legs: Dict[str, float] = {}
+    ref_cal = ref.get("calibration") or 0.0
+    rep_cal = report.get("calibration") or 0.0
+    ref_legs = ref.get("legs") or {}
+    for name, leg in (report.get("legs") or {}).items():
+        ref_leg = ref_legs.get(name)
+        if not ref_leg or not ref_leg.get("events_per_sec"):
+            continue
+        ratio = leg["events_per_sec"] / ref_leg["events_per_sec"]
+        if ref_cal and rep_cal:
+            ratio *= ref_cal / rep_cal
+        legs[name] = round(ratio, 3)
     return {"baseline_label": label, "speedup": raw,
-            "speedup_normalized": norm}
+            "speedup_normalized": norm, "legs": legs}
 
 
 def check_regression(report: Dict[str, Any], baseline: Dict[str, Any],

@@ -295,6 +295,20 @@ class KVStore:
             session.evict_upto(command.acked_low_water)
         return result
 
+    def apply_batch(self, log, start: int, stop: int) -> None:
+        """Apply the committed entries ``log[start:stop]`` in order.
+
+        The replica's no-observers fast path (`_apply_committed` with no
+        apply hooks, no waiting clients/relays, and no obs collector):
+        semantically identical to one `apply()` call per entry — every
+        dedup, ownership, and lock decision is made per command exactly
+        as the scalar path would — with the per-entry loop overhead
+        hoisted out of the replica layer.  Results are discarded because
+        by construction nobody is waiting for them."""
+        apply = self.apply
+        for index in range(start, stop):
+            apply(log[index].command)
+
     def _put_local(self, key: str, value: str) -> None:
         self._table[key] = value
         versions = self._versions

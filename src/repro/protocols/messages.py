@@ -259,6 +259,11 @@ class AppendEntries:
     is_default: bool = False
     skips: Dict[str, int] = field(default_factory=dict)
     _size: int = _memo()
+    # CPU-cost memo: `(NodeCosts, cost)` written by `NodeCosts.cost`.  The
+    # same object fans out to every peer (and interned heartbeats repeat
+    # for many ticks) — one compute per cost table covers them all.
+    _cpu: Optional[tuple] = field(default=None, init=False, repr=False,
+                                  compare=False)
 
     def size_bytes(self) -> int:
         size = self._size
@@ -277,6 +282,11 @@ class AppendEntries:
     @property
     def last_index(self) -> int:
         return self.prev_index + len(self.entries)
+
+    # `AppendEntries.make(...)` / `AppendEntriesReply.make(...)` /
+    # `HostEnvelope.make(...)` are bound after the class bodies (see
+    # `_bind_fast_constructors`): direct slot stores, field-for-field
+    # equal to dataclass construction including the -1 size memo.
 
 
 @dataclass(slots=True)
@@ -331,6 +341,10 @@ class Promise:
                 self.instances.values())
         return size
 
+    def entry_batch(self) -> Iterable[Entry]:
+        """Entries eligible for cross-group envelope dedup."""
+        return self.instances.values()
+
 
 @dataclass(slots=True)
 class Accept:
@@ -344,6 +358,11 @@ class Accept:
     is_default: bool = False
     skips: Dict[str, int] = field(default_factory=dict)
     _size: int = _memo()
+    # CPU-cost memo: `(NodeCosts, cost)` written by `NodeCosts.cost`.  The
+    # same object fans out to every peer (and interned heartbeats repeat
+    # for many ticks) — one compute per cost table covers them all.
+    _cpu: Optional[tuple] = field(default=None, init=False, repr=False,
+                                  compare=False)
 
     def size_bytes(self) -> int:
         size = self._size
@@ -522,6 +541,10 @@ class MenciusState:
     def command_count(self) -> float:
         return 0.25 * len(self.items)
 
+    def entry_batch(self) -> Iterable[Entry]:
+        """Entries eligible for cross-group envelope dedup."""
+        return [entry for entry, _ in self.items.values()]
+
 
 @dataclass(slots=True)
 class MenciusPrepare:
@@ -556,6 +579,10 @@ class MenciusPromise:
             size = self._size = HEADER_BYTES + _entries_size(
                 self.accepted.values())
         return size
+
+    def entry_batch(self) -> Iterable[Entry]:
+        """Entries eligible for cross-group envelope dedup."""
+        return self.accepted.values()
 
 
 # --------------------------------------------------------------------------
@@ -625,9 +652,19 @@ class HostEnvelope:
     than once in the same envelope (the same Command object at the same
     term/ballot, e.g. two followers of one group on one host, or groups
     replicating a shared migration record) is carried once; later
-    occurrences cost a `DEDUP_REF_BYTES` back-reference.  The per-flush
-    saving is surfaced as `payload_dedup_bytes()` and accumulated by the
-    mux into the `coalesce_payload_dedup_bytes` counter.
+    occurrences cost a `DEDUP_REF_BYTES` back-reference.  One `seen` set
+    spans ALL items regardless of originating group or payload kind:
+    append streams (`AppendEntries`, `MenciusAppend`) and recovery /
+    catch-up payloads (`Promise`, `MenciusState`, `MenciusPromise`) all
+    participate via `entry_batch()`, so a shared record travels once even
+    when a steady-state stream and a catch-up reply from different groups
+    carry it in the same flush.  The key is strict (object identity AND
+    term AND ballot): equal *content* in distinct objects is not a safe
+    dedup (independent client commands may collide), and the same command
+    re-framed at a different ballot is a different wire payload.  The
+    per-flush saving is surfaced as `payload_dedup_bytes()` and
+    accumulated by the mux into the `coalesce_payload_dedup_bytes`
+    counter.
     """
 
     src_host: str
@@ -639,22 +676,35 @@ class HostEnvelope:
 
     def _compute(self) -> None:
         inner = 0
-        saved = 0
-        seen = None
+        total = 0
+        batches = None
         for item in self.items:
             payload = item.payload
             inner += payload_size_bytes(payload)
             batch = _payload_entry_batch(payload)
-            if batch is None:
+            if batch is None or not batch:
                 continue
-            if seen is None:
-                seen = set()
-            for entry in batch:
-                key = (id(entry.command), entry.term, entry.ballot)
-                if key in seen:
-                    saved += max(0, entry.wire_size() - DEDUP_REF_BYTES)
-                else:
-                    seen.add(key)
+            total += len(batch)
+            if batches is None:
+                batches = [batch]
+            else:
+                batches.append(batch)
+        saved = 0
+        if total > 1:
+            # Two or more entries across the whole envelope: only then can
+            # a key repeat.  (Single-entry flushes — the common idle-ish
+            # tick — skip the key walk entirely.)
+            seen = set()
+            add = seen.add
+            for batch in batches:
+                for entry in batch:
+                    key = (id(entry.command), entry.term, entry.ballot)
+                    if key in seen:
+                        # Identical entry (same command, same framing): one
+                        # back-reference replaces the whole entry.
+                        saved += max(0, entry.wire_size() - DEDUP_REF_BYTES)
+                    else:
+                        add(key)
         if self.beacon is not None:
             inner += self.beacon.size_bytes()
         self._dedup = saved
@@ -677,3 +727,77 @@ class HostEnvelope:
     def message_count(self) -> int:
         """Protocol messages this envelope replaces (beacon included)."""
         return len(self.items) + (1 if self.beacon is not None else 0)
+
+
+def _bind_fast_constructors() -> None:
+    """Attach `.make(...)` to the hot-path message classes: allocation via
+    `object.__new__` plus direct slot-descriptor stores, skipping the
+    dataclass `__init__`'s per-field `__setattr__` name lookups.  Results
+    are field-for-field equal to dataclass construction — including the
+    -1 size-memo sentinel and a FRESH (unshared) `skips` dict, matching
+    `field(default_factory=dict)` — property-tested in
+    tests/protocols/test_fast_construct.py."""
+    new = object.__new__
+
+    (a_term, a_leader, a_prev, a_prev_term, a_entries, a_commit,
+     a_default, a_skips, a_size, a_cpu) = (
+        AppendEntries.__dict__[n].__set__
+        for n in ("term", "leader", "prev_index", "prev_term", "entries",
+                  "leader_commit", "is_default", "skips", "_size", "_cpu"))
+
+    def make_append(term: int, leader: str, prev_index: int, prev_term: int,
+                    entries: Tuple[Entry, ...], leader_commit: int,
+                    is_default: bool = False) -> AppendEntries:
+        self = new(AppendEntries)
+        a_term(self, term)
+        a_leader(self, leader)
+        a_prev(self, prev_index)
+        a_prev_term(self, prev_term)
+        a_entries(self, entries)
+        a_commit(self, leader_commit)
+        a_default(self, is_default)
+        a_skips(self, {})
+        a_size(self, -1)
+        a_cpu(self, None)
+        return self
+
+    (r_term, r_follower, r_success, r_match, r_holders, r_skips) = (
+        AppendEntriesReply.__dict__[n].__set__
+        for n in ("term", "follower", "success", "match_index",
+                  "lease_holders", "skips"))
+    _no_holders: FrozenSet[str] = frozenset()
+
+    def make_append_reply(term: int, follower: str, success: bool,
+                          match_index: int) -> AppendEntriesReply:
+        self = new(AppendEntriesReply)
+        r_term(self, term)
+        r_follower(self, follower)
+        r_success(self, success)
+        r_match(self, match_index)
+        r_holders(self, _no_holders)
+        r_skips(self, {})
+        return self
+
+    (e_src, e_dst, e_items, e_beacon, e_size, e_dedup) = (
+        HostEnvelope.__dict__[n].__set__
+        for n in ("src_host", "dst_host", "items", "beacon", "_size",
+                  "_dedup"))
+
+    def make_envelope(src_host: str, dst_host: str,
+                      items: Tuple[MuxedMessage, ...] = (),
+                      beacon: Optional[HostBeacon] = None) -> HostEnvelope:
+        self = new(HostEnvelope)
+        e_src(self, src_host)
+        e_dst(self, dst_host)
+        e_items(self, items)
+        e_beacon(self, beacon)
+        e_size(self, -1)
+        e_dedup(self, -1)
+        return self
+
+    AppendEntries.make = staticmethod(make_append)
+    AppendEntriesReply.make = staticmethod(make_append_reply)
+    HostEnvelope.make = staticmethod(make_envelope)
+
+
+_bind_fast_constructors()

@@ -47,6 +47,11 @@ class MultiPaxosReplica(ReplicaBase):
         # follower that missed the one frontier-news broadcast (loss, a
         # partition window) is healed within a bounded number of beats.
         self._last_idle_commit = -1
+        # Interned idle heartbeat: the empty Accept is identical from tick
+        # to tick while (ballot, commit_index) are unchanged, and nothing
+        # mutates an Accept after construction, so one object (with its
+        # memoized wire size) serves every idle beat of a quiet stretch.
+        self._idle_accept: Optional[Accept] = None
         self.instances: Dict[int, Entry] = {}  # accepted values
         self.chosen: Dict[int, Command] = {}
         self.commit_index = -1  # chosen-and-contiguous frontier
@@ -244,10 +249,13 @@ class MultiPaxosReplica(ReplicaBase):
         if self._accept_buffer:
             self._flush_accepts()
         else:
-            empty = Accept(
-                ballot=self.ballot, proposer=self.name, instances={},
-                commit_index=self.commit_index,
-            )
+            empty = self._idle_accept
+            if (empty is None or empty.ballot is not self.ballot
+                    or empty.commit_index != self.commit_index):
+                empty = self._idle_accept = Accept(
+                    ballot=self.ballot, proposer=self.name, instances={},
+                    commit_index=self.commit_index,
+                )
             frontier_news = self.commit_index != self._last_idle_commit
             sent_any = False
             for peer in self.peers:
@@ -263,10 +271,10 @@ class MultiPaxosReplica(ReplicaBase):
         self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
 
     def _accept_locally(self, msg: Accept) -> None:
+        make = Entry.make
+        round_ = msg.ballot.round
         for index, command in msg.instances.items():
-            self.instances[index] = Entry(
-                term=msg.ballot.round, command=command, ballot=msg.ballot.round,
-            )
+            self.instances[index] = make(round_, command, round_)
             self.log_tail = max(self.log_tail, index)
             self._record_acceptance(index, self.name, msg.ballot)
 
@@ -278,10 +286,10 @@ class MultiPaxosReplica(ReplicaBase):
             self.phase1_succeeded = False
         self.leader_id = msg.proposer
         self._reset_prepare_timer()
+        make = Entry.make
+        round_ = msg.ballot.round
         for index, command in msg.instances.items():
-            self.instances[index] = Entry(
-                term=msg.ballot.round, command=command, ballot=msg.ballot.round,
-            )
+            self.instances[index] = make(round_, command, round_)
             self.log_tail = max(self.log_tail, index)
             self._after_accept(index, command, msg)
         self._learn_commit_frontier(msg.commit_index)
@@ -330,12 +338,26 @@ class MultiPaxosReplica(ReplicaBase):
 
     def _advance_commit_frontier(self) -> None:
         advanced = False
-        while (self.commit_index + 1) in self.chosen:
+        # Entries nobody waits on (no hooks, no obs, no pending requester)
+        # reduce to `store.apply` + the `last_applied` bump — no throwaway
+        # Entry wrapper, no `apply_entry` frame.
+        fast = not self.on_apply_hooks and self.obs is None
+        clients = self._clients
+        relays = self._relays
+        chosen = self.chosen
+        store_apply = self.store.apply
+        while (self.commit_index + 1) in chosen:
             self.commit_index += 1
             advanced = True
-            self.apply_entry(self.commit_index, Entry(
-                term=0, command=self.chosen[self.commit_index],
-            ))
+            command = chosen[self.commit_index]
+            if fast:
+                rid = (command.client_id, command.seq)
+                if rid not in clients and rid not in relays:
+                    store_apply(command)
+                    if self.commit_index > self.last_applied:
+                        self.last_applied = self.commit_index
+                    continue
+            self.apply_entry(self.commit_index, Entry.make(0, command))
         if advanced and self.phase1_succeeded and not self._flush_timer.armed:
             # Let acceptors learn the new frontier promptly.
             self._flush_timer.arm(self.config.append_flush_interval, self._flush_accepts_or_learn)

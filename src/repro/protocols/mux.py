@@ -44,7 +44,8 @@ tests/protocols/test_mux_properties.py).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.protocols.messages import HostBeacon, HostEnvelope, MuxedMessage
 from repro.sim.node import Host, Node, NodeCosts
@@ -85,6 +86,19 @@ class GroupMux(Node):
         self.local: Dict[str, Node] = {}
         self._member_by_group: Dict[int, Node] = {}
         self._buffers: Dict[str, List[MuxedMessage]] = {}
+        # Destinations with a non-empty buffer: flush walks only these, so
+        # a host talking to 2 of 30 peers pays for 2, not 30.
+        self._dirty: Set[str] = set()
+        # Outbound route cache: dst replica -> (dst mux name or None for
+        # colocated, group).  Replica placement never changes after
+        # registration; `register` clears it anyway for safety.
+        self._routes: Dict[str, tuple] = {}
+        # Inbound dispatch cache: (dst replica, payload type) -> the
+        # pre-resolved (replica, bound handler) pair, so unpack skips the
+        # registry lookups after the first message of each kind.
+        # `ReplicaBase.register_handler` calls `invalidate_dispatch` on
+        # late (re-)registration.
+        self._inbound: Dict[Tuple[str, type], tuple] = {}
         self._pending_beacons: Dict[str, HostBeacon] = {}
         self._flush_timer = self.timer("mux-flush")
         self._beacon_timer = self.timer("mux-beacon")
@@ -104,6 +118,7 @@ class GroupMux(Node):
         self._member_by_group[group] = replica
         self.directory.replica_to_mux[replica.name] = self.name
         self.directory.group_of[replica.name] = group
+        self._routes.clear()
         replica.mux = self
 
     def covers(self, dst: str) -> bool:
@@ -115,8 +130,15 @@ class GroupMux(Node):
     def enqueue(self, src: str, dst: str, message: Any) -> None:
         """Buffer a replica->replica message for the next flush tick."""
         network = self.network
-        dst_mux = self.directory.replica_to_mux[dst]
-        if dst_mux == self.name:
+        route = self._routes.get(dst)
+        if route is None:
+            directory = self.directory
+            dst_mux = directory.replica_to_mux[dst]
+            route = self._routes[dst] = (
+                None if dst_mux == self.name else dst_mux,
+                directory.group_of[dst])
+        dst_mux, group = route
+        if dst_mux is None:
             # Colocated endpoints: nothing to amortize, deliver locally.
             network.send(src, dst, message)
             return
@@ -130,9 +152,10 @@ class GroupMux(Node):
             # One list per destination host for the mux's lifetime: flush
             # empties it in place instead of reallocating per tick.
             buffer = self._buffers[dst_mux] = []
-        buffer.append(
-            MuxedMessage(src=src, dst=dst,
-                         group=self.directory.group_of[dst], payload=message))
+        if not buffer:
+            self._dirty.add(dst_mux)
+        buffer.append(MuxedMessage(src=src, dst=dst, group=group,
+                                   payload=message))
         if not self._flush_timer.armed:
             self._flush_timer.arm(self.flush_interval, self.flush)
 
@@ -143,19 +166,21 @@ class GroupMux(Node):
         self._flush_timer.cancel()
         buffers = self._buffers
         beacons, self._pending_beacons = self._pending_beacons, {}
-        targets = {dst for dst, items in buffers.items() if items}
-        targets.update(beacons)
-        for dst_mux in sorted(targets):
+        dirty = self._dirty
+        targets = sorted(dirty.union(beacons)) if beacons else sorted(dirty)
+        dirty.clear()
+        make = HostEnvelope.make
+        muxes = self.directory.muxes
+        src_host = self.host.name
+        for dst_mux in targets:
             buffer = buffers.get(dst_mux)
             if buffer:
                 items = tuple(buffer)
                 buffer.clear()
             else:
                 items = ()
-            envelope = HostEnvelope(
-                src_host=self.host.name,
-                dst_host=self.directory.muxes[dst_mux].host.name,
-                items=items, beacon=beacons.get(dst_mux))
+            envelope = make(src_host, muxes[dst_mux].host.name,
+                            items, beacons.get(dst_mux))
             self._count("coalesce_envelopes")
             self._count("coalesce_messages", len(items))
             saved = envelope.payload_dedup_bytes()
@@ -204,19 +229,64 @@ class GroupMux(Node):
 
     # -- inbound -------------------------------------------------------------
 
+    def invalidate_dispatch(self, name: Optional[str] = None) -> None:
+        """Drop the inbound dispatch cache (a replica re-registered a
+        handler after construction).  Rare by construction — every
+        protocol registers in `__init__` — so a full clear is fine."""
+        self._inbound.clear()
+
     def on_message(self, src: str, message: Any) -> None:
         if not isinstance(message, HostEnvelope):
             return
+        # Unpack inline with the dispatch cache: semantically identical to
+        # `replica.deliver_direct(item.src, item.payload)` per item (alive
+        # check, handled counter, trace record, handler dispatch) minus the
+        # per-item registry lookups.  `deliver_direct` stays as the
+        # fallback for payload types with no registered handler.
+        profiler = self.sim.profiler
+        if profiler is not None and not profiler.mux_detail:
+            profiler = None
+        inbound = self._inbound
+        local = self.local
+        now = self.sim.now
         for item in message.items:
-            replica = self.local.get(item.dst)
-            if replica is None or not replica.alive:
-                # Network stats count wire transmissions (the envelope was
-                # sent and delivered); the discarded inner item is mux
-                # bookkeeping, like the raw transport dropping at a dead
-                # process's doorstep.
+            dst = item.dst
+            payload = item.payload
+            payload_type = payload.__class__
+            cached = inbound.get((dst, payload_type))
+            if cached is None:
+                replica = local.get(dst)
+                if replica is None:
+                    # Network stats count wire transmissions (the envelope
+                    # was sent and delivered); the discarded inner item is
+                    # mux bookkeeping, like the raw transport dropping at a
+                    # dead process's doorstep.
+                    self._count("coalesce_items_dropped")
+                    continue
+                handlers = getattr(replica, "_handlers", None)
+                handler = (None if handlers is None
+                           else handlers.get(payload_type))
+                cached = inbound[(dst, payload_type)] = (replica, handler)
+            replica, handler = cached
+            if not replica.alive:
                 self._count("coalesce_items_dropped")
                 continue
-            replica.deliver_direct(item.src, item.payload)
+            if handler is None:
+                replica.deliver_direct(item.src, payload)
+                continue
+            replica.messages_handled += 1
+            trace = replica.trace
+            if trace.enabled:
+                trace.record(now, replica.name, "recv", src=item.src,
+                             msg=payload_type.__name__)
+            if profiler is None:
+                handler(item.src, payload)
+            else:
+                t0 = time.perf_counter()
+                handler(item.src, payload)
+                profiler.add_inner(
+                    f"handle:HostEnvelope/{payload_type.__name__}",
+                    time.perf_counter() - t0)
         if message.beacon is not None:
             for group in sorted(message.beacon.beats):
                 leader, term = message.beacon.beats[group]
@@ -237,6 +307,7 @@ class GroupMux(Node):
         dropped = sum(len(items) for items in self._buffers.values())
         self._count("coalesce_items_dropped", dropped)
         self._buffers.clear()
+        self._dirty.clear()
         self._pending_beacons.clear()
         self._flush_timer.cancel()
         self._beacon_timer.cancel()

@@ -147,7 +147,10 @@ class RaftStarPQLReplica(RaftStarReplica):
         return frozenset(holders)
 
     def _leader_advance_commit(self, msg: AppendEntriesReply) -> None:
-        matches = sorted(self.match_index.get(peer, -1) for peer in self.peers)
+        peer_state = self._peer_state
+        matches = sorted(
+            (state.match_index if state is not None else -1)
+            for state in (peer_state.get(peer) for peer in self.peers))
         candidate = matches[len(matches) - self.config.f]
         candidate = min(candidate, self.last_index)
         # Every active lease holder must have acknowledged the entry before
@@ -155,7 +158,9 @@ class RaftStarPQLReplica(RaftStarReplica):
         for holder in self._holder_set():
             if holder == self.name:
                 continue
-            candidate = min(candidate, self.match_index.get(holder, -1))
+            state = peer_state.get(holder)
+            candidate = min(candidate,
+                            state.match_index if state is not None else -1)
         if candidate > self.commit_index:
             self.commit_index = candidate
             self._apply_committed()

@@ -39,6 +39,35 @@ class Role(enum.Enum):
     LEADER = "leader"
 
 
+class _PeerState:
+    """A leader's per-peer replication record.
+
+    One slotted object instead of six parallel dicts (`next_index`,
+    `match_index`, `_sent_hwm`, `_sent_commit`, `_hb_match`,
+    `_last_progress`): the reply fast path touches most of these per
+    message, and one dict probe per reply replaces up to six.
+
+    `empty_append` interns the last empty-heartbeat `AppendEntries` sent
+    to this peer: heartbeats to a caught-up follower repeat the same
+    (term, prev, commit) for many ticks, so the same message object (and
+    its size memo) is reused until one of those fields moves.  Safe
+    because messages are frozen-in-practice — nothing mutates an
+    `AppendEntries` after construction (DESIGN.md §12)."""
+
+    __slots__ = ("next_index", "match_index", "sent_hwm", "sent_commit",
+                 "hb_match", "last_progress", "empty_append")
+
+    def __init__(self, next_index: int = 0, match_index: int = -1,
+                 sent_hwm: int = -1, sent_commit: int = -1) -> None:
+        self.next_index = next_index
+        self.match_index = match_index
+        self.sent_hwm = sent_hwm
+        self.sent_commit = sent_commit
+        self.hb_match = -1
+        self.last_progress = 0
+        self.empty_append: Optional[AppendEntries] = None
+
+
 class RaftReplica(ReplicaBase):
     """A Raft replica."""
 
@@ -58,15 +87,16 @@ class RaftReplica(ReplicaBase):
         self.leader_id: Optional[str] = None
 
         self._votes: set = set()
-        self.next_index: Dict[str, int] = {}
-        self.match_index: Dict[str, int] = {}
-        # Pipelining: highest index already shipped to each peer (avoids
-        # resending the whole unacked suffix on every flush) and the commit
-        # index last advertised to it.
-        self._sent_hwm: Dict[str, int] = {}
-        self._sent_commit: Dict[str, int] = {}
-        self._hb_match: Dict[str, int] = {}
-        self._last_progress: Dict[str, int] = {}
+        # Leader-side per-peer replication state, one slotted record per
+        # peer (next/match index, pipelining high-water marks, stall
+        # detection, interned heartbeat skeleton) — see `_PeerState`.
+        self._peer_state: Dict[str, _PeerState] = {}
+        self._peer_records: List[_PeerState] = []
+        # Entries-tuple reuse for `_send_append`: (start, stop, tuple) of
+        # the last window built from the log.  Valid while this replica
+        # leads (its log is append-only for the term, so a (start, stop)
+        # slice never changes content); reset on any role change.
+        self._batch_cache: Optional[tuple] = None
 
         self._election_timer = self.timer("election")
         self._heartbeat_timer = self.timer("heartbeat")
@@ -143,6 +173,7 @@ class RaftReplica(ReplicaBase):
         self.role = Role.FOLLOWER
         if leader is not None:
             self.leader_id = leader
+        self._batch_cache = None
         self._heartbeat_timer.cancel()
         self._flush_timer.cancel()
         self._reset_election_timer()
@@ -217,12 +248,13 @@ class RaftReplica(ReplicaBase):
         self.role = Role.LEADER
         self.leader_id = self.name
         self._election_timer.cancel()
-        for peer in self.peers:
-            self.next_index[peer] = self.last_index + 1
-            self.match_index[peer] = -1
-            self._sent_hwm[peer] = self.last_index
-            self._sent_commit[peer] = -1
-            self._hb_match[peer] = -1
+        self._batch_cache = None
+        self._peer_state = {
+            peer: _PeerState(next_index=self.last_index + 1,
+                             sent_hwm=self.last_index)
+            for peer in self.peers
+        }
+        self._peer_records = list(self._peer_state.values())
         self.trace.record(self.sim.now, self.name, "leader", term=self.current_term)
         if not initial:
             # Commit-liveness no-op: gives the new term an entry to count.
@@ -238,23 +270,22 @@ class RaftReplica(ReplicaBase):
             return
         refresh = self.beacon_refresh_due()
         stall_threshold = max(6 * self.config.heartbeat_interval, 600_000)
+        now = self.sim.now
         for peer in self.peers:
             # Loss recovery: rewind the pipeline only after a *long* stall
             # (well beyond any RTT plus CPU queueing), or a slow-but-healthy
             # follower gets buried under retransmissions.
-            match = self.match_index.get(peer, -1)
-            if match > self._hb_match.get(peer, -1):
-                self._last_progress[peer] = self.sim.now
-            elif match < self._sent_hwm.get(peer, -1):
-                last = self._last_progress.get(peer, 0)
-                if self.sim.now - last > stall_threshold:
-                    self._sent_hwm[peer] = match
-                    self.next_index[peer] = (
-                        min(self.next_index.get(peer, match + 1), match + 1)
-                        if match >= 0 else 0
-                    )
-                    self._last_progress[peer] = self.sim.now
-            self._hb_match[peer] = match
+            state = self._peer(peer)
+            match = state.match_index
+            if match > state.hb_match:
+                state.last_progress = now
+            elif match < state.sent_hwm:
+                if now - state.last_progress > stall_threshold:
+                    state.sent_hwm = match
+                    state.next_index = (min(state.next_index, match + 1)
+                                        if match >= 0 else 0)
+                    state.last_progress = now
+            state.hb_match = match
             # A peer covered by the merged host beacon needs no empty
             # heartbeat: send only if there are entries or commit news —
             # except on refresh ticks, whose real keepalive re-advertises
@@ -276,7 +307,8 @@ class RaftReplica(ReplicaBase):
             self.forward_to_leader(command)
 
     def _append_to_log(self, command: Command) -> None:
-        self.log.append(Entry(term=self.current_term, command=command, ballot=self.current_term))
+        term = self.current_term
+        self.log.append(Entry.make(term, command, term))
 
     def _schedule_flush(self) -> None:
         if not self._flush_timer.armed:
@@ -291,47 +323,93 @@ class RaftReplica(ReplicaBase):
         for peer in self.peers:
             self._send_append(peer)
 
+    def _peer(self, peer: str) -> _PeerState:
+        """This leader's replication record for `peer` (created on demand
+        with the pre-leadership defaults, though `_assume_leadership`
+        seeds every peer before any caller runs)."""
+        state = self._peer_state.get(peer)
+        if state is None:
+            state = self._peer_state[peer] = _PeerState(
+                next_index=self.last_index + 1)
+            self._peer_records.append(state)
+        return state
+
     def _send_append(self, peer: str, heartbeat: bool = False) -> None:
         """Ship the next window of entries to `peer`.
 
         Pipelined: each call sends only entries beyond what was already
-        shipped (`_sent_hwm`), with `prev` pointing at the previous shipped
+        shipped (`sent_hwm`), with `prev` pointing at the previous shipped
         entry, so back-to-back flushes do not retransmit the in-flight
         suffix.  Sends nothing when there is neither new content nor a new
         commit index to advertise, unless this is a heartbeat.
         """
-        next_idx = self.next_index.get(peer, self.last_index + 1)
-        start = max(next_idx, self._sent_hwm.get(peer, -1) + 1)
-        if start > self.last_index:
+        state = self._peer_state.get(peer)
+        if state is None:
+            state = self._peer(peer)
+        start = state.next_index
+        shipped = state.sent_hwm + 1
+        if shipped > start:
+            start = shipped
+        commit = self.commit_index
+        last = len(self.log) - 1
+        if start > last:
             # Nothing new to ship — the common case for a flush tick on an
             # idle pipeline.  Bail before touching the log unless a commit
             # advance (or an explicit heartbeat) must be advertised.
-            if (not heartbeat
-                    and self.commit_index <= self._sent_commit.get(peer, -1)):
+            if not heartbeat and commit <= state.sent_commit:
                 return
-            entries = ()
+            # Anchor the consistency check at a point the peer is known to
+            # have.  Intern the empty heartbeat: to a caught-up follower
+            # the same (term, prev, commit) repeats for many ticks, so the
+            # message object (and its size memo) is reused until one of
+            # those fields moves.
+            prev = state.match_index
+            if state.sent_hwm < prev:
+                state.sent_hwm = prev
+            state.sent_commit = commit
+            message = state.empty_append
+            if (message is None
+                    or message.term != self.current_term
+                    or message.prev_index != prev
+                    or message.leader_commit != commit):
+                message = state.empty_append = AppendEntries.make(
+                    term=self.current_term,
+                    leader=self.name,
+                    prev_index=prev,
+                    prev_term=self.term_at(prev),
+                    entries=(),
+                    leader_commit=commit,
+                )
+            self.send(peer, message)
+            return
+        # The message aliases the leader's log entries, and receivers
+        # adopt those references into their own logs: safe because an
+        # `Entry` is never mutated in place anywhere — Raft*'s ballot
+        # rewrite replaces entry objects rather than writing through
+        # shared ones.  The window tuple itself is cached per (start,
+        # stop): fan-out to several peers at the same offset re-sends one
+        # tuple instead of re-slicing the log per peer.
+        stop = start + MAX_BATCH_ENTRIES
+        if stop > last + 1:
+            stop = last + 1
+        cached = self._batch_cache
+        if cached is not None and cached[0] == start and cached[1] == stop:
+            entries = cached[2]
         else:
-            # The message aliases the leader's log entries, and receivers
-            # adopt those references into their own logs: safe because an
-            # `Entry` is never mutated in place anywhere — Raft*'s ballot
-            # rewrite replaces entry objects rather than writing through
-            # shared ones.
-            entries = tuple(self.log[start:start + MAX_BATCH_ENTRIES])
-        if entries:
-            prev = start - 1
-        else:
-            # Nothing new to ship: anchor the consistency check at a point
-            # the peer is known to have.
-            prev = self.match_index.get(peer, -1)
-        self._sent_hwm[peer] = max(self._sent_hwm.get(peer, -1), prev + len(entries))
-        self._sent_commit[peer] = self.commit_index
-        self.send(peer, AppendEntries(
+            entries = tuple(self.log[start:stop])
+            self._batch_cache = (start, stop, entries)
+        prev = start - 1
+        hwm = prev + len(entries)
+        if state.sent_hwm < hwm:
+            state.sent_hwm = hwm
+        state.sent_commit = commit
+        self.send(peer, AppendEntries.make(
             term=self.current_term,
             leader=self.name,
             prev_index=prev,
             prev_term=self.term_at(prev),
             entries=entries,
-            leader_commit=self.commit_index,
+            leader_commit=commit,
         ))
 
     def _on_append_entries(self, src: str, msg: AppendEntries) -> None:
@@ -352,8 +430,11 @@ class RaftReplica(ReplicaBase):
         self.send(src, self._make_append_reply(success, match))
 
     def _make_append_reply(self, success: bool, match: int) -> AppendEntriesReply:
-        return AppendEntriesReply(
-            term=self.current_term, follower=self.name, success=success, match_index=match,
+        # Fresh construction, never interned: PQL mutates the reply
+        # (`lease_holders`) after this returns.
+        return AppendEntriesReply.make(
+            term=self.current_term, follower=self.name, success=success,
+            match_index=match,
         )
 
     def _try_append(self, msg: AppendEntries) -> tuple:
@@ -386,17 +467,22 @@ class RaftReplica(ReplicaBase):
         if self.role is not Role.LEADER or msg.term != self.current_term:
             return
         peer = msg.follower
+        state = self._peer(peer)
         if msg.success:
-            self.match_index[peer] = max(self.match_index.get(peer, -1), msg.match_index)
-            self.next_index[peer] = self.match_index[peer] + 1
+            if msg.match_index > state.match_index:
+                state.match_index = msg.match_index
+            state.next_index = state.match_index + 1
             self._leader_advance_commit(msg)
             self._send_append(peer)
         else:
-            self.next_index[peer] = max(0, min(
-                self.next_index.get(peer, 1) - 1, msg.match_index + 1,
-            ))
+            next_index = state.next_index - 1
+            if msg.match_index + 1 < next_index:
+                next_index = msg.match_index + 1
+            if next_index < 0:
+                next_index = 0
+            state.next_index = next_index
             # Rewind the pipeline so the suffix is resent from next_index.
-            self._sent_hwm[peer] = self.next_index[peer] - 1
+            state.sent_hwm = next_index - 1
             self._handle_append_reject(peer, msg)
             self._send_append(peer)
 
@@ -406,7 +492,7 @@ class RaftReplica(ReplicaBase):
     def _leader_advance_commit(self, msg: AppendEntriesReply) -> None:
         """Advance commit_index by majority counting; Raft restricts the
         counted entry to the current term (§5.4.2)."""
-        matches = sorted(self.match_index.get(peer, -1) for peer in self.peers)
+        matches = sorted(state.match_index for state in self._peer_records)
         # Index replicated on at least `majority` replicas including self:
         # the f-th largest peer match (0-indexed from the end).
         candidate = matches[len(matches) - self.config.f]
@@ -424,6 +510,39 @@ class RaftReplica(ReplicaBase):
     # -- apply --------------------------------------------------------------------
 
     def _apply_committed(self) -> None:
+        commit = self.commit_index
+        applied = self.last_applied
+        if commit <= applied:
+            return
+        if not self.on_apply_hooks and self.obs is None:
+            clients = self._clients
+            relays = self._relays
+            if not clients and not relays:
+                # Nobody is waiting on any completion: hand the store the
+                # whole contiguous batch instead of one `apply_entry`
+                # frame per entry.
+                self.store.apply_batch(self.log, applied + 1, commit + 1)
+                self.last_applied = commit
+                return
+            # Mixed case (the steady state: a leader with pending client
+            # requests, or a follower holding request records from before
+            # a redirect): entries someone waits on take the full
+            # `apply_entry` path — completion semantics are observable
+            # message flow — and everything else reduces to `store.apply`
+            # plus the `last_applied` bump.
+            log = self.log
+            store_apply = self.store.apply
+            while applied < commit:
+                applied += 1
+                entry = log[applied]
+                command = entry.command
+                rid = (command.client_id, command.seq)
+                if rid in clients or rid in relays:
+                    self.apply_entry(applied, entry)
+                else:
+                    store_apply(command)
+                    self.last_applied = applied
+            return
         while self.last_applied < self.commit_index:
             index = self.last_applied + 1
             self.apply_entry(index, self.log[index])
@@ -450,6 +569,7 @@ class RaftReplica(ReplicaBase):
         self.role = Role.FOLLOWER
         self.leader_id = None
         self._votes = set()
+        self._batch_cache = None
         self._reset_election_timer()
 
 

@@ -79,10 +79,15 @@ class Network:
         self._site_egress_free: Dict[str, int] = {}
         self._last_arrival: Dict[Tuple[str, str], int] = {}
         # Resolved-route cache: (src, dst) -> (src_site, dst_site, local,
-        # base one-way latency).  Sites and the topology are fixed after
-        # registration, so the per-send site lookups and latency-table
-        # probes collapse to one dict hit.
-        self._paths: Dict[Tuple[str, str], Tuple[str, str, bool, int]] = {}
+        # base one-way latency, local-hop delay).  Sites and the topology
+        # are fixed after registration, so the per-send site lookups and
+        # latency-table probes collapse to one dict hit.
+        self._paths: Dict[Tuple[str, str], Tuple[str, str, bool, int, int]] = {}
+        # Per-send constants, resolved once: the scheduler entry point and
+        # the delivery callback (a bound method is re-created on every
+        # attribute access otherwise — one allocation per send).
+        self._schedule = sim.schedule
+        self._deliver_cb = self._deliver
         # NIC serialization cost in microseconds per byte (the config is
         # never rewritten after construction).
         self._us_per_byte = 1_000_000 / self.config.bandwidth_bytes_per_sec
@@ -173,11 +178,12 @@ class Network:
             local = (src == dst
                      or (config.deliver_local_instantly and src_site == dst_site))
             base = 0 if local else topology.latency(src_site, dst_site)
-            path = self._paths[pair] = (src_site, dst_site, local, base)
-        src_site, dst_site, local, base = path
+            path = self._paths[pair] = (src_site, dst_site, local, base,
+                                        topology.local_us)
+        src_site, dst_site, local, base, local_us = path
 
         if local:
-            self.sim.schedule(topology.local_us, self._deliver, src, dst, message)
+            self._schedule(local_us, self._deliver_cb, src, dst, message)
             return
 
         now = self.sim.now
@@ -203,7 +209,7 @@ class Network:
             last_arrival = self._last_arrival
             arrive = max(arrive, last_arrival.get(pair, arrive - 1) + 1)
             last_arrival[pair] = arrive
-        self.sim.schedule(arrive - now, self._deliver, src, dst, message)
+        self._schedule(arrive - now, self._deliver_cb, src, dst, message)
 
     def _deliver(self, src: str, dst: str, message) -> None:
         node = self._nodes.get(dst)

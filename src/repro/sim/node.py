@@ -97,7 +97,23 @@ class NodeCosts:
             shape = _COST_SHAPE[tp] = (
                 callable(getattr(message, "size_bytes", None)),
                 callable(getattr(message, "command_count", None)),
+                hasattr(tp, "_cpu"),
             )
+        if shape[2]:
+            # Per-object memo: the same message fanned out to several
+            # peers (or an interned heartbeat repeated across ticks) is
+            # costed once per cost table.  Guarded by identity on the
+            # `NodeCosts` instance — a cluster shares one table, but a
+            # message crossing tables (reshard traffic) recomputes.
+            memo = message._cpu
+            if memo is not None and memo[0] is self:
+                return memo[1]
+            size = int(message.size_bytes()) if shape[0] else 64
+            count = float(message.command_count()) if shape[1] else 0.0
+            value = int(self.per_message + self.per_command * count
+                        + self.per_byte * size)
+            message._cpu = (self, value)
+            return value
         size = int(message.size_bytes()) if shape[0] else 64
         count = float(message.command_count()) if shape[1] else 0.0
         return int(self.per_message + self.per_command * count + self.per_byte * size)
@@ -269,6 +285,12 @@ class Node:
         # Multiplexed deployments: a `GroupMux` transport that intercepts
         # sends to replicas it covers (None = talk to the network directly).
         self.mux = None
+        # The dispatch callback `_receive` schedules for every arriving
+        # message, resolved once: attribute access re-creates a bound
+        # method per call otherwise, and this binds the most-derived
+        # override (`ReplicaBase._handle`) since subclass methods resolve
+        # through `self`.
+        self._handle_cb = self._handle
         network.register(self)
 
     # -- messaging -----------------------------------------------------------
@@ -280,8 +302,9 @@ class Node:
         if self.trace.enabled:
             self.trace.record(self.sim.now, self.name, "send", dst=dst,
                               msg=type(message).__name__)
-        if self.mux is not None and self.mux.covers(dst):
-            self.mux.enqueue(self.name, dst, message)
+        mux = self.mux
+        if mux is not None and dst in mux.directory.replica_to_mux:
+            mux.enqueue(self.name, dst, message)
             return
         self.network.send(self.name, dst, message)
 
@@ -300,7 +323,8 @@ class Node:
         host._cpu_free = done
         host.cpu_busy_us += cost
         self.cpu_busy_us += cost
-        sim.schedule(done - now, self._handle, src, message, self.incarnation)
+        sim.schedule(done - now, self._handle_cb, src, message,
+                     self.incarnation)
 
     def _handle(self, src: str, message: Any, incarnation: int) -> None:
         if not self.alive or self.incarnation != incarnation:

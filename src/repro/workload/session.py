@@ -308,7 +308,7 @@ class Session(Node):
             value_size = len(qop.value)
         else:
             value_size = self._default_value_size
-        command = Command(
+        command = Command.make(
             op=_OPS[qop.kind], key=qop.key, value=qop.value,
             client_id=self.name, seq=seq, value_size=value_size,
             acked_low_water=self._ack_floor.floor, consistency=qop.consistency,

@@ -27,7 +27,7 @@ def test_core_churn_seed_varies_schedule():
 def test_run_perf_report_shape():
     report = run_perf(scale=0.05, seed=0, profile=False)
     assert set(report["legs"]) == {"core-churn", "single-group",
-                                   "hosted-mux"}
+                                   "hosted-mux", "sharded-txn"}
     for leg in report["legs"].values():
         assert leg["events"] > 0
         assert leg["events_per_sec"] > 0
@@ -56,3 +56,23 @@ def test_check_regression_contract():
     comp = compare_to_baseline(_fake_report(400.0, 0.04), baseline)
     assert comp["baseline_label"] == "post_refactor"
     assert comp["speedup_normalized"] == 1.0
+
+
+def test_compare_to_baseline_per_leg():
+    def leg(eps: float) -> dict:
+        return {"events": 10, "wall_s": 1.0, "events_per_sec": eps}
+
+    ref = _fake_report(100.0, 0.01)
+    ref["calibration"] = 2.0
+    ref["legs"] = {"single-group": leg(100.0), "hosted-mux": leg(50.0)}
+    report = _fake_report(200.0, 0.02)
+    report["calibration"] = 1.0  # report machine runs at half speed...
+    report["legs"] = {"single-group": leg(100.0), "hosted-mux": leg(100.0),
+                      "sharded-txn": leg(40.0)}  # ...and has a new leg
+    comp = compare_to_baseline(report, {"post_refactor": ref})
+    # Raw 1.0x on single-group doubles after calibration correction
+    # (ref machine scored 2x the report machine).
+    assert comp["legs"]["single-group"] == 2.0
+    assert comp["legs"]["hosted-mux"] == 4.0
+    # Legs the baseline never measured are skipped, not infinite.
+    assert "sharded-txn" not in comp["legs"]

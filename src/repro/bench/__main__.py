@@ -5,6 +5,8 @@
     python -m repro.bench fig9c fig10a    # a subset
     python -m repro.bench sharding --shards 1 4 --placement spread
     python -m repro.bench reshard --reshard-at 4.0 --reshard-to 8
+    python -m repro.bench membership --membership-protocol multipaxos
+    python -m repro.bench mencius-pipeline --mencius-depth 1 4
     python -m repro.bench txn --txn-shards 1 2 4 --cross-ratio 0 0.5
     python -m repro.bench failover --scale 0.6
     python -m repro.bench coalesce --coalesce both --coalesce-shards 4 8
@@ -50,6 +52,9 @@ FIGURES = {
     "tail": lambda scale, seed: ex.tail_figure(scale, seed),
     "sharding": lambda scale, seed: ex.sharding_scaling(scale, seed).render(),
     "reshard": lambda scale, seed: ex.reshard_timeline(scale, seed).render(),
+    "membership": lambda scale, seed: ex.membership_timeline(scale, seed),
+    "mencius-pipeline": lambda scale, seed: ex.mencius_pipeline(
+        scale, seed).render(),
     "txn": lambda scale, seed: ex.txn_figures(scale, seed),
     "failover": lambda scale, seed: ex.coordinator_failover(
         scale, seeds=(seed, seed + 1, seed + 2))[0].render(),
@@ -114,6 +119,24 @@ def main(argv=None) -> int:
     parser.add_argument("--reshard-to", type=int, default=4, metavar="N",
                         help="reshard figure: shard count after the split "
                              "(default: 4)")
+    parser.add_argument("--membership-protocol", default="raft",
+                        metavar="P",
+                        help="membership figure: protocol for the first "
+                             "timeline (default: raft; the contrast run "
+                             "picks the opposite reconfiguration family)")
+    parser.add_argument("--membership-at", type=float, default=None,
+                        metavar="S",
+                        help="membership figure: kill the host S seconds "
+                             "into the run (default: 30%% of the duration)")
+    parser.add_argument("--membership-alpha", type=int, default=0,
+                        metavar="A",
+                        help="membership figure: α window for the "
+                             "α-bounded run (default: 0 = protocol "
+                             "default)")
+    parser.add_argument("--mencius-depth", type=int, nargs="+",
+                        default=[1, 2, 4, 8], metavar="N",
+                        help="mencius-pipeline figure: session depths "
+                             "(default: 1 2 4 8)")
     parser.add_argument("--txn-shards", type=int, nargs="+", default=[1, 2, 4],
                         metavar="N",
                         help="shard counts for the txn figure (default: 1 2 4)")
@@ -150,6 +173,10 @@ def main(argv=None) -> int:
         parser.error("--shards values must be >= 1")
     if args.reshard_from < 1 or args.reshard_to < 1:
         parser.error("--reshard-from/--reshard-to must be >= 1")
+    if args.membership_alpha < 0:
+        parser.error("--membership-alpha must be >= 0")
+    if any(depth < 1 for depth in args.mencius_depth):
+        parser.error("--mencius-depth values must be >= 1")
     if any(count < 1 for count in args.txn_shards):
         parser.error("--txn-shards values must be >= 1")
     if any(not 0.0 <= ratio <= 1.0 for ratio in args.cross_ratio):
@@ -178,6 +205,11 @@ def main(argv=None) -> int:
     figures["reshard"] = lambda scale, seed: ex.reshard_timeline(
         scale, seed, shards_from=args.reshard_from,
         shards_to=args.reshard_to, reshard_at_s=args.reshard_at).render()
+    figures["membership"] = lambda scale, seed: ex.membership_timeline(
+        scale, seed, protocol=args.membership_protocol,
+        replace_at_s=args.membership_at, alpha=args.membership_alpha)
+    figures["mencius-pipeline"] = lambda scale, seed: ex.mencius_pipeline(
+        scale, seed, depths=tuple(args.mencius_depth)).render()
     figures["txn"] = lambda scale, seed: ex.txn_figures(
         scale, seed, shard_counts=tuple(args.txn_shards),
         cross_ratios=tuple(args.cross_ratio))

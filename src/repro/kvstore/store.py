@@ -274,6 +274,13 @@ class KVStore:
             result = self._apply_txn_recover(command)
         elif op is OpType.TXN:
             result = self._apply_txn_single(command)
+        elif op is OpType.CONFIG:
+            # A membership change mutates the PROTOCOL's voter view, not
+            # the store: the replica reacts when this entry applies
+            # (`ReplicaBase._on_config_applied`).  It still flows through
+            # the dedup window below so a driver's retried change is
+            # answered from cache instead of proposing a second epoch.
+            result = _OK
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown op {op}")
 
@@ -586,6 +593,47 @@ class KVStore:
 
     def snapshot(self) -> Dict[str, str]:
         return dict(self._table)
+
+    # -- catch-up snapshots (dynamic membership) -----------------------------
+
+    def export_full(self) -> Dict:
+        """The whole store as a catch-up snapshot: records, versions,
+        per-key install orders, and every client's dedup window —
+        everything a joining replica needs so that replaying the log
+        suffix after the snapshot position reproduces the donor's state
+        machine exactly (the property `tests/membership` pins with
+        `digest`)."""
+        return {
+            "table": dict(self._table),
+            "versions": dict(self._versions),
+            "write_log": {key: list(log)
+                          for key, log in self._write_log.items()},
+            "sessions": {client: session.export_payload(dict(session.entries))
+                         for client, session in sorted(self._sessions.items())},
+            "applied": self.applied_count,
+        }
+
+    def install_full(self, payload: Dict) -> None:
+        """Install a catch-up snapshot into a FRESH store (replaces, not
+        merges — a joiner starts empty)."""
+        self._table = dict(payload.get("table", {}))
+        self._versions = dict(payload.get("versions", {}))
+        self._write_log = {key: list(log)
+                          for key, log in payload.get("write_log", {}).items()}
+        self._sessions = {
+            client: DedupSession.from_payload(exported)
+            for client, exported in payload.get("sessions", {}).items()
+        }
+        self.applied_count = payload.get("applied", 0)
+
+    def digest(self) -> str:
+        """Stable content digest of the replicated state.  Two stores that
+        processed the same committed commands — directly, or via a
+        catch-up snapshot plus the log suffix — report the same digest."""
+        import hashlib
+
+        payload = json.dumps(self.export_full(), sort_keys=True)
+        return hashlib.sha1(payload.encode()).hexdigest()
 
     def __len__(self) -> int:
         return len(self._table)

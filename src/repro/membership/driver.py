@@ -1,0 +1,94 @@
+"""Driving one `ConfigChange` through a replica group's committed log.
+
+The driver is the membership counterpart of a reshard step issuer: a
+zero-cost node (like clients, it is not the measured resource) that
+submits the encoded change as an ordinary client command and retries on
+the jittered-exponential schedule until the group acknowledges it.  The
+send ring rotates across the group's surviving replicas, so a dead first
+hop — the common case, since a replacement is usually triggered *by* a
+machine death — cannot wedge the transition.
+
+At-most-once comes from the command's dedup identity: the client id is
+unique per driver and the sequence number is the target config epoch, so
+a retried change that already committed is answered from the group's
+dedup window instead of re-entering the log (where the replicas' own
+epoch guard would make it a no-op anyway — two independent layers).
+
+The ack only says the change *entry* committed (and, for joint
+consensus, that the transition has entered the joint phase).  Completion
+of the whole transition — `final`/`alpha` applied — is observed by the
+cluster through `on_apply_hooks`, not by this node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.protocols.messages import ClientReply, ClientRequest, ConfigChange
+from repro.sim.node import Node, NodeCosts
+from repro.sim.units import ms, sec
+from repro.workload.session import RetryPolicy
+
+MEMBER_CLIENT_PREFIX = "__member__"
+
+#: Change retries: comparable to the reshard step schedule — a WAN round
+#: trip base, capped well below a lockstep worst case.
+MEMBER_RETRY = RetryPolicy(retry_timeout=ms(500), retry_cap=sec(4),
+                           backoff_base=ms(50), backoff_cap=ms(800))
+
+
+class MembershipDriver(Node):
+    """Submits one config change to a group and retries until acked."""
+
+    ROTATE_AFTER = 2  # unanswered sends per replica before rotating
+
+    def __init__(self, name, sim, network, site: str, ring: List[str],
+                 change: ConfigChange, rng,
+                 retry: RetryPolicy = MEMBER_RETRY,
+                 on_ok: Optional[Callable[[], None]] = None) -> None:
+        super().__init__(name, sim, network, site=site,
+                         costs=NodeCosts(per_message=0, per_byte=0.0))
+        self.change = change
+        self.command = change.encode(f"{MEMBER_CLIENT_PREFIX}:{name}",
+                                     change.epoch)
+        self.retry = retry
+        self.rng = rng
+        self.on_ok = on_ok
+        self.acked = False
+        self.acked_at: Optional[int] = None
+        self._ring = list(ring)
+        self._ring_idx = 0
+        self._sends = 0
+        self._rejections = 0
+        self._retry_timer = self.timer("member-retry")
+        self.sim.schedule(0, self._send)
+
+    def _send(self) -> None:
+        if self.acked or not self.alive:
+            return
+        if self._sends and self._sends % self.ROTATE_AFTER == 0:
+            self._ring_idx = (self._ring_idx + 1) % len(self._ring)
+        self._sends += 1
+        self.send(self._ring[self._ring_idx],
+                  ClientRequest(command=self.command))
+        self._retry_timer.arm(
+            self.retry.retry_delay(self._sends - 1, self.rng), self._send)
+
+    def on_message(self, src: str, message) -> None:
+        if not isinstance(message, ClientReply) or self.acked:
+            return
+        if message.request_id != self.command.request_id:
+            return  # stale reply of a superseded retry
+        if not message.ok:
+            # No leader yet (election in progress, or the hop retired):
+            # back off, then retry — the ring keeps rotating.
+            self._rejections += 1
+            self._retry_timer.arm(
+                self.retry.backoff_delay(self._rejections, self.rng),
+                self._send)
+            return
+        self._retry_timer.cancel()
+        self.acked = True
+        self.acked_at = self.sim.now
+        if self.on_ok is not None:
+            self.on_ok()

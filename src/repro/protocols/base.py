@@ -69,6 +69,18 @@ class ReplicaBase(Node):
         self.last_applied = -1
         self.on_apply_hooks: List[Callable[[str, int, Command], None]] = []
 
+        # Dynamic membership (repro.membership): set once a CONFIG entry
+        # enters the log — committed batches then take the per-entry apply
+        # path so `_on_config_applied` fires at the right position.  A
+        # replica removed by a completed change flips `retired` and fences
+        # every client-facing path (stale-voter reads included); `joining`
+        # suppresses election machinery on a freshly spawned replica until
+        # a committed config makes it a voter.
+        self._membership_active = False
+        self.config_epoch = 0
+        self.retired = False
+        self.joining = False
+
         # Sharded deployments: maps a command to the owning group's id when
         # this replica's group does NOT own its key (None = ours to serve).
         # Misrouted requests are rejected with that redirect hint before
@@ -129,6 +141,15 @@ class ReplicaBase(Node):
 
     def _on_client_request(self, src: str, message: ClientRequest) -> None:
         command = message.command
+        if self.retired:
+            # Stale-voter fencing: a replica removed by a committed config
+            # must not serve clients — not even lease reads, which would
+            # otherwise answer from state the surviving voters have moved
+            # past.  The plain rejection sends the client back through its
+            # routing table (repaired to the replacement by the cluster).
+            self.send(src, ClientReply(request_id=command.request_id,
+                                       ok=False, server=self.name))
+            return
         if self.ownership_guard is not None and command.shard_checked:
             hint = self.ownership_guard(command)
             if hint is not None:
@@ -280,8 +301,9 @@ class ReplicaBase(Node):
         waiting for a completion (no client sessions, no relays).  Under
         those conditions `apply_entry` reduces to `store.apply` plus the
         `last_applied` bump, which is exactly what the batch path does."""
-        return (not self.on_apply_hooks and self.obs is None
-                and not self._clients and not self._relays)
+        return (not self._membership_active and not self.on_apply_hooks
+                and self.obs is None and not self._clients
+                and not self._relays)
 
     def apply_entry(self, index: int, entry: Entry) -> None:
         """Apply a committed entry to the state machine and complete the
@@ -290,6 +312,12 @@ class ReplicaBase(Node):
         result = self.store.apply(command)
         if index > self.last_applied:
             self.last_applied = index
+        if command.op is OpType.CONFIG:
+            # Membership changes act at APPLY time so every replica of the
+            # group switches voter views at the same log position; the
+            # store already recorded the dedup slot (retries answer from
+            # cache instead of proposing a second epoch).
+            self._on_config_applied(index, command)
         if not result.conflict:
             # Lock-conflict refusals mutate nothing and will be retried as
             # a NEW log entry, so apply observers must not see them — in
@@ -319,8 +347,21 @@ class ReplicaBase(Node):
         filter (ownership survives a crash; the applied state does not)."""
         self.store = KVStore(key_filter=self.store.key_filter)
 
+    def _on_config_applied(self, index: int, command: Command) -> None:
+        """A CONFIG entry reached the apply point.  Protocols that support
+        dynamic membership override this to switch voter views; the base
+        implementation ignores it (a config entry replicated into a
+        protocol without membership support is a harmless no-op)."""
+
     def serve_local_read(self, command: Command) -> None:
         """Answer a read from local state (lease-protected paths only)."""
+        if self.retired:
+            # Stale-voter fencing for the lease-read path: a removed
+            # replica may still hold an unexpired lease from before the
+            # final config committed — answering LEASE_LOCAL reads from it
+            # would serve state the new voter set no longer guards.
+            self.complete(command, ok=False, value=None)
+            return
         if self.ownership_guard is not None:
             hint = self.ownership_guard(command)
             if hint is not None:

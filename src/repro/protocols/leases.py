@@ -53,7 +53,13 @@ class LeaseManager:
         self.granted[self.replica.name] = expiry
         self.acked[self.replica.name] = expiry
         self.held[self.replica.name] = expiry
-        for peer in self.replica.peers:
+        # A replica may fan out appends to more nodes than it leases to —
+        # members removed by a config change linger in `peers` as learners
+        # for one lease duration so the commit wait drains, but granting
+        # them fresh leases would keep them lease holders forever.
+        lease_peers = getattr(self.replica, "lease_peers", None)
+        targets = self.replica.peers if lease_peers is None else lease_peers()
+        for peer in targets:
             self.granted[peer] = expiry
             self.replica.send(peer, LeaseGrant(
                 grantor=self.replica.name, holder=peer, expiry=expiry,

@@ -17,11 +17,12 @@ nothing mutates a message once it is in flight.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import (Any, Dict, FrozenSet, Iterable, List, NamedTuple,
                     Optional, Tuple)
 
-from repro.protocols.types import Ballot, Command, Entry
+from repro.protocols.types import Ballot, Command, Entry, OpType
 # The envelope charges through the cost model's own canonical fallbacks
 # (64 B / 0 commands for messages implementing neither hook), so a batch
 # costs exactly the command/byte work its parts would — what batching
@@ -428,6 +429,108 @@ class LeaseAck:
     holder: str
     grantor: str
     expiry: int
+
+    def size_bytes(self) -> int:
+        return HEADER_BYTES
+
+
+# --------------------------------------------------------------------------
+# Dynamic membership (repro.membership)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """The decoded payload of an `OpType.CONFIG` command.
+
+    Not a wire message itself: a config change travels as an ordinary
+    client command through the group's committed log (so every replica
+    switches voter views at the same log position) with this record as
+    its JSON value.  `kind` selects the reconfiguration style:
+
+    * ``"joint"`` — Raft-side phase 1: activate the Cold ∧ Cnew joint
+      view (`old` and `new` both populated).  The leader auto-appends the
+      matching ``"final"`` once the joint entry applies.
+    * ``"final"`` — Raft-side phase 2: retire Cold, voters become `new`.
+    * ``"alpha"`` — Paxos-side single-decree change: `new` becomes the
+      voter set `alpha` slots after this command's instance.
+
+    `epoch` rises by one per change; a replica applying a stale epoch
+    treats the entry as a no-op (replay/duplicate safety)."""
+
+    kind: str
+    epoch: int
+    new: Tuple[str, ...]
+    old: Tuple[str, ...] = ()
+    alpha: int = 0
+
+    def encode(self, client_id: str, seq: int) -> Command:
+        """The CONFIG command carrying this change."""
+        value = json.dumps({
+            "kind": self.kind, "epoch": self.epoch,
+            "new": sorted(self.new), "old": sorted(self.old),
+            "alpha": self.alpha,
+        }, sort_keys=True)
+        return Command(op=OpType.CONFIG, key="__config__", value=value,
+                       client_id=client_id, seq=seq, value_size=len(value))
+
+    @staticmethod
+    def decode(command: Command) -> "ConfigChange":
+        record = json.loads(command.value or "{}")
+        return ConfigChange(
+            kind=record.get("kind", ""), epoch=record.get("epoch", 0),
+            new=tuple(record.get("new", ())),
+            old=tuple(record.get("old", ())),
+            alpha=record.get("alpha", 0))
+
+
+@dataclass(slots=True)
+class CatchUpSnapshot:
+    """Leader/proposer -> a joining replica: the full replicated state.
+
+    Raft side: the whole log plus the commit index — the joiner replays
+    it through its own apply path, rebuilding the store, the dedup
+    windows, and the config history exactly (the repo never compacts, so
+    the log IS the canonical state; `KVStore.export_full` is the
+    compaction-ready alternative the property tests also pin).  Paxos
+    side: the chosen instances and the commit frontier, same replay.
+
+    `config` carries the sender's serialized membership state so the
+    joiner starts from the right voter view even before the CONFIG
+    entries in the payload re-apply."""
+
+    sender: str
+    entries: Tuple[Entry, ...]
+    commit_index: int
+    term: int = 0
+    config: Optional[Dict[str, Any]] = None
+    _size: int = _memo()
+
+    def size_bytes(self) -> int:
+        size = self._size
+        if size < 0:
+            size = self._size = HEADER_BYTES + _entries_size(self.entries)
+        return size
+
+    def command_count(self) -> float:
+        # State transfer is bulk work, same per-entry profile as an
+        # append batch.
+        return 0.25 * len(self.entries)
+
+    def entry_batch(self) -> Iterable[Entry]:
+        """Entries eligible for cross-group envelope dedup."""
+        return self.entries
+
+
+@dataclass(slots=True)
+class CatchUpReply:
+    """Joining replica -> sender: snapshot installed through `last_index`.
+    The sender seeds its replication cursor (match/next index) from this
+    instead of probing backwards entry by entry."""
+
+    follower: str
+    last_index: int
+    term: int = 0
 
     def size_bytes(self) -> int:
         return HEADER_BYTES

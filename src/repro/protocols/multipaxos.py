@@ -19,9 +19,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.membership import DEFAULT_ALPHA, ConfigLog, is_quorum
 from repro.protocols.base import ReplicaBase
 from repro.protocols.config import ClusterConfig
-from repro.protocols.messages import Accept, Accepted, Learn, Prepare, Promise
+from repro.protocols.messages import (
+    Accept,
+    Accepted,
+    CatchUpReply,
+    CatchUpSnapshot,
+    ConfigChange,
+    Learn,
+    Prepare,
+    Promise,
+)
 from repro.protocols.types import Ballot, Command, Entry, OpType
 
 MAX_ACCEPT_BATCH = 256
@@ -57,6 +67,15 @@ class MultiPaxosReplica(ReplicaBase):
         self.commit_index = -1  # chosen-and-contiguous frontier
         self.log_tail = -1
 
+        # Dynamic membership (α-bounded reconfiguration): None until the
+        # first CONFIG entry applies — every quorum expression below keeps
+        # its original static-`config.majority` form while this is None.
+        # A config decided at slot s governs slots >= s+α; the proposer
+        # defers commands that would open a slot past frontier+α so the
+        # slot→voters mapping stays sound.
+        self._config_log: Optional[ConfigLog] = None
+        self._deferred_commands: List[Command] = []
+
         # proposer state
         self.next_instance = 0
         self._promises: Dict[str, Promise] = {}
@@ -74,6 +93,8 @@ class MultiPaxosReplica(ReplicaBase):
         self.register_handler(Accept, self._on_accept)
         self.register_handler(Accepted, self._on_accepted)
         self.register_handler(Learn, self._on_learn)
+        self.register_handler(CatchUpSnapshot, self._on_catch_up)
+        self.register_handler(CatchUpReply, self._on_catch_up_reply)
 
         if config.initial_leader is not None:
             self._seed_initial_leader(config.initial_leader)
@@ -119,6 +140,12 @@ class MultiPaxosReplica(ReplicaBase):
         return index
 
     def _reset_prepare_timer(self) -> None:
+        if self.joining or self.retired:
+            # A spliced-in replica must not steal the ballot before a
+            # committed config makes it a voter; a retired replica must
+            # never propose again.
+            self._prepare_timer.cancel()
+            return
         timeout = self._rng.randint(
             self.config.election_timeout_min, self.config.election_timeout_max
         )
@@ -171,8 +198,25 @@ class MultiPaxosReplica(ReplicaBase):
         if msg.ballot != self.ballot or self.phase1_succeeded:
             return
         self._promises[msg.acceptor] = msg
-        if len(self._promises) >= self.config.majority:
+        if self._config_log is None:
+            if len(self._promises) >= self.config.majority:
+                self._phase1_succeed()
+        elif self._phase1_quorum():
             self._phase1_succeed()
+
+    def _phase1_quorum(self) -> bool:
+        """Membership-aware phase-1 quorum: the promise set must satisfy
+        a majority of EVERY voter set in the config history, so the
+        prepare quorum intersects the accept quorum of every open slot
+        regardless of which config governs it.  Conservative (history is
+        short — one entry per completed change) but unconditionally
+        safe."""
+        acks = set(self._promises)
+        log = self._config_log
+        if not is_quorum(log.initial, acks):
+            return False
+        return all(is_quorum(voters, acks)
+                   for _eff, voters, _epoch in log.entries)
 
     def _phase1_succeed(self) -> None:
         """Phase1Succeed: adopt the highest-ballot value per reported
@@ -210,6 +254,16 @@ class MultiPaxosReplica(ReplicaBase):
     def submit_command(self, command: Command) -> None:
         if not self.phase1_succeeded:
             self.forward_to_leader(command)
+            return
+        if command.op is OpType.CONFIG:
+            self._membership_active = True
+        if (self._config_log is not None
+                and not self._config_log.window_open(self.next_instance,
+                                                     self.commit_index)):
+            # The α gate: opening this slot would outrun the window that
+            # makes the slot→voters mapping sound.  Defer; the frontier
+            # advance drains the buffer.
+            self._deferred_commands.append(command)
             return
         instance = self.next_instance
         self.next_instance += 1
@@ -274,6 +328,8 @@ class MultiPaxosReplica(ReplicaBase):
         make = Entry.make
         round_ = msg.ballot.round
         for index, command in msg.instances.items():
+            if command.op is OpType.CONFIG:
+                self._membership_active = True
             self.instances[index] = make(round_, command, round_)
             self.log_tail = max(self.log_tail, index)
             self._record_acceptance(index, self.name, msg.ballot)
@@ -289,6 +345,8 @@ class MultiPaxosReplica(ReplicaBase):
         make = Entry.make
         round_ = msg.ballot.round
         for index, command in msg.instances.items():
+            if command.op is OpType.CONFIG:
+                self._membership_active = True
             self.instances[index] = make(round_, command, round_)
             self.log_tail = max(self.log_tail, index)
             self._after_accept(index, command, msg)
@@ -321,9 +379,25 @@ class MultiPaxosReplica(ReplicaBase):
     def _record_acceptance(self, index: int, acceptor: str, ballot: Ballot) -> None:
         voters = self._accept_counts.setdefault(index, set())
         voters.add(acceptor)
+        if self._config_log is not None:
+            # α-aware choosing: the voter set that governs THIS slot —
+            # acks from non-voters (a catching-up joiner, a retired
+            # replica) are inert.
+            if (is_quorum(self._config_log.voters_at(index), voters)
+                    and index not in self.chosen and self._may_choose(index)):
+                self._choose(index)
+            return
         if len(voters) >= self.config.majority and index not in self.chosen:
             if self._may_choose(index):
                 self._choose(index)
+
+    def _accept_quorum(self, index: int, voters: Set[str]) -> bool:
+        """Whether `voters` is an accept quorum for `index` under the
+        config governing that slot (subclass re-check paths; the hot path
+        in `_record_acceptance` keeps its inline form)."""
+        if self._config_log is not None:
+            return is_quorum(self._config_log.voters_at(index), voters)
+        return len(voters) >= self.config.majority
 
     def _may_choose(self, index: int) -> bool:
         """Hook for PQL-on-Paxos (lease-holder wait)."""
@@ -340,8 +414,10 @@ class MultiPaxosReplica(ReplicaBase):
         advanced = False
         # Entries nobody waits on (no hooks, no obs, no pending requester)
         # reduce to `store.apply` + the `last_applied` bump — no throwaway
-        # Entry wrapper, no `apply_entry` frame.
-        fast = not self.on_apply_hooks and self.obs is None
+        # Entry wrapper, no `apply_entry` frame.  Membership runs disable
+        # the shortcut so CONFIG entries reach `_on_config_applied`.
+        fast = (not self._membership_active and not self.on_apply_hooks
+                and self.obs is None)
         clients = self._clients
         relays = self._relays
         chosen = self.chosen
@@ -358,6 +434,13 @@ class MultiPaxosReplica(ReplicaBase):
                         self.last_applied = self.commit_index
                     continue
             self.apply_entry(self.commit_index, Entry.make(0, command))
+        if advanced and self._deferred_commands:
+            # The α window may have re-opened: re-submit in arrival order
+            # (still-closed windows simply re-defer).
+            deferred = self._deferred_commands
+            self._deferred_commands = []
+            for command in deferred:
+                self.submit_command(command)
         if advanced and self.phase1_succeeded and not self._flush_timer.armed:
             # Let acceptors learn the new frontier promptly.
             self._flush_timer.arm(self.config.append_flush_interval, self._flush_accepts_or_learn)
@@ -385,6 +468,96 @@ class MultiPaxosReplica(ReplicaBase):
     def _on_learn(self, src: str, msg: Learn) -> None:
         self._learn_commit_frontier(msg.commit_index)
 
+    # -- dynamic membership (α-bounded reconfiguration) ---------------------------
+    #
+    # The Paxos side of the paper's reconfiguration parallel: ONE logged
+    # config entry, no joint phase — a config chosen at slot s governs
+    # slots >= s+α (Lamport's scheme), and the proposer never opens a slot
+    # more than α past the commit frontier, so by the time a slot's voters
+    # could have changed, the deciding config is already applied on every
+    # replica at the same log position.
+
+    def _on_config_applied(self, index: int, command: Command) -> None:
+        change = ConfigChange.decode(command)
+        if self._config_log is None:
+            self._config_log = ConfigLog(
+                initial=frozenset([self.name, *self.peers]),
+                alpha=change.alpha or DEFAULT_ALPHA)
+        log = self._config_log
+        if change.epoch != log.epoch + 1:
+            return  # replay of a completed epoch, or a stale retry
+        log.decide(index, change.new, change.epoch)
+        self.config_epoch = change.epoch
+        new = frozenset(change.new)
+        joiners = new - frozenset([self.name, *self.peers])
+        self._splice_peers(new)
+        if self.name not in new:
+            self._retire()
+            return
+        if self.joining:
+            # This replica is now a committed voter: join the ballot
+            # machinery.
+            self.joining = False
+            if not self.phase1_succeeded:
+                self._reset_prepare_timer()
+        if self.phase1_succeeded and joiners:
+            self._catch_up_new_peers(joiners)
+
+    def _splice_peers(self, members) -> None:
+        """Point the accept fan-out at the active member set (sorted for
+        deterministic send order).  `voters_at` keeps judging past slots
+        by their governing config, so a removed replica's acks stay
+        countable for the slots it still governs."""
+        self.peers = sorted(m for m in members if m != self.name)
+
+    def _catch_up_new_peers(self, joiners) -> None:
+        """Ship a fresh joiner the leader's contiguous instance prefix in
+        one snapshot; the joiner replays it through the ordinary apply
+        path (rebuilding store, dedup windows, and the config log), then
+        receives new instances through the spliced accept fan-out."""
+        entries: List[Entry] = []
+        for index in range(self.log_tail + 1):
+            entry = self.instances.get(index)
+            if entry is None:
+                break  # hole: ship the contiguous prefix only
+            entries.append(entry)
+        snapshot = CatchUpSnapshot(
+            sender=self.name, entries=tuple(entries),
+            commit_index=min(self.commit_index, len(entries) - 1),
+            term=self.ballot.round)
+        for peer in sorted(joiners):
+            self.send(peer, snapshot)
+
+    def _on_catch_up(self, src: str, msg: CatchUpSnapshot) -> None:
+        if not self.instances and not self.chosen:
+            # Install is only ever wholesale into an EMPTY replica (the
+            # fresh joiner).
+            self.ballot = Ballot(msg.term, msg.sender)
+            self.leader_id = msg.sender
+            for index, entry in enumerate(msg.entries):
+                if entry.command.op is OpType.CONFIG:
+                    self._membership_active = True
+                self.instances[index] = entry
+            self.log_tail = len(msg.entries) - 1
+            self._learn_commit_frontier(msg.commit_index)
+        self.send(src, CatchUpReply(
+            follower=self.name, last_index=self.commit_index,
+            term=self.ballot.round))
+
+    def _on_catch_up_reply(self, src: str, msg: CatchUpReply) -> None:
+        """Paxos needs no per-peer match bookkeeping — acceptance counting
+        does the work — so the reply is just liveness news."""
+
+    def _retire(self) -> None:
+        """This replica was removed by an effective config: fence every
+        client-facing path (`ReplicaBase`) and stand down permanently."""
+        self.retired = True
+        self.joining = False
+        self.phase1_succeeded = False
+        self._prepare_timer.cancel()
+        self._heartbeat_timer.cancel()
+        self._flush_timer.cancel()
+
     # -- lifecycle -------------------------------------------------------------------
 
     def on_crash(self) -> None:
@@ -394,6 +567,16 @@ class MultiPaxosReplica(ReplicaBase):
         self.stable["ballot"] = self.ballot
         self.stable["instances"] = {i: e.copy() for i, e in self.instances.items()}
         self.stable["log_tail"] = self.log_tail
+        if self._membership_active:
+            # Membership state survives the crash; re-applying CONFIG
+            # entries during recovery replay is then idempotent (epoch
+            # guard in `_on_config_applied`).
+            self.stable["membership"] = (
+                None if self._config_log is None else ConfigLog(
+                    initial=self._config_log.initial,
+                    alpha=self._config_log.alpha,
+                    entries=list(self._config_log.entries)),
+                self.config_epoch, self.retired, list(self.peers))
 
     def on_recover(self) -> None:
         self.ballot = self.stable.get("ballot", Ballot(0, ""))
@@ -408,4 +591,14 @@ class MultiPaxosReplica(ReplicaBase):
         self._promises = {}
         self._accept_counts = {}
         self._accept_buffer = {}
+        self._deferred_commands = []
+        membership = self.stable.get("membership")
+        if membership is not None:
+            config_log, self.config_epoch, self.retired, peers = membership
+            if config_log is not None:
+                self._config_log = ConfigLog(
+                    initial=config_log.initial, alpha=config_log.alpha,
+                    entries=list(config_log.entries))
+            self.peers = list(peers)
+            self._membership_active = True
         self._reset_prepare_timer()

@@ -13,7 +13,7 @@ Raft*-PQL, which is the point: the added/modified subactions are
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.protocols.leases import LeaseManager
 from repro.protocols.messages import Accept, Accepted, LeaseAck, LeaseGrant
@@ -34,7 +34,12 @@ class PaxosPQLReplica(MultiPaxosReplica):
         self._pending_reads: List[Command] = []
         self._acceptances_by: Dict[int, set] = {}
         self._reported_holders: Dict[str, tuple] = {}
+        # Members removed by a config change but kept in the accept
+        # fan-out until their last acked lease grants expire (see
+        # `_splice_peers`).
+        self._lingering: Set[str] = set()
         super().__init__(name, sim, network, config, trace=trace)
+        self._linger_timer = self.timer("pql-linger")
         self.leases = LeaseManager(
             self, duration=config.lease_duration, renew_interval=config.lease_renew_interval,
         )
@@ -89,7 +94,7 @@ class PaxosPQLReplica(MultiPaxosReplica):
             for index, voters in list(self._accept_counts.items()):
                 if index in self.chosen:
                     continue
-                if len(voters) >= self.config.majority and self._may_choose(index):
+                if self._accept_quorum(index, voters) and self._may_choose(index):
                     self._choose(index)
         self._choose_sweep_timer.arm(ms(100), self._sweep_pending_chooses)
 
@@ -136,7 +141,7 @@ class PaxosPQLReplica(MultiPaxosReplica):
         # waiting on this holder's acceptance.
         if index not in self.chosen:
             voters = self._accept_counts.get(index, set())
-            if len(voters) >= self.config.majority and self._may_choose(index):
+            if self._accept_quorum(index, voters) and self._may_choose(index):
                 self._choose(index)
 
     def _advance_commit_frontier(self) -> None:
@@ -147,6 +152,50 @@ class PaxosPQLReplica(MultiPaxosReplica):
         super()._learn_commit_frontier(commit_index)
         self._drain_pending_reads()
 
+    # -- membership: lingering lease holders ---------------------------------------
+
+    def _splice_peers(self, members) -> None:
+        """Same rule as RaftStarPQLReplica: a removed member may hold
+        acked leases for up to one lease duration, and `_may_choose`
+        blocks every instance on its acceptance.  Keep it in the accept
+        fan-out as a quorum-inert learner for one lease duration (its
+        acceptOKs satisfy the holder wait; `voters_at` never counts them
+        toward a quorum it doesn't belong to), while `lease_peers` stops
+        granting it fresh leases so its holder status decays."""
+        removed = set(self.peers) - set(members) - self._lingering
+        super()._splice_peers(members)
+        if removed:
+            self._lingering |= removed
+            self._linger_timer.arm(self.config.lease_duration,
+                                   self._prune_lingering)
+        if self._lingering:
+            self.peers = sorted(set(self.peers) | self._lingering)
+
+    def _prune_lingering(self) -> None:
+        if not self._lingering:
+            return
+        for name in self._lingering:
+            self._reported_holders.pop(name, None)
+        self._lingering.clear()
+        if self._config_log is not None:
+            self.peers = sorted(m for m in self._config_log.current
+                                if m != self.name)
+
+    def lease_peers(self) -> List[str]:
+        """Grant leases to active members only — lingering learners must
+        age out of holder status, not have it renewed."""
+        return [p for p in self.peers if p not in self._lingering]
+
+    def _retire(self) -> None:
+        super()._retire()
+        # A retired replica must stop granting leases: a fresh grant
+        # would re-enter proposers' holder sets and let this fenced
+        # replica keep serving LEASE_LOCAL reads.
+        self.leases.stop()
+        self._read_sweep_timer.cancel()
+        self._choose_sweep_timer.cancel()
+        self._pending_reads.clear()
+
     # -- lifecycle ---------------------------------------------------------------------
 
     def on_crash(self) -> None:
@@ -154,4 +203,11 @@ class PaxosPQLReplica(MultiPaxosReplica):
         self.leases.on_crash()
         self._read_sweep_timer.cancel()
         self._choose_sweep_timer.cancel()
+        self._linger_timer.cancel()
         self._pending_reads.clear()
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        if self._lingering:
+            self._linger_timer.arm(self.config.lease_duration,
+                                   self._prune_lingering)

@@ -16,7 +16,7 @@ The port follows the generated specification:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.protocols.leases import LeaseManager
 from repro.protocols.messages import (
@@ -46,7 +46,12 @@ class RaftStarPQLReplica(RaftStarReplica):
         # Holders reported by each follower in its latest appendOK
         # (Figure 8 line 13: "received holders").
         self._reported_holders: Dict[str, frozenset] = {}
+        # Members removed by a config change but kept in the append
+        # fan-out until their last acked lease grants expire (see
+        # `_splice_peers`).
+        self._lingering: Set[str] = set()
         super().__init__(name, sim, network, config, trace=trace)
+        self._linger_timer = self.timer("pql-linger")
         self.leases = LeaseManager(
             self, duration=config.lease_duration, renew_interval=config.lease_renew_interval,
         )
@@ -148,11 +153,26 @@ class RaftStarPQLReplica(RaftStarReplica):
 
     def _leader_advance_commit(self, msg: AppendEntriesReply) -> None:
         peer_state = self._peer_state
-        matches = sorted(
-            (state.match_index if state is not None else -1)
-            for state in (peer_state.get(peer) for peer in self.peers))
-        candidate = matches[len(matches) - self.config.f]
-        candidate = min(candidate, self.last_index)
+        if self._voters is not None:
+            # Membership-aware base candidate (joint consensus, see
+            # RaftReplica); the PQL holder wait below is layered on top
+            # unchanged.
+            last = self.last_index
+            own = self.name
+
+            def match_of(name: str) -> int:
+                if name == own:
+                    return last
+                state = peer_state.get(name)
+                return state.match_index if state is not None else -1
+
+            candidate = min(self._voters.commit_index(match_of), last)
+        else:
+            matches = sorted(
+                (state.match_index if state is not None else -1)
+                for state in (peer_state.get(peer) for peer in self.peers))
+            candidate = matches[len(matches) - self.config.f]
+            candidate = min(candidate, self.last_index)
         # Every active lease holder must have acknowledged the entry before
         # it commits, or its local reads could miss the write.
         for holder in self._holder_set():
@@ -166,6 +186,53 @@ class RaftStarPQLReplica(RaftStarReplica):
             self._apply_committed()
             self._schedule_flush()
 
+    # -- membership: lingering lease holders ---------------------------------------
+
+    def _splice_peers(self, members) -> None:
+        """A member removed by a completed config change may still hold
+        acked leases for up to one lease duration; the commit wait above
+        blocks on every holder's match index, so dropping it from the
+        fan-out outright would freeze its match and stall all writes
+        until its grants expire.  Keep it in `peers` as a quorum-inert
+        learner for one lease duration (its appendOK acks satisfy the
+        holder wait but never count toward a voter quorum), while
+        `lease_peers` stops granting it fresh leases so its holder
+        status actually decays."""
+        removed = set(self.peers) - set(members) - self._lingering
+        super()._splice_peers(members)
+        if removed:
+            self._lingering |= removed
+            self._linger_timer.arm(self.config.lease_duration,
+                                   self._prune_lingering)
+        if self._lingering:
+            self.peers = sorted(set(self.peers) | self._lingering)
+            self._batch_cache = None
+
+    def _prune_lingering(self) -> None:
+        if not self._lingering:
+            return
+        for name in self._lingering:
+            self._reported_holders.pop(name, None)
+        self._lingering.clear()
+        if self._voters is not None:
+            self.peers = sorted(m for m in self._voters.voters
+                                if m != self.name)
+            self._batch_cache = None
+
+    def lease_peers(self) -> List[str]:
+        """Grant leases to active members only — lingering learners must
+        age out of holder status, not have it renewed."""
+        return [p for p in self.peers if p not in self._lingering]
+
+    def _retire(self) -> None:
+        super()._retire()
+        # A retired replica must stop granting leases: a fresh grant
+        # would re-enter other leaders' holder sets and let this fenced
+        # replica keep serving LEASE_LOCAL reads.
+        self.leases.stop()
+        self._read_sweep_timer.cancel()
+        self._pending_reads.clear()
+
     # -- apply: wake pending local reads ----------------------------------------------
 
     def _apply_committed(self) -> None:
@@ -178,6 +245,7 @@ class RaftStarPQLReplica(RaftStarReplica):
         super().on_crash()
         self.leases.on_crash()
         self._read_sweep_timer.cancel()
+        self._linger_timer.cancel()
         self._pending_reads.clear()
         self._reported_holders.clear()
 
@@ -191,3 +259,6 @@ class RaftStarPQLReplica(RaftStarReplica):
         )
         self.leases.start()
         self._read_sweep_timer.arm(ms(50), self._sweep_pending_reads)
+        if self._lingering:
+            self._linger_timer.arm(self.config.lease_duration,
+                                   self._prune_lingering)

@@ -20,11 +20,15 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional
 
+from repro.membership import VoterView
 from repro.protocols.base import ReplicaBase
 from repro.protocols.config import ClusterConfig
 from repro.protocols.messages import (
     AppendEntries,
     AppendEntriesReply,
+    CatchUpReply,
+    CatchUpSnapshot,
+    ConfigChange,
     RequestVote,
     RequestVoteReply,
 )
@@ -98,6 +102,12 @@ class RaftReplica(ReplicaBase):
         # slice never changes content); reset on any role change.
         self._batch_cache: Optional[tuple] = None
 
+        # Dynamic membership (joint consensus): None until the first CONFIG
+        # entry applies — every quorum expression below keeps its original
+        # static-`config.majority` form while this is None, so a run without
+        # membership changes is bit-identical to the pre-membership code.
+        self._voters: Optional[VoterView] = None
+
         self._election_timer = self.timer("election")
         self._heartbeat_timer = self.timer("heartbeat")
         self._flush_timer = self.timer("append-flush")
@@ -107,6 +117,8 @@ class RaftReplica(ReplicaBase):
         self.register_handler(RequestVoteReply, self._on_vote_reply)
         self.register_handler(AppendEntries, self._on_append_entries)
         self.register_handler(AppendEntriesReply, self._on_append_reply)
+        self.register_handler(CatchUpSnapshot, self._on_catch_up)
+        self.register_handler(CatchUpReply, self._on_catch_up_reply)
 
         if config.initial_leader is not None:
             self._seed_initial_leader(config.initial_leader)
@@ -160,6 +172,12 @@ class RaftReplica(ReplicaBase):
             self._reset_election_timer()
 
     def _reset_election_timer(self) -> None:
+        if self.joining or self.retired:
+            # A freshly spliced-in replica must not disrupt the group with
+            # a term bump before a committed config makes it a voter; a
+            # retired replica must never campaign again.
+            self._election_timer.cancel()
+            return
         timeout = self._rng.randint(
             self.config.election_timeout_min, self.config.election_timeout_max
         )
@@ -238,7 +256,13 @@ class RaftReplica(ReplicaBase):
             return
         self._votes.add(msg.voter)
         self._merge_vote_extras(msg)
-        if len(self._votes) >= self.config.majority:
+        if self._voters is None:
+            if len(self._votes) >= self.config.majority:
+                self._assume_leadership()
+        elif self._voters.quorum(self._votes):
+            # Joint rule while a change is in flight: a majority of Cold
+            # AND of Cnew — two leaders on disjoint voter views cannot
+            # both win because any two joint quorums intersect.
             self._assume_leadership()
 
     def _merge_vote_extras(self, msg: RequestVoteReply) -> None:
@@ -262,6 +286,14 @@ class RaftReplica(ReplicaBase):
                 op=OpType.NOP, client_id=f"__leader__{self.name}", seq=self.current_term,
                 value_size=0,
             ))
+        if self._voters is not None and self._voters.phase == "joint":
+            # Safety net: the previous leader died between committing the
+            # joint config and appending the final one — the new leader
+            # finishes the transition so the group cannot stay joint
+            # forever.
+            self._append_config(ConfigChange(
+                kind="final", epoch=self._voters.epoch,
+                new=tuple(sorted(self._voters.newest))))
         self._broadcast_appends()
         self._heartbeat_timer.arm(self.config.heartbeat_interval, self._on_heartbeat)
 
@@ -308,7 +340,19 @@ class RaftReplica(ReplicaBase):
 
     def _append_to_log(self, command: Command) -> None:
         term = self.current_term
+        if command.op is OpType.CONFIG:
+            self._membership_active = True
         self.log.append(Entry.make(term, command, term))
+
+    def _append_config(self, change: ConfigChange) -> None:
+        """Leader-originated config entry (the auto-appended `final`).
+        The `__config__` client id keeps it inside the store's dedup
+        window so a second leader re-appending the same epoch is answered
+        idempotently rather than double-applied (the epoch guard in
+        `_on_config_applied` makes the re-apply a no-op anyway)."""
+        self._append_to_log(change.encode(
+            client_id=f"__config__{self.name}", seq=change.epoch))
+        self._schedule_flush()
 
     def _schedule_flush(self) -> None:
         if not self._flush_timer.armed:
@@ -453,6 +497,8 @@ class RaftReplica(ReplicaBase):
                     self.log.append(entry)
             else:
                 self.log.append(entry)
+            if entry.command.op is OpType.CONFIG:
+                self._membership_active = True
         return True, msg.prev_index + len(msg.entries)
 
     def _advance_commit_follower(self, new_commit: int) -> None:
@@ -492,11 +538,28 @@ class RaftReplica(ReplicaBase):
     def _leader_advance_commit(self, msg: AppendEntriesReply) -> None:
         """Advance commit_index by majority counting; Raft restricts the
         counted entry to the current term (§5.4.2)."""
-        matches = sorted(state.match_index for state in self._peer_records)
-        # Index replicated on at least `majority` replicas including self:
-        # the f-th largest peer match (0-indexed from the end).
-        candidate = matches[len(matches) - self.config.f]
-        candidate = min(candidate, self.last_index)
+        if self._voters is not None:
+            # Membership-aware commit rule: the highest index replicated
+            # on a quorum of EVERY active voter group (one group when
+            # stable, Cold and Cnew while joint).  Acks from non-voters
+            # (a catching-up joiner, a retired replica) are inert.
+            peer_state = self._peer_state
+            last = self.last_index
+            own = self.name
+
+            def match_of(name: str) -> int:
+                if name == own:
+                    return last
+                state = peer_state.get(name)
+                return state.match_index if state is not None else -1
+
+            candidate = min(self._voters.commit_index(match_of), last)
+        else:
+            matches = sorted(state.match_index for state in self._peer_records)
+            # Index replicated on at least `majority` replicas including
+            # self: the f-th largest peer match (0-indexed from the end).
+            candidate = matches[len(matches) - self.config.f]
+            candidate = min(candidate, self.last_index)
         while candidate > self.commit_index and not self._can_commit_at(candidate):
             candidate -= 1
         if candidate > self.commit_index:
@@ -507,6 +570,123 @@ class RaftReplica(ReplicaBase):
     def _can_commit_at(self, index: int) -> bool:
         return self.term_at(index) == self.current_term
 
+    # -- dynamic membership (joint consensus) -------------------------------------
+    #
+    # The Raft side of the paper's reconfiguration parallel: a change from
+    # Cold to Cnew goes through an intermediate JOINT config under which
+    # every election and commit needs a majority of both sets.  Two log
+    # entries drive it — `joint(e)` then `final(e)` — and both take effect
+    # at APPLY time, so every replica of the group switches voter views at
+    # the same log position and replay after a crash is idempotent (the
+    # epoch guard skips already-completed transitions).  This trades the
+    # canonical effect-at-append rule for determinism the repo's replay
+    # paths rely on; the driver serializes changes (one epoch in flight),
+    # which keeps the simplification safe.
+
+    def _on_config_applied(self, index: int, command: Command) -> None:
+        change = ConfigChange.decode(command)
+        if change.kind == "joint":
+            if change.epoch != self.config_epoch + 1:
+                return  # replay of a completed epoch, or a stale retry
+            if self._voters is not None and self._voters.phase == "joint":
+                return
+            old = frozenset(change.old)
+            new = frozenset(change.new)
+            self._voters = VoterView.joint(old, new, change.epoch)
+            self._splice_peers(old | new)
+            if self.role is Role.LEADER:
+                self._catch_up_new_peers(new - old)
+                # Cold∧Cnew is now in force; immediately log the final
+                # config to retire Cold (committed under the joint rule).
+                self._append_config(ConfigChange(
+                    kind="final", epoch=change.epoch,
+                    new=tuple(sorted(new))))
+        elif change.kind == "final":
+            if change.epoch != self.config_epoch + 1:
+                return
+            new = frozenset(change.new)
+            self.config_epoch = change.epoch
+            self._voters = VoterView.stable(new, change.epoch)
+            self._splice_peers(new)
+            if self.name not in new:
+                self._retire()
+            elif self.joining:
+                # This replica is now a committed voter: join the election
+                # machinery.
+                self.joining = False
+                if self.role is Role.FOLLOWER:
+                    self._reset_election_timer()
+
+    def _splice_peers(self, members) -> None:
+        """Point the replication fan-out at the active member set (sorted
+        for deterministic send order).  Leader-side records for new peers
+        are created on demand; records of removed peers become inert —
+        the membership-aware commit rule only consults voter names."""
+        self.peers = sorted(m for m in members if m != self.name)
+        if self.role is Role.LEADER:
+            for peer in self.peers:
+                self._peer(peer)
+        self._batch_cache = None
+
+    def _catch_up_new_peers(self, joiners) -> None:
+        """Ship a fresh joiner the full log in one snapshot message.  The
+        repo never compacts logs, so replaying it through the ordinary
+        apply path rebuilds store, dedup windows, and config state exactly
+        (`KVStore.export_full`/`install_full` is the compaction-ready
+        alternative, property-tested in tests/membership/)."""
+        for peer in sorted(joiners):
+            state = self._peer(peer)
+            if state.match_index >= 0:
+                continue  # already has log state; normal appends suffice
+            self.send(peer, CatchUpSnapshot(
+                sender=self.name, entries=tuple(self.log),
+                commit_index=self.commit_index, term=self.current_term))
+
+    def _on_catch_up(self, src: str, msg: CatchUpSnapshot) -> None:
+        if msg.term < self.current_term:
+            return
+        if msg.term > self.current_term or self.role is not Role.FOLLOWER:
+            self._step_down(msg.term, leader=msg.sender)
+        self.leader_id = msg.sender
+        self._reset_election_timer()
+        if not self.log:
+            # Install is only ever wholesale into an EMPTY log (the fresh
+            # joiner); a lagging rejoiner keeps its log and lets ordinary
+            # append backtracking repair it.
+            self.log = list(msg.entries)
+            if self._membership_active or any(
+                    entry.command.op is OpType.CONFIG for entry in self.log):
+                self._membership_active = True
+            self._advance_commit_follower(
+                min(msg.commit_index, self.last_index))
+        self.send(src, CatchUpReply(
+            follower=self.name, last_index=self.last_index,
+            term=self.current_term))
+
+    def _on_catch_up_reply(self, src: str, msg: CatchUpReply) -> None:
+        if msg.term > self.current_term:
+            self._step_down(msg.term)
+            return
+        if self.role is not Role.LEADER or msg.term != self.current_term:
+            return
+        state = self._peer(msg.follower)
+        if msg.last_index > state.match_index:
+            state.match_index = msg.last_index
+            state.next_index = msg.last_index + 1
+            if state.sent_hwm < msg.last_index:
+                state.sent_hwm = msg.last_index
+            self._leader_advance_commit(None)
+
+    def _retire(self) -> None:
+        """This replica was removed by a completed config: fence every
+        client-facing path (`ReplicaBase`) and stand down permanently."""
+        self.retired = True
+        self.joining = False
+        if self.role is Role.LEADER:
+            self._step_down(self.current_term)
+        self._election_timer.cancel()
+        self._heartbeat_timer.cancel()
+
     # -- apply --------------------------------------------------------------------
 
     def _apply_committed(self) -> None:
@@ -514,7 +694,8 @@ class RaftReplica(ReplicaBase):
         applied = self.last_applied
         if commit <= applied:
             return
-        if not self.on_apply_hooks and self.obs is None:
+        if (not self._membership_active and not self.on_apply_hooks
+                and self.obs is None):
             clients = self._clients
             relays = self._relays
             if not clients and not relays:
@@ -558,6 +739,14 @@ class RaftReplica(ReplicaBase):
         self.stable["term"] = self.current_term
         self.stable["voted_for"] = self.voted_for
         self.stable["log"] = [entry.copy() for entry in self.log]
+        if self._membership_active:
+            # Membership view survives the crash (VoterView is frozen, the
+            # peer list is rebuilt as a copy).  Re-applying CONFIG entries
+            # during recovery replay is then idempotent: the epoch guard in
+            # `_on_config_applied` skips completed transitions.
+            self.stable["membership"] = (
+                self._voters, self.config_epoch, self.retired,
+                list(self.peers))
 
     def on_recover(self) -> None:
         self.current_term = self.stable.get("term", 0)
@@ -570,6 +759,11 @@ class RaftReplica(ReplicaBase):
         self.leader_id = None
         self._votes = set()
         self._batch_cache = None
+        membership = self.stable.get("membership")
+        if membership is not None:
+            self._voters, self.config_epoch, self.retired, peers = membership
+            self.peers = list(peers)
+            self._membership_active = True
         self._reset_election_timer()
 
 

@@ -75,6 +75,8 @@ class RaftStarReplica(RaftReplica):
                 # instance).
                 self._append_to_log(self._padding_nop())
             entry = extras[index]
+            if entry.command.op is OpType.CONFIG:
+                self._membership_active = True
             self.log.append(Entry(
                 term=self.current_term, command=entry.command, ballot=self.current_term,
             ))
@@ -108,6 +110,8 @@ class RaftStarReplica(RaftReplica):
                 self.log[index] = entry  # overwrite, never truncate
             else:
                 self.log.append(entry)
+            if entry.command.op is OpType.CONFIG:
+                self._membership_active = True
         self._rewrite_ballots(msg.term)
         return True, msg.last_index
 

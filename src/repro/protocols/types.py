@@ -38,6 +38,13 @@ class OpType(enum.Enum):
     TXN_ABORT = "txn_abort"
     TXN_DECIDE = "txn_decide"
     TXN_RECOVER = "txn_recover"
+    # Dynamic membership (repro.membership): a logged voter-set change.
+    # The command's value carries the `ConfigChange` JSON payload (kind,
+    # epoch, voter sets); the store treats it as a no-op — the *protocol*
+    # reacts when the entry applies (`ReplicaBase._on_config_applied`),
+    # so every replica of a group switches voter views at the same log
+    # position.
+    CONFIG = "config"
 
 
 class Consistency(enum.Enum):
@@ -164,7 +171,8 @@ class Command:
 # Hot-path op sets, built once (an inline tuple literal of enum members is
 # rebuilt on every membership test).
 _VALUE_CARRYING_OPS = frozenset(
-    {OpType.PUT, OpType.MIGRATE_IN, OpType.TXN, OpType.TXN_PREPARE})
+    {OpType.PUT, OpType.MIGRATE_IN, OpType.TXN, OpType.TXN_PREPARE,
+     OpType.CONFIG})
 _DATA_OPS = frozenset({OpType.PUT, OpType.GET})
 _TXN_OPS = frozenset(
     {OpType.TXN, OpType.TXN_PREPARE, OpType.TXN_COMMIT, OpType.TXN_ABORT,

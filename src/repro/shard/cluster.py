@@ -35,9 +35,11 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.kvstore.checker import HistoryChecker
+from repro.membership.driver import MembershipDriver
 from repro.metrics.recorder import MetricsRecorder
 from repro.obs import Observability, ObsConfig, install_standard_gauges
 from repro.protocols.config import geo_cluster
+from repro.protocols.messages import ConfigChange
 from repro.protocols.mux import GroupMux, MuxDirectory
 from repro.protocols.types import OpType
 from repro.shard.partition import VersionedPartitioner
@@ -197,6 +199,10 @@ class ShardedCluster:
                           else HostPlan(tuple(self.topology.sites),
                                         self.hosts_per_site))
         self.hosts: Dict[str, Host] = {}
+        # Machines running data replicas (control hosts spun up for a
+        # reshard fleet are excluded) — the pool `replace_host` and the
+        # nemesis `host_replace` schedule pick from.
+        self.data_host_names: set = set()
         self.directory = MuxDirectory() if spec.coalesce else None
         self.muxes: Dict[str, GroupMux] = {}
 
@@ -243,6 +249,18 @@ class ShardedCluster:
         self.reshard_completed_at: Optional[int] = None
         self._target: Optional[VersionedPartitioner] = None
 
+        # Live-membership state: the per-shard voter lists and config
+        # epochs as this layer last drove them, the in-flight change
+        # drivers, and a completion journal for the figures.
+        self.members: Dict[int, List[str]] = {
+            shard: sorted(replicas) for shard, replicas in self.groups.items()
+        }
+        self.config_epochs: Dict[int, int] = {shard: 0 for shard in self.groups}
+        self.membership_drivers: List[MembershipDriver] = []
+        self.membership_events: List[Tuple[float, str]] = []
+        self.membership_completed_at: Optional[int] = None
+        self._replaced_incarnations: Dict[str, int] = {}
+
     def _spawn_clients(self):
         """Build this deployment's client fleet through the spec's
         `ClientPlan` (the transactional cluster overrides this to spawn
@@ -275,6 +293,8 @@ class ShardedCluster:
                     self._host(self.host_plan.host_for_group(site, shard), site)
                 for site in self.topology.sites
             }
+            self.data_host_names.update(
+                host.name for host in extra["hosts"].values())
             if spec.coalesce:
                 extra["coalesce_enabled"] = True
                 if spec.coalesce_flush_interval is not None:
@@ -388,6 +408,204 @@ class ShardedCluster:
         self.versioned = self._target
         self.partitioner = self.versioned
         self.reshard_completed_at = self.sim.now
+
+    # -- live membership -----------------------------------------------------
+
+    def _change_kind(self) -> str:
+        """Which reconfiguration style this deployment's protocol runs:
+        joint consensus for the Raft family, α-bounded single-decree for
+        the Paxos family.  Leaderless Mencius groups are refused — a
+        config change must commit through a group leader."""
+        from repro.bench.harness import LEADERLESS, PROTOCOLS
+
+        if self.spec.protocol in LEADERLESS:
+            raise UnsupportedProtocolError(
+                f"live membership changes are not supported for leaderless "
+                f"protocol {self.spec.protocol!r}: the change entry must "
+                f"commit through a group leader (and Mencius instance "
+                f"ownership is positional — a voter-set swap would reassign "
+                f"every open instance); use a leader-based protocol")
+        from repro.protocols.multipaxos import MultiPaxosReplica
+
+        replica_cls = PROTOCOLS[self.spec.protocol]
+        return ("alpha" if issubclass(replica_cls, MultiPaxosReplica)
+                else "joint")
+
+    def replace_host(self, host_name: str, kill: bool = True,
+                     alpha: int = 0) -> str:
+        """Replace a data machine live: crash it (every replica it runs
+        dies with it, permanently), spawn a fresh `Host` in the same
+        site, and drive one config change per group the machine served —
+        each swapping the dead replica for a freshly spawned one that
+        joins empty and catches up from the leader's snapshot.  Returns
+        the replacement host's name."""
+        kind = self._change_kind()
+        if self.host_plan is None:
+            raise RuntimeError(
+                "replace_host needs a machine layout (spec.hosts_per_site)")
+        host = self.hosts[host_name]
+        victims = sorted(node.name for node in host.nodes
+                         if node.name in self.ownerships)
+        if not victims:
+            raise ValueError(f"{host_name!r} runs no data replicas")
+        if kill and host.alive:
+            host.crash()
+        incarnation = self._replaced_incarnations.get(host_name, 0) + 1
+        self._replaced_incarnations[host_name] = incarnation
+        site = HostPlan.site_of_host(host_name)
+        new_host = self._host(
+            HostPlan.replacement_host_name(host_name, incarnation), site)
+        self.data_host_names.add(new_host.name)
+        self.data_host_names.discard(host_name)
+        self.membership_events.append(
+            (self.sim.now / 1e6,
+             f"replace host {host_name} -> {new_host.name}"))
+        for victim in victims:
+            self._change_membership(shard_of_server(victim), kind,
+                                    victim=victim, site=site,
+                                    new_host=new_host, alpha=alpha)
+        return new_host.name
+
+    def add_replica(self, shard: int, site: str, alpha: int = 0) -> str:
+        """Grow a group by one voter in `site`; returns the new replica's
+        name.  The new replica joins empty (catch-up snapshot) and only
+        becomes a voter when the committed change applies."""
+        kind = self._change_kind()
+        new_host = None
+        if self.host_plan is not None:
+            new_host = self._host(
+                self.host_plan.host_for_group(site, shard), site)
+            self.data_host_names.add(new_host.name)
+        return self._change_membership(shard, kind, victim=None, site=site,
+                                       new_host=new_host, alpha=alpha)
+
+    def remove_replica(self, shard: int, replica: str,
+                       alpha: int = 0) -> None:
+        """Shrink a group: drive a config change dropping `replica` from
+        the voter set.  The replica retires (stale-voter fencing) when it
+        applies the change; it is not crashed."""
+        kind = self._change_kind()
+        self._change_membership(shard, kind, victim=replica, site=None,
+                                new_host=None, alpha=alpha)
+
+    def _change_membership(self, shard: int, kind: str, *,
+                           victim: Optional[str], site: Optional[str],
+                           new_host: Optional[Host],
+                           alpha: int = 0) -> Optional[str]:
+        """One logged voter-set change for one group: optionally spawn a
+        joiner (when `site` is given), then hand the encoded change to a
+        `MembershipDriver` and watch the group's applies for completion
+        (`final`/`alpha` at the target epoch)."""
+        from repro.bench.harness import PROTOCOLS
+
+        spec = self.spec
+        group = self.groups[shard]
+        old_members = list(self.members[shard])
+        if victim is not None and victim not in old_members:
+            raise ValueError(f"{victim!r} is not a member of group {shard}")
+        epoch = self.config_epochs[shard] + 1
+        self.config_epochs[shard] = epoch
+        survivors = [m for m in old_members if m != victim]
+
+        replacement = None
+        if site is not None:
+            replacement = f"g{shard}_r{epoch}_{site}"
+            member_sites = {m: group[m].site for m in survivors}
+            member_sites[replacement] = site
+            kwargs = dict(replicas=member_sites, initial_leader=None)
+            if new_host is not None:
+                hosts = {m: group[m].host for m in survivors
+                         if group[m].host is not None}
+                hosts[replacement] = new_host
+                kwargs["hosts"] = hosts
+            config = replace(self.configs[shard], **kwargs)
+            replica_cls = PROTOCOLS[spec.protocol]
+            joiner = replica_cls(replacement, self.sim, self.network, config)
+            # The joiner must not campaign (or run phase 1) before a
+            # committed config makes it a voter; `joining` is cleared by
+            # the protocol when the final/alpha change applies.
+            joiner.joining = True
+            for timer_name in ("_election_timer", "_prepare_timer"):
+                timer = getattr(joiner, timer_name, None)
+                if timer is not None:
+                    timer.cancel()
+            if spec.coalesce and new_host is not None:
+                self._mux_for(new_host, config).register(joiner, shard)
+            ownership = ShardOwnership(shard, self.versioned, owned=True)
+            joiner.store.set_key_filter(ownership.owns_key)
+            joiner.ownership_guard = ownership.guard
+            joiner.shard_info = ownership
+            joiner.on_apply_hooks.append(ownership.on_apply)
+            self.ownerships[replacement] = ownership
+            if spec.check_history and shard in self.checkers:
+                joiner.on_apply_hooks.append(
+                    self.checkers[shard].record_apply)
+            if self.obs is not None:
+                self.obs.install([joiner])
+            group[replacement] = joiner
+
+        new_members = sorted(survivors + ([replacement] if replacement else []))
+        self.members[shard] = new_members
+        change = ConfigChange(
+            kind=kind, epoch=epoch,
+            old=tuple(old_members) if kind == "joint" else (),
+            new=tuple(new_members), alpha=alpha)
+
+        # Completion watcher: the transition is done when any replica
+        # applies the final (joint) / alpha change at this epoch.
+        fired = [False]
+        victim_site = group[victim].site if victim is not None else None
+
+        def watch(server: str, index: int, command) -> None:
+            if fired[0] or command.op is not OpType.CONFIG:
+                return
+            applied = ConfigChange.decode(command)
+            if applied.epoch != epoch or applied.kind == "joint":
+                return
+            fired[0] = True
+            self._on_membership_complete(shard, site, victim_site,
+                                         victim, replacement)
+
+        for member in survivors:
+            group[member].on_apply_hooks.append(watch)
+        if replacement is not None:
+            group[replacement].on_apply_hooks.append(watch)
+
+        # The send ring starts at the group's original leader site and
+        # rotates through the other survivors; forwarding finds whoever
+        # leads now, elections just delay the ack.
+        leader_name = f"g{shard}_r_{self.leaders[shard]}"
+        ring = ([leader_name] if leader_name in survivors else []) + [
+            m for m in survivors if m != leader_name]
+        driver = MembershipDriver(
+            f"member_g{shard}_e{epoch}", self.sim, self.network,
+            site or group[survivors[0]].site, ring, change,
+            self.rng.stream(f"member:{shard}:{epoch}"))
+        self.membership_drivers.append(driver)
+        self.membership_events.append(
+            (self.sim.now / 1e6,
+             f"g{shard} e{epoch} {kind}: -{victim or '∅'} "
+             f"+{replacement or '∅'}"))
+        return replacement
+
+    def _on_membership_complete(self, shard: int, site: Optional[str],
+                                victim_site: Optional[str],
+                                victim: Optional[str],
+                                replacement: Optional[str]) -> None:
+        """First final/alpha apply at the target epoch: repoint the
+        router, stamp completion, bump the figure counter."""
+        if replacement is not None and site is not None:
+            self.router.local_replica[shard][site] = replacement
+        elif victim_site is not None:
+            # Pure removal: that site's clients fall back to the leader's
+            # replica (the retired one now fences every command).
+            self.router.local_replica[shard][victim_site] = (
+                f"g{shard}_r_{self.leaders[shard]}")
+        self.membership_completed_at = self.sim.now
+        self.metrics.incr("config_changes")
+        self.membership_events.append(
+            (self.sim.now / 1e6,
+             f"g{shard} done: {victim or '∅'} -> {replacement or '∅'}"))
 
     # -- introspection ------------------------------------------------------
 
@@ -585,4 +803,149 @@ def run_reshard_experiment(spec: ReshardSpec,
         leaders=dict(cluster.leaders),
         failovers=(cluster.coordinator.failovers
                    if cluster.coordinator is not None else 0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The membership experiment: a live host replacement under load
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MembershipSpec(ShardedSpec):
+    """A sharded trial that loses a machine mid-run and splices in a
+    replacement through logged config changes.
+
+    At `replace_at_s` one data host is crashed permanently; a fresh host
+    is spawned in the same site and every group the dead machine served
+    drives a voter-set change swapping the dead replica for a new one
+    (joint consensus for the Raft family, α-bounded reconfiguration for
+    the Paxos family — chosen by the deployment's protocol).
+    """
+
+    replace_at_s: float = 3.0
+    # None picks the first data host (sorted) — deterministic per spec.
+    target_host: Optional[str] = None
+    # 0 uses the protocol default window (`membership.DEFAULT_ALPHA`).
+    alpha: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hosts_per_site is None:
+            # Host replacement needs a machine layout: the machine, not
+            # the process, is the replacement unit.
+            self.hosts_per_site = 1
+
+
+@dataclass
+class MembershipResult:
+    spec: MembershipSpec
+    kind: str               # "joint" or "alpha"
+    pre_throughput: float   # steady window before the replacement
+    post_throughput: float  # from transition completion to cool-down
+    # (bucket start in s, ops/s, p99 latency ms — NaN for an empty bucket)
+    timeline: List[Tuple[float, float, float]]
+    replaced_host: str
+    replacement_host: Optional[str]
+    groups_changed: int     # config changes driven (one per hosted group)
+    config_changes: int     # completed transitions (final/alpha applied)
+    replace_started_s: float
+    replace_completed_s: Optional[float]
+    completed: int
+    acks_lost: int
+    acks_duplicated: int
+    duplicate_executions: int
+    redirects: int
+    capped_redirects: int
+    filtered: int
+    violations: Dict[int, List[str]]
+    events_processed: int = 0
+
+    @property
+    def replacement_completed(self) -> bool:
+        return (self.replace_completed_s is not None
+                and self.config_changes >= self.groups_changed)
+
+    @property
+    def replacement_ms(self) -> float:
+        if self.replace_completed_s is None:
+            return float("nan")
+        return 1000.0 * (self.replace_completed_s - self.replace_started_s)
+
+    @property
+    def throughput_ratio(self) -> float:
+        if not self.pre_throughput:
+            return float("nan")
+        return self.post_throughput / self.pre_throughput
+
+    @property
+    def linearizable(self) -> bool:
+        return all(not v for v in self.violations.values())
+
+
+def run_membership_experiment(spec: MembershipSpec,
+                              bucket_s: float = 0.5,
+                              nemesis=None) -> MembershipResult:
+    """Build the cluster, kill one data host at `replace_at_s`, splice in
+    a replacement through the protocol's own reconfiguration style, and
+    account for every ack across the window (same identities as the
+    reshard experiment: lost, duplicated, re-executed)."""
+    cluster = ShardedCluster(spec)
+    kind = cluster._change_kind()  # validate the protocol up front
+    target = spec.target_host or sorted(cluster.data_host_names)[0]
+    outcome: Dict[str, object] = {"new_host": None}
+
+    def go() -> None:
+        outcome["new_host"] = cluster.replace_host(target, alpha=spec.alpha)
+
+    cluster.sim.schedule_at(sec(spec.replace_at_s), go)
+    if nemesis is not None:
+        nemesis(cluster)
+    cluster.sim.run(until=sec(spec.duration_s))
+
+    metrics = cluster.metrics
+    window_end = sec(spec.duration_s - spec.cooldown_s)
+    pre = metrics.throughput_ops(sec(spec.warmup_s), sec(spec.replace_at_s))
+    completed_s = (cluster.membership_completed_at / 1e6
+                   if cluster.membership_completed_at is not None else None)
+    post_start = sec(completed_s if completed_s is not None
+                     else spec.replace_at_s)
+    post = metrics.throughput_ops(post_start, window_end)
+
+    timeline: List[Tuple[float, float, float]] = []
+    t = 0.0
+    while t < spec.duration_s:
+        hi = min(t + bucket_s, spec.duration_s)
+        lat = sorted(r.latency_ms for r in metrics.records
+                     if sec(t) <= r.end < sec(hi))
+        p99 = lat[int(0.99 * (len(lat) - 1))] if lat else float("nan")
+        timeline.append((t, len(lat) / (hi - t), p99))
+        t = hi
+
+    acks_lost = sum(c.seq - c.completed - c.in_flight_count
+                    for c in cluster.clients)
+    acks_duplicated = (len(metrics.records)
+                       - sum(c.completed for c in cluster.clients))
+    violations = {shard: checker.check_all()
+                  for shard, checker in sorted(cluster.checkers.items())}
+    return MembershipResult(
+        spec=spec,
+        kind=kind,
+        pre_throughput=pre,
+        post_throughput=post,
+        timeline=timeline,
+        replaced_host=target,
+        replacement_host=outcome["new_host"],
+        groups_changed=len(cluster.membership_drivers),
+        config_changes=metrics.counters.get("config_changes", 0),
+        replace_started_s=spec.replace_at_s,
+        replace_completed_s=completed_s,
+        completed=len(metrics.window(sec(spec.warmup_s), window_end)),
+        acks_lost=acks_lost,
+        acks_duplicated=acks_duplicated,
+        duplicate_executions=duplicate_execution_count(cluster),
+        redirects=sum(c.redirects for c in cluster.clients),
+        capped_redirects=sum(c.capped_redirects for c in cluster.clients),
+        filtered=cluster.filtered_count(),
+        violations=violations,
+        events_processed=cluster.sim.events_processed,
     )

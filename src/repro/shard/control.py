@@ -74,7 +74,8 @@ CONTROL_RETRY = RetryPolicy(retry_timeout=ms(250), retry_cap=sec(2),
 class ControlView:
     """One site's materialized journal state (idempotent under replay)."""
 
-    def __init__(self, initial_owner: Optional[str] = None) -> None:
+    def __init__(self, initial_owner: Optional[str] = None,
+                 clock: Optional[Callable[[], int]] = None) -> None:
         # member -> highest fence epoch journaled for it.  A member's
         # commands stamped below its fence are refused by the data plane.
         self.fence: Dict[str, int] = {}
@@ -86,6 +87,17 @@ class ControlView:
         # construction without a journal round, deterministically.
         self.owner: Optional[str] = initial_owner
         self.owner_epoch: int = 1 if initial_owner is not None else 0
+        # When THIS observer learned of the current owner epoch (local
+        # clock, not the record's sender stamp).  Liveness stamps age by
+        # sender time, so right after a rotation the new owner's freshest
+        # evidence is the claim record itself — already one control-log
+        # commit plus a WAN propagation old when it applies here.  The
+        # grace below keeps standbys from reading that transport lag as
+        # expiry and stealing the role back (replay-safe: re-applying the
+        # log just re-stamps with the replay time, which only widens the
+        # grace).
+        self.clock = clock if clock is not None else (lambda: 0)
+        self.owner_since: int = 0
         # Subclass-record listeners, called with every applied record
         # (duplicates included — listeners must be idempotent).
         self.listeners: List[Callable[[Dict], None]] = []
@@ -116,6 +128,7 @@ class ControlView:
             if record["e"] == self.owner_epoch + 1:
                 self.owner_epoch = record["e"]
                 self.owner = record["o"]
+                self.owner_since = self.clock()
             self._renew(record["o"], record["t"])
         for listener in self.listeners:
             listener(record)
@@ -177,7 +190,8 @@ class ControlGroup:
         }
         self.views: Dict[str, ControlView] = {}
         for site in sites:
-            view = ControlView(initial_owner=initial_owner)
+            view = ControlView(initial_owner=initial_owner,
+                               clock=lambda: sim.now)
             self.views[site] = view
             self.replicas[f"{prefix}_{site}"].on_apply_hooks.append(
                 view.on_apply)
@@ -233,6 +247,11 @@ class ReplicatedCoordinator(Node):
         # failover latency is takeover time minus kill time).
         self.failovers = 0
         self.takeovers: List[Tuple[int, str]] = []
+        # Planned handoffs: ownership transfers this coordinator received
+        # via a committed handoff claim (no lease expiry involved).
+        self.handoffs = 0
+        self._handoff_to: Optional[str] = None
+        self._handoff_inflight = False
         self._lease_inflight = False
         self._lease_timer = self.timer("ctl-lease")
         self._arm_lease()
@@ -313,6 +332,7 @@ class ReplicatedCoordinator(Node):
 
     def _lease_tick(self) -> None:
         self.on_lease_tick()
+        self._maybe_handoff()
         self._arm_lease()
 
     def on_lease_tick(self) -> None:
@@ -325,11 +345,64 @@ class ReplicatedCoordinator(Node):
         t = self.view.lease_t.get(member)
         return t is not None and self.sim.now - t > self.LEASE_EXPIRY
 
+    def owner_lease_expired(self) -> bool:
+        """`lease_expired` for the single-owner role, with a rotation
+        grace: after observing a claim, a standby gives the new owner one
+        full expiry (by its OWN clock) to land a fresh lease before
+        reading staleness into the sender-stamped evidence — the claim
+        record is already a commit plus a WAN hop old on arrival."""
+        owner = self.view.owner
+        if owner is None:
+            return False
+        if self.sim.now - self.view.owner_since <= self.LEASE_EXPIRY:
+            return False
+        return self.lease_expired(owner)
+
     def record_failover(self, role: str) -> None:
         self.failovers += 1
         self.takeovers.append((self.sim.now, role))
         if self.metrics is not None:
             self.metrics.incr("coordinator_failovers")
+
+    # -- planned handoff -----------------------------------------------------
+
+    def handoff(self, to: str) -> None:
+        """Planned ownership transfer: once in-flight work is drained
+        (`_handoff_ready`), journal a claim naming `to` at the successor
+        epoch, stamped as a handoff.  The receiver starts driving the
+        moment the claim commits — no lease has to expire first, which is
+        why a planned handoff's gap is bounded by a control-log commit
+        (milliseconds) instead of `LEASE_EXPIRY`."""
+        self._handoff_to = to
+        self._maybe_handoff()
+
+    def _handoff_ready(self) -> bool:
+        """Override: whether this coordinator's in-flight work is drained
+        enough to transfer ownership."""
+        return True
+
+    def _maybe_handoff(self) -> None:
+        if self._handoff_to is None:
+            return
+        if self.view.owner == self._handoff_to:
+            self._handoff_to = None  # transfer committed
+            return
+        if (self._handoff_inflight or not self.alive
+                or self.view.owner != self.name
+                or not self._handoff_ready()):
+            return
+        self._handoff_inflight = True
+
+        def landed() -> None:
+            self._handoff_inflight = False
+        self.journal({"k": "claim", "e": self.view.owner_epoch + 1,
+                      "o": self._handoff_to, "h": 1}, on_ok=landed)
+
+    def record_handoff(self, role: str) -> None:
+        self.handoffs += 1
+        self.takeovers.append((self.sim.now, f"handoff:{role}"))
+        if self.metrics is not None:
+            self.metrics.incr("coordinator_handoffs")
 
     # -- control-record dispatch ---------------------------------------------
 
@@ -351,6 +424,7 @@ class ReplicatedCoordinator(Node):
         # not: a re-journaled transition gets a fresh slot).
         self._journal_pending.clear()
         self._lease_inflight = False
+        self._handoff_inflight = False
 
     def on_recover(self) -> None:
         self._arm_lease()

@@ -22,7 +22,12 @@ against a built (not yet run) `ShardedCluster`/`TxnCluster`:
   of an alive transaction coordinator (or of the reshard fleet's current
   lease-holding driver), machine-granular, so the coordinator and its
   local control replica die together and a hot standby in another site
-  must take over through the control journal.
+  must take over through the control journal;
+* **host_replace** — the permanent-loss fault: crash a data machine with
+  NO recovery, then splice a replacement in through the cluster's live
+  membership path (`ShardedCluster.replace_host`) — every group the dead
+  box served drives a logged config change swapping the dead replica for
+  a fresh one that catches up from a snapshot.
 
 Everything is driven by a named stream off the experiment seed, so a
 failing schedule replays exactly.  `tests/shard/nemesis.py` provides the
@@ -38,7 +43,7 @@ from repro.sim.rng import SplitRng
 from repro.sim.units import sec
 
 KINDS = ("leader_kill", "leader_partition", "coordinator_kill", "host_kill",
-         "coordinator_host_kill")
+         "coordinator_host_kill", "host_replace")
 
 
 class Nemesis:
@@ -60,6 +65,7 @@ class Nemesis:
         self.partitions = 0
         self.coordinator_kills = 0
         self.host_kills = 0
+        self.host_replaces = 0
 
     # -- scheduling ----------------------------------------------------------
 
@@ -85,6 +91,12 @@ class Nemesis:
         self.cluster.sim.schedule_at(sec(at_s), self._coordinator_host_kill,
                                      role)
 
+    def host_replace_at(self, at_s: float,
+                        host: Optional[str] = None) -> None:
+        """Permanently kill a data machine at `at_s` and replace it live
+        (random alive data host when `host` is None)."""
+        self.cluster.sim.schedule_at(sec(at_s), self._host_replace, host)
+
     def random_schedule(self, events: int, start_s: float, end_s: float,
                         kinds: Sequence[str] = ("leader_kill",
                                                 "leader_partition")) -> None:
@@ -102,6 +114,8 @@ class Nemesis:
                 self.host_kill_at(at_s)
             elif kind == "coordinator_host_kill":
                 self.coordinator_host_kill_at(at_s)
+            elif kind == "host_replace":
+                self.host_replace_at(at_s)
             else:  # pragma: no cover - caller typo
                 raise ValueError(f"unknown nemesis kind {kind!r}")
 
@@ -183,6 +197,25 @@ class Nemesis:
             if revived:
                 self._note(f"host_kill: recovered {host_name}")
         self.cluster.sim.schedule(sec(self.host_down_s), recover)
+
+    def _host_replace(self, host_name: Optional[str]) -> None:
+        cluster = self.cluster
+        pool = getattr(cluster, "data_host_names", set())
+        hosts = getattr(cluster, "hosts", {})
+        alive = sorted(name for name in pool
+                       if name in hosts and hosts[name].alive)
+        if not alive:
+            self._note("host_replace: no data host alive, skipped")
+            return
+        if host_name is None:
+            host_name = self.rng.choice(alive)
+        try:
+            new_host = cluster.replace_host(host_name)
+        except Exception as exc:  # leaderless protocol, no layout, ...
+            self._note(f"host_replace: {host_name} refused ({exc})")
+            return
+        self.host_replaces += 1
+        self._note(f"host_replace: {host_name} -> {new_host} (permanent)")
 
     def _coordinator_host_kill(self, role: str) -> None:
         host = None

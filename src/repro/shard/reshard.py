@@ -165,6 +165,10 @@ class ReshardControlPlane:
     def failovers(self) -> int:
         return sum(c.failovers for c in self.coordinators)
 
+    @property
+    def handoffs(self) -> int:
+        return sum(c.handoffs for c in self.coordinators)
+
     def finish(self, now: int) -> None:
         if self.completed_at is not None:
             return
@@ -238,7 +242,7 @@ class ReshardCoordinator(ReplicatedCoordinator):
             if self._command is None:
                 self._drive()
         elif (self.view.owner is not None and not self._claiming
-              and self.lease_expired(self.view.owner)):
+              and self.owner_lease_expired()):
             self._claiming = True
             self.journal({"k": "claim", "e": self.view.owner_epoch + 1,
                           "o": self.name})
@@ -253,19 +257,29 @@ class ReshardCoordinator(ReplicatedCoordinator):
             self._claiming = False
             if (self.view.owner == self.name
                     and self.view.owner_epoch == record["e"]):
-                # We won the takeover (first committed claim at this
+                # We won the rotation (first committed claim at this
                 # epoch).  Guard against control-log replay re-counting.
                 won = self.stable.setdefault("won_epochs", set())
                 if record["e"] not in won:
                     won.add(record["e"])
                     if record["e"] > 1:
-                        self.record_failover("reshard-owner")
+                        if record.get("h"):
+                            # A planned transfer, not a lease expiry.
+                            self.record_handoff("reshard-owner")
+                        else:
+                            self.record_failover("reshard-owner")
                 self._drive()
 
     def _learn_step(self, step: int) -> None:
         if step > self._step:
             self._step = step
             self.stable["step"] = step
+
+    def _handoff_ready(self) -> bool:
+        # Drain before transferring: the committed cursor then names the
+        # exact step the receiver enters through, so the transfer never
+        # races an in-flight export/import reply.
+        return self._command is None
 
     # -- driving the plan ----------------------------------------------------
 
@@ -276,7 +290,11 @@ class ReshardCoordinator(ReplicatedCoordinator):
 
     def _drive(self) -> None:
         if (not self.alive or not self.is_owner
-                or self._command is not None or self.plane.done):
+                or self._command is not None or self.plane.done
+                or self._handoff_to is not None):
+            # A requested handoff stops new steps: the cursor drains, the
+            # next lease tick journals the transfer claim, the receiver
+            # resumes at the committed step.
             return
         if self._step >= 2 * len(self.moves):
             self.plane.finish(self.sim.now)

@@ -150,3 +150,12 @@ class HostPlan:
     @staticmethod
     def site_of_host(host_name: str) -> str:
         return host_name.split(".", 1)[1]
+
+    @staticmethod
+    def replacement_host_name(host_name: str, incarnation: int) -> str:
+        """The machine spliced in for a replaced host: same site (the
+        ``.{site}`` suffix `site_of_host` parses is preserved), a fresh
+        name so the dead incarnation's queues and stats stay distinct."""
+        prefix, site = host_name.split(".", 1)
+        base = prefix.split("r", 1)[0]  # hN of a previous replacement
+        return f"{base}r{incarnation}.{site}"

@@ -339,7 +339,15 @@ class Session(Node):
         self.send(pending.server, self._request_message(pending))
         pending.retry_timer.arm(
             self.retry.retry_delay(pending.attempts - 1, self.rng),
-            lambda: self._send(pending))
+            lambda: self._resend(pending))
+
+    def _resend(self, pending: PendingRequest) -> None:
+        """Retry-timeout path: re-resolve routing before re-sending.  The
+        routing table may have repointed while the request sat unanswered —
+        a replaced host never answers, so without this a client whose only
+        window slot targets the dead replica retries it forever."""
+        pending.server = self._route(pending.command)
+        self._send(pending)
 
     # -- replies -------------------------------------------------------------
 

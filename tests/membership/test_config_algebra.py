@@ -1,0 +1,186 @@
+"""Property tests for the membership config algebra (DESIGN.md §13).
+
+The two reconfiguration styles stand on three pure invariants, pinned
+here over random inputs rather than the hand-picked cases the protocol
+suites use:
+
+* **joint quorums intersect** — any two ack sets that each satisfy the
+  joint rule (majority of Cold AND of Cnew) share a member, for every
+  Cold/Cnew pair.  This is the whole safety argument for changing voters
+  without a stop-the-world barrier;
+* **the α-window bound** — no slot is ever governed by a config decided
+  after ``slot - α``, and a decision past the commit frontier can never
+  reach back into the open proposer window;
+* **catch-up determinism** — a full-store snapshot plus a replayed log
+  suffix lands a fresh replica on the byte-identical store digest, which
+  is what lets a replacement join from empty mid-run.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.kvstore.store import KVStore  # noqa: E402
+from repro.membership import (  # noqa: E402
+    ConfigLog,
+    VoterView,
+    is_quorum,
+    joint_quorum,
+    majority_of,
+)
+from repro.protocols.types import Command, OpType  # noqa: E402
+
+names = st.integers(min_value=0, max_value=11).map(lambda i: f"s{i}")
+voter_sets = st.frozensets(names, min_size=1, max_size=9)
+
+
+def subsets_of(voters):
+    return st.frozensets(st.sampled_from(sorted(voters)),
+                         max_size=len(voters))
+
+
+# -- joint quorums ------------------------------------------------------------
+
+@given(st.data())
+@settings(max_examples=300, deadline=None)
+def test_joint_quorums_always_intersect(data):
+    old = data.draw(voter_sets, label="Cold")
+    new = data.draw(voter_sets, label="Cnew")
+    universe = old | new
+    a = data.draw(subsets_of(universe), label="acks A")
+    b = data.draw(subsets_of(universe), label="acks B")
+    if joint_quorum(old, new, a) and joint_quorum(old, new, b):
+        assert a & b, (
+            f"disjoint joint quorums {sorted(a)} / {sorted(b)} over "
+            f"Cold={sorted(old)} Cnew={sorted(new)}")
+
+
+@given(st.data())
+@settings(max_examples=300, deadline=None)
+def test_voter_view_joint_matches_predicate(data):
+    old = data.draw(voter_sets)
+    new = data.draw(voter_sets)
+    acks = data.draw(subsets_of(old | new))
+    view = VoterView.joint(old, new, epoch=1)
+    assert view.quorum(acks) == joint_quorum(old, new, acks)
+    assert view.voters == old | new
+    assert view.newest == new
+
+
+@given(voter_sets, st.data())
+@settings(max_examples=200, deadline=None)
+def test_outsider_acks_are_inert(voters, data):
+    """A retired replica's ack never counts toward a quorum."""
+    outsiders = data.draw(st.frozensets(names, max_size=5))
+    acks = data.draw(subsets_of(voters)) | (outsiders - voters)
+    assert is_quorum(voters, acks) == is_quorum(voters, acks & voters)
+
+
+@given(voter_sets)
+def test_majority_is_a_strict_majority(voters):
+    need = majority_of(voters)
+    assert 2 * need > len(voters)
+    assert 2 * (need - 1) <= len(voters)
+
+
+# -- the α window -------------------------------------------------------------
+
+decisions = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10_000), voter_sets),
+    min_size=0, max_size=8)
+
+
+def build_log(initial, alpha, decided):
+    """Decide configs at strictly rising slots with rising epochs; return
+    the log plus [(decision_slot, epoch)] for the bound check."""
+    log = ConfigLog(initial=initial, alpha=alpha)
+    slots = []
+    slot = -1
+    for epoch, (gap, voters) in enumerate(decided, start=1):
+        slot = slot + 1 + gap
+        log.decide(slot, voters, epoch)
+        slots.append((slot, epoch))
+    return log, slots
+
+
+@given(voter_sets, st.integers(min_value=1, max_value=512), decisions,
+       st.integers(min_value=0, max_value=20_000))
+@settings(max_examples=300, deadline=None)
+def test_alpha_window_bound(initial, alpha, decided, probe):
+    """voters_at(s) never comes from a config decided after s - α."""
+    log, slots = build_log(initial, alpha, decided)
+    governing_epoch = log.epoch_at(probe)
+    if governing_epoch == 0:
+        assert log.voters_at(probe) == initial
+        return
+    decision_slot = dict((e, s) for s, e in slots)[governing_epoch]
+    assert decision_slot + alpha <= probe, (
+        f"slot {probe} governed by a config decided at {decision_slot} "
+        f"with α={alpha}")
+
+
+@given(voter_sets, st.integers(min_value=1, max_value=512), decisions,
+       st.data())
+@settings(max_examples=300, deadline=None)
+def test_decision_past_frontier_cannot_reach_open_window(initial, alpha,
+                                                         decided, data):
+    """While `window_open(next_slot, frontier)` holds, a config decided
+    at any slot past the frontier can never govern `next_slot` — the
+    proposer gate is exactly what makes `voters_at` stable for slots
+    already in flight."""
+    log, _ = build_log(initial, alpha, decided)
+    frontier = data.draw(st.integers(min_value=0, max_value=20_000))
+    next_slot = data.draw(st.integers(min_value=0,
+                                      max_value=frontier + alpha))
+    assert log.window_open(next_slot, frontier)
+    before = log.voters_at(next_slot)
+    late_slot = frontier + 1 + data.draw(
+        st.integers(min_value=0, max_value=1000))
+    log.decide(late_slot, frozenset({"late"}), log.epoch + 1)
+    assert log.voters_at(next_slot) == before
+
+
+@given(voter_sets, st.integers(min_value=1, max_value=64), decisions)
+@settings(max_examples=200, deadline=None)
+def test_decide_is_idempotent_under_replay(initial, alpha, decided):
+    log, slots = build_log(initial, alpha, decided)
+    snapshot = list(log.entries)
+    for slot, epoch in slots:  # a crash-recovery replay of the whole log
+        log.decide(slot, frozenset({"replayed"}), epoch)
+    assert log.entries == snapshot
+
+
+# -- catch-up snapshots -------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=15),
+              st.integers(min_value=0, max_value=3),
+              st.text(alphabet="abcdef", min_size=0, max_size=6)),
+    min_size=0, max_size=40)
+
+
+def apply_ops(store, triples, clients, start_seq=0):
+    for i, (key, client, value) in enumerate(triples):
+        store.apply(Command(op=OpType.PUT, key=f"k{key}", value=value,
+                            client_id=f"c{client % clients}",
+                            seq=start_seq + i + 1))
+
+
+@given(ops, ops)
+@settings(max_examples=150, deadline=None)
+def test_snapshot_plus_suffix_replay_is_digest_identical(prefix, suffix):
+    """export_full -> install_full -> replay the same suffix == applying
+    the whole history natively: store digests (records, dedup windows,
+    applied counters) match byte for byte."""
+    native = KVStore()
+    apply_ops(native, prefix, clients=4)
+
+    joiner = KVStore()
+    joiner.install_full(native.export_full())
+    assert joiner.digest() == native.digest()
+
+    apply_ops(native, suffix, clients=4, start_seq=10_000)
+    apply_ops(joiner, suffix, clients=4, start_seq=10_000)
+    assert joiner.digest() == native.digest()
+    assert joiner.applied_count == native.applied_count
